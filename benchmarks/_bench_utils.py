@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the rows it regenerates (the table/figure series the
+paper reports) so that running ``pytest benchmarks/ --benchmark-only -s``
+reproduces both the numbers and the timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def emit(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Print a result table produced by a benchmark run."""
+    from repro.experiments.reporting import format_table
+
+    print()
+    print(format_table(list(rows), title=title))

@@ -1,0 +1,26 @@
+"""ABL-BASE — burst-workload comparison against FIFO, WFO and TrueTime.
+
+The Figures 2-4 context: a volatility-event burst is sequenced by the
+arrival-order FIFO sequencer (fair only with equal-length wires), the
+WaitsForOne sequencer (fair only with negligible clock error), the TrueTime
+emulation and Tommy.  Prints one row per sequencer.
+"""
+
+from _bench_utils import emit
+
+from repro.experiments.ablations import run_baseline_comparison
+
+
+def run_once():
+    return run_baseline_comparison(num_clients=40, clock_std=0.0001, network_jitter=0.0015, seed=17)
+
+
+def test_baseline_comparison(benchmark):
+    rows = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    emit("Baseline comparison on a volatility burst (40 clients)", rows)
+    by_name = {row["sequencer"]: row for row in rows}
+    assert set(by_name) == {"fifo", "wfo", "truetime", "tommy"}
+    # Tommy never falls behind the conservative TrueTime baseline
+    assert by_name["tommy"]["ras"] >= by_name["truetime"]["ras"]
+    # the TrueTime baseline never goes negative (it refuses to order instead)
+    assert by_name["truetime"]["ras"] >= 0

@@ -1,0 +1,55 @@
+"""ABL-DIST — arbitrary distributions and the FFT convolution path (§3.3).
+
+Two parts:
+
+1. Micro-benchmarks of the preceding-probability machinery: the Gaussian
+   closed form, FFT convolution and direct convolution of a client pair's
+   error densities (the paper's log-linear vs quadratic argument).
+2. The end-to-end distribution-family ablation: Tommy's fairness on
+   Gaussian, skewed log-normal and mixture clock errors, via the closed form
+   where possible and FFT otherwise.
+"""
+
+import pytest
+from _bench_utils import emit
+
+from repro.distributions.convolution import convolve_direct, convolve_fft
+from repro.distributions.difference import difference_distribution
+from repro.distributions.mixtures import MixtureDistribution
+from repro.distributions.parametric import GaussianDistribution, ShiftedLogNormalDistribution
+from repro.experiments.ablations import run_distribution_ablation
+
+DIST_I = MixtureDistribution(
+    [GaussianDistribution(-20.0, 10.0), ShiftedLogNormalDistribution(0.0, 3.0, 0.5)], [0.6, 0.4]
+)
+DIST_J = GaussianDistribution(5.0, 25.0)
+GAUSS_I = GaussianDistribution(0.0, 10.0)
+GAUSS_J = GaussianDistribution(5.0, 25.0)
+
+
+def test_gaussian_closed_form_pair(benchmark):
+    result = benchmark(lambda: difference_distribution(GAUSS_I, GAUSS_J, method="gaussian"))
+    assert result.exact
+
+
+def test_fft_convolution_pair(benchmark):
+    deltas, density = benchmark(lambda: convolve_fft(DIST_I, DIST_J, num_points=2048))
+    assert deltas.shape == density.shape
+
+
+def test_direct_convolution_pair(benchmark):
+    deltas, density = benchmark(lambda: convolve_direct(DIST_I, DIST_J, num_points=1024))
+    assert deltas.shape == density.shape
+
+
+def test_distribution_family_ablation(benchmark):
+    rows = benchmark.pedantic(lambda: run_distribution_ablation(num_clients=30), rounds=1, iterations=1)
+    emit("Distribution-family ablation (30 clients)", rows)
+    closed = next(row for row in rows if row["family"] == "gaussian/closed-form")
+    fft = next(row for row in rows if row["family"] == "gaussian/fft")
+    # identical statistical answer regardless of the numerical path
+    assert abs(closed["ras"] - fft["ras"]) <= 2
+    # the FFT path handles non-Gaussian families without inverting more pairs
+    # than it gets right (on this workload the Gaussian runs stay indifferent)
+    assert all(row["correct_pairs"] >= row["incorrect_pairs"] for row in rows)
+    assert any(row["correct_pairs"] > 0 for row in rows)

@@ -1,0 +1,37 @@
+"""FIG5 — regenerate Figure 5 (RAS of Tommy vs TrueTime).
+
+The paper's only quantitative figure: Rank Agreement Score of Tommy and the
+emulated TrueTime baseline as the clock standard deviation sweeps upward, for
+several inter-message gaps.  The benchmark times one full (reduced-scale)
+sweep and prints the regenerated series; the paper's qualitative shape —
+Tommy >= TrueTime everywhere, with the margin opening as the gap shrinks or
+the clock error grows — is asserted.
+"""
+
+from _bench_utils import emit
+
+from repro.experiments.figure5 import Figure5Settings, figure5_rows, run_figure5
+
+SETTINGS = Figure5Settings(
+    num_clients=40,
+    sigma_values=(1.0, 30.0, 60.0, 90.0, 120.0),
+    gap_values=(5.0, 20.0, 80.0),
+    seed=7,
+)
+
+
+def run_sweep():
+    return run_figure5(SETTINGS)
+
+
+def test_figure5_sweep(benchmark):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("Figure 5: RAS vs clock std-dev (Tommy vs TrueTime)", figure5_rows(points))
+
+    # Paper shape: Tommy is never behind the conservative baseline...
+    assert all(point.tommy_ras >= point.truetime_ras for point in points)
+    # ...and is strictly ahead once clock error dominates the inter-message gap.
+    stressed = [p for p in points if p.clock_std >= 30.0 and p.message_gap <= 20.0]
+    assert any(p.tommy_ras > p.truetime_ras for p in stressed)
+    # TrueTime degrades to indifference (RAS ~ 0), never negative.
+    assert all(p.truetime_ras >= 0 for p in points)

@@ -1,0 +1,29 @@
+"""ABL-LEARN — seeded vs probe-learned offset distributions (§5).
+
+The paper seeds clients with their true distributions and calls the result an
+upper bound because estimation error is excluded.  This benchmark quantifies
+that gap: Tommy's RAS with ground-truth distributions versus distributions
+re-estimated from 16 / 64 / 256 probe offsets per client.
+"""
+
+from _bench_utils import emit
+
+from repro.experiments.ablations import run_learning_ablation
+
+PROBE_COUNTS = (16, 64, 256)
+
+
+def run_sweep():
+    return run_learning_ablation(probe_counts=PROBE_COUNTS, num_clients=40, seed=9)
+
+
+def test_learning_ablation(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("Seeded vs learned distributions (40 clients)", rows)
+    seeded = rows[0]
+    assert seeded["probes"] == 0
+    best_learned = max(row["ras"] for row in rows[1:])
+    # the seeded run is (approximately) an upper bound; learned estimates approach it
+    assert seeded["ras"] >= best_learned - 20
+    largest_budget = rows[-1]
+    assert largest_budget["ras"] >= rows[1]["ras"] - 20

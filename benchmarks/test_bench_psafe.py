@@ -1,0 +1,26 @@
+"""ABL-PSAFE — safe-emission confidence vs emission latency (§3.5).
+
+Regenerates the p_safe trade-off on the online sequencer: raising p_safe
+makes batch emission wait longer (latency grows) in exchange for a smaller
+chance that a late message belonged in an already-emitted batch.
+"""
+
+from _bench_utils import emit
+
+from repro.experiments.ablations import run_psafe_sweep
+
+P_SAFE_VALUES = (0.9, 0.99, 0.999, 0.9999)
+
+
+def run_sweep():
+    return run_psafe_sweep(p_safe_values=P_SAFE_VALUES, num_clients=6, seed=11)
+
+
+def test_psafe_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("p_safe sweep (online Tommy, 6 clients)", rows)
+    latencies = [row["mean_latency"] for row in rows]
+    # emission latency is non-decreasing in p_safe
+    assert all(later >= earlier - 1e-9 for earlier, later in zip(latencies, latencies[1:]))
+    # all messages are eventually sequenced at every setting
+    assert len({row["correct_pairs"] + row["incorrect_pairs"] + row["indifferent_pairs"] for row in rows}) == 1

@@ -1,0 +1,51 @@
+"""ABL-SCALE — sequencing cost as the client count grows.
+
+The offline pipeline evaluates O(n^2) pairwise probabilities plus a
+tournament over n messages; this benchmark measures the end-to-end
+sequencing time at several client counts and prints the fairness row for
+each, confirming quality does not degrade with scale.
+"""
+
+from _bench_utils import emit
+
+from repro.core.config import TommyConfig
+from repro.core.sequencer import TommySequencer
+from repro.distributions.parametric import GaussianDistribution
+from repro.experiments.ablations import run_scaling_sweep
+from repro.workloads.arrivals import UniformGapArrivals
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+def _scenario(num_clients):
+    return build_scenario(
+        ScenarioConfig(
+            num_clients=num_clients,
+            arrivals=UniformGapArrivals(messages_per_client=1, gap=10.0, jitter_fraction=0.2),
+            distribution_factory=lambda i, rng: GaussianDistribution(0.0, 30.0),
+            seed=13,
+        )
+    )
+
+
+def test_sequencing_50_clients(benchmark):
+    scenario = _scenario(50)
+    sequencer = TommySequencer(scenario.client_distributions, TommyConfig())
+    result = benchmark(lambda: sequencer.sequence(list(scenario.messages)))
+    assert result.message_count == 50
+
+
+def test_sequencing_150_clients(benchmark):
+    scenario = _scenario(150)
+    sequencer = TommySequencer(scenario.client_distributions, TommyConfig())
+    result = benchmark.pedantic(lambda: sequencer.sequence(list(scenario.messages)), rounds=2, iterations=1)
+    assert result.message_count == 150
+
+
+def test_scaling_sweep_rows(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_scaling_sweep(client_counts=(10, 25, 50, 100), seed=13), rounds=1, iterations=1
+    )
+    emit("Client-count scaling", rows)
+    # ordering quality holds up while cost grows with n
+    assert all(row["correct_pairs"] >= row["incorrect_pairs"] for row in rows)
+    assert rows[-1]["sequencing_seconds"] >= rows[0]["sequencing_seconds"]

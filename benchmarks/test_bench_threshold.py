@@ -1,0 +1,27 @@
+"""ABL-THRESH — batching-threshold trade-off (§3.4).
+
+Regenerates the threshold sweep: a threshold near 0.5 approaches a total
+order (many small batches, more pairs decided, more risk of inversions); a
+threshold near 1 collapses into few large batches (high confidence, low
+granularity).  Times the whole sweep and prints the rows.
+"""
+
+from _bench_utils import emit
+
+from repro.experiments.ablations import run_threshold_sweep
+
+THRESHOLDS = (0.55, 0.65, 0.75, 0.85, 0.95)
+
+
+def run_sweep():
+    return run_threshold_sweep(thresholds=THRESHOLDS, num_clients=40, gap=10.0, clock_std=40.0, seed=3)
+
+
+def test_threshold_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("Threshold sweep (Tommy, 40 clients, gap 10, clock std 40)", rows)
+    batch_counts = [row["batches"] for row in rows]
+    # granularity decreases monotonically with the threshold
+    assert all(earlier >= later for earlier, later in zip(batch_counts, batch_counts[1:]))
+    # every threshold decides at least as many pairs correctly as incorrectly
+    assert all(row["correct_pairs"] >= row["incorrect_pairs"] for row in rows)

@@ -1,0 +1,97 @@
+"""repro: a reproduction of "Beyond Lamport, Towards Probabilistic Fair Ordering".
+
+The package implements Tommy, a probabilistic fair sequencer, together with
+every substrate it needs: a discrete-event simulator, clock and clock-drift
+models, clock-offset distributions (parametric and learned), a
+clock-synchronization probe protocol, a network substrate with ordered and
+unordered channels, baseline sequencers (FIFO, WaitsForOne, TrueTime,
+Lamport, oracle), auction-app workloads, downstream applications (limit
+order book, sealed-bid auction, replicated log), fairness metrics (Rank
+Agreement Score and friends) and the experiment harness that regenerates the
+paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import quick_sequence
+>>> from repro.distributions import GaussianDistribution
+>>> from repro.network.message import TimestampedMessage
+>>> dists = {"a": GaussianDistribution(0, 1.0), "b": GaussianDistribution(0, 1.0)}
+>>> messages = [
+...     TimestampedMessage(client_id="a", timestamp=10.0, true_time=10.0),
+...     TimestampedMessage(client_id="b", timestamp=17.0, true_time=17.0),
+... ]
+>>> result = quick_sequence(messages, dists)
+>>> result.batch_count
+2
+"""
+
+from typing import Dict, Optional, Sequence
+
+from repro.core import (
+    ByzantineAuditor,
+    FairTotalOrder,
+    LikelyHappenedBefore,
+    OnlineTommySequencer,
+    PrecedenceModel,
+    TommyConfig,
+    TommySequencer,
+)
+from repro.distributions import GaussianDistribution, OffsetDistribution
+from repro.metrics import rank_agreement_score
+from repro.network.message import Heartbeat, SequencedBatch, TimestampedMessage
+from repro.sequencers import (
+    FifoSequencer,
+    OracleSequencer,
+    SequencingResult,
+    TrueTimeSequencer,
+    WaitsForOneSequencer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "TommyConfig",
+    "TommySequencer",
+    "OnlineTommySequencer",
+    "PrecedenceModel",
+    "LikelyHappenedBefore",
+    "FairTotalOrder",
+    "ByzantineAuditor",
+    "OffsetDistribution",
+    "GaussianDistribution",
+    "TimestampedMessage",
+    "Heartbeat",
+    "SequencedBatch",
+    "SequencingResult",
+    "FifoSequencer",
+    "WaitsForOneSequencer",
+    "TrueTimeSequencer",
+    "OracleSequencer",
+    "rank_agreement_score",
+    "quick_sequence",
+]
+
+
+def quick_sequence(
+    messages: Sequence[TimestampedMessage],
+    client_distributions: Dict[str, OffsetDistribution],
+    threshold: float = 0.75,
+    config: Optional[TommyConfig] = None,
+) -> SequencingResult:
+    """One-call fair sequencing of ``messages`` with Tommy.
+
+    Parameters
+    ----------
+    messages:
+        The timestamped messages to order.
+    client_distributions:
+        Clock-error distribution (of ``reported - true`` time) per client.
+    threshold:
+        Batch-boundary confidence threshold (ignored when ``config`` given).
+    config:
+        Full :class:`TommyConfig` overriding ``threshold``.
+    """
+    config = config if config is not None else TommyConfig(threshold=threshold)
+    sequencer = TommySequencer(client_distributions=client_distributions, config=config)
+    return sequencer.sequence(list(messages))

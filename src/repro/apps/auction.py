@@ -1,0 +1,94 @@
+"""Sealed-bid (second-price) auctions resolved from sequencer batches.
+
+Ad exchanges run an auction per impression; the paper's concern is the case
+where the auction closes after the first *k* bids, so which bids count
+depends on the sequencer's ordering.  :class:`SealedBidAuction` resolves a
+second-price auction over the first ``capacity`` bids in sequence order,
+allowing the experiments to compare winner sets under different sequencers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Bid:
+    """One client's bid for an impression/slot."""
+
+    client_id: str
+    amount: float
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ValueError(f"bid amount must be non-negative, got {self.amount!r}")
+
+
+@dataclass(frozen=True)
+class AuctionOutcome:
+    """Result of one auction: winner, price paid and the considered bids."""
+
+    winner: Optional[str]
+    clearing_price: float
+    considered: tuple
+    rejected_late: tuple
+
+    @property
+    def had_winner(self) -> bool:
+        """True when at least one bid was considered."""
+        return self.winner is not None
+
+
+class SealedBidAuction:
+    """Second-price auction over the first ``capacity`` bids in arrival order."""
+
+    def __init__(self, capacity: Optional[int] = None, reserve_price: float = 0.0) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be at least 1 when given")
+        if reserve_price < 0:
+            raise ValueError("reserve_price must be non-negative")
+        self._capacity = capacity
+        self._reserve = float(reserve_price)
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Maximum number of bids considered (None = all bids)."""
+        return self._capacity
+
+    @property
+    def reserve_price(self) -> float:
+        """Minimum acceptable clearing price."""
+        return self._reserve
+
+    def resolve(self, bids_in_order: Sequence[Bid]) -> AuctionOutcome:
+        """Resolve the auction over bids presented in sequence order.
+
+        Bids beyond ``capacity`` arrive too late and are rejected — this is
+        where an unfair sequencer changes outcomes.  Among considered bids,
+        the highest wins and pays the second-highest amount (or the reserve
+        price when it is higher / there is a single bid).
+        """
+        bids = list(bids_in_order)
+        if self._capacity is not None:
+            considered = bids[: self._capacity]
+            rejected = bids[self._capacity :]
+        else:
+            considered = bids
+            rejected = []
+
+        eligible = [bid for bid in considered if bid.amount >= self._reserve]
+        if not eligible:
+            return AuctionOutcome(
+                winner=None, clearing_price=0.0, considered=tuple(considered), rejected_late=tuple(rejected)
+            )
+        ranked = sorted(eligible, key=lambda bid: (-bid.amount, bid.client_id))
+        winner = ranked[0]
+        second = ranked[1].amount if len(ranked) > 1 else self._reserve
+        clearing = max(second, self._reserve)
+        return AuctionOutcome(
+            winner=winner.client_id,
+            clearing_price=clearing,
+            considered=tuple(considered),
+            rejected_late=tuple(rejected),
+        )

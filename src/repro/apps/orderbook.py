@@ -1,0 +1,174 @@
+"""A price-time-priority limit order book.
+
+The matching engine processes orders strictly in the order handed to it, so
+the *sequencer* decides time priority.  Feeding the same set of orders
+through different sequencers therefore yields different fills — which is
+exactly the unfairness the paper is about, and what the exchange example and
+fairness-impact benchmark measure.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_ORDER_COUNTER = itertools.count()
+
+
+class OrderSide(enum.Enum):
+    """Buy or sell."""
+
+    BUY = "buy"
+    SELL = "sell"
+
+
+@dataclass(frozen=True)
+class Order:
+    """A limit order submitted by one client."""
+
+    client_id: str
+    side: OrderSide
+    price: float
+    quantity: int
+    order_id: int = field(default_factory=lambda: next(_ORDER_COUNTER))
+
+    def __post_init__(self) -> None:
+        if self.price <= 0:
+            raise ValueError(f"price must be positive, got {self.price!r}")
+        if self.quantity <= 0:
+            raise ValueError(f"quantity must be positive, got {self.quantity!r}")
+
+
+@dataclass(frozen=True)
+class Trade:
+    """One execution between a resting order and an incoming order."""
+
+    buy_client: str
+    sell_client: str
+    price: float
+    quantity: int
+    resting_order_id: int
+    incoming_order_id: int
+
+
+@dataclass
+class _BookLevel:
+    price: float
+    orders: List[List]  # [order, remaining_quantity]
+
+
+class LimitOrderBook:
+    """Continuous double auction with price-time priority."""
+
+    def __init__(self, symbol: str = "REPRO") -> None:
+        self._symbol = symbol
+        # resting orders: list of [Order, remaining] kept sorted by priority
+        self._bids: List[List] = []
+        self._asks: List[List] = []
+        self._trades: List[Trade] = []
+        self._processed = 0
+
+    # -------------------------------------------------------------- queries
+    @property
+    def symbol(self) -> str:
+        """Instrument symbol."""
+        return self._symbol
+
+    @property
+    def trades(self) -> List[Trade]:
+        """All executions so far, in execution order."""
+        return list(self._trades)
+
+    @property
+    def processed_orders(self) -> int:
+        """Number of orders submitted to the book."""
+        return self._processed
+
+    def best_bid(self) -> Optional[float]:
+        """Highest resting buy price, if any."""
+        return self._bids[0][0].price if self._bids else None
+
+    def best_ask(self) -> Optional[float]:
+        """Lowest resting sell price, if any."""
+        return self._asks[0][0].price if self._asks else None
+
+    def depth(self) -> Dict[str, int]:
+        """Total resting quantity on each side."""
+        return {
+            "bids": sum(remaining for _order, remaining in self._bids),
+            "asks": sum(remaining for _order, remaining in self._asks),
+        }
+
+    # -------------------------------------------------------------- matching
+    def submit(self, order: Order) -> List[Trade]:
+        """Process one order: match against the opposite side, rest the remainder."""
+        self._processed += 1
+        remaining = order.quantity
+        executed: List[Trade] = []
+        if order.side is OrderSide.BUY:
+            remaining, executed = self._match(order, remaining, self._asks, is_buy=True)
+            if remaining > 0:
+                self._insert(self._bids, order, remaining, descending=True)
+        else:
+            remaining, executed = self._match(order, remaining, self._bids, is_buy=False)
+            if remaining > 0:
+                self._insert(self._asks, order, remaining, descending=False)
+        self._trades.extend(executed)
+        return executed
+
+    def submit_all(self, orders: List[Order]) -> List[Trade]:
+        """Process ``orders`` in the given sequence and return all trades."""
+        all_trades: List[Trade] = []
+        for order in orders:
+            all_trades.extend(self.submit(order))
+        return all_trades
+
+    def _match(
+        self, incoming: Order, remaining: int, book: List[List], is_buy: bool
+    ) -> Tuple[int, List[Trade]]:
+        executed: List[Trade] = []
+        while remaining > 0 and book:
+            resting_order, resting_remaining = book[0]
+            crosses = (
+                incoming.price >= resting_order.price if is_buy else incoming.price <= resting_order.price
+            )
+            if not crosses:
+                break
+            quantity = min(remaining, resting_remaining)
+            trade = Trade(
+                buy_client=incoming.client_id if is_buy else resting_order.client_id,
+                sell_client=resting_order.client_id if is_buy else incoming.client_id,
+                price=resting_order.price,
+                quantity=quantity,
+                resting_order_id=resting_order.order_id,
+                incoming_order_id=incoming.order_id,
+            )
+            executed.append(trade)
+            remaining -= quantity
+            if resting_remaining == quantity:
+                book.pop(0)
+            else:
+                book[0][1] = resting_remaining - quantity
+        return remaining, executed
+
+    @staticmethod
+    def _insert(book: List[List], order: Order, remaining: int, descending: bool) -> None:
+        index = 0
+        while index < len(book):
+            resting_price = book[index][0].price
+            better = order.price > resting_price if descending else order.price < resting_price
+            if better:
+                break
+            index += 1
+        book.insert(index, [order, remaining])
+
+    # ------------------------------------------------------------- summaries
+    def fills_by_client(self) -> Dict[str, int]:
+        """Executed quantity attributed to the aggressive (incoming) buyer/seller."""
+        fills: Dict[str, int] = {}
+        for trade in self._trades:
+            fills[trade.buy_client] = fills.get(trade.buy_client, 0) + trade.quantity
+            fills[trade.sell_client] = fills.get(trade.sell_client, 0) + trade.quantity
+        return fills

@@ -1,0 +1,80 @@
+"""A deterministic replicated log consuming sequencer batches.
+
+Network sequencers (NOPaxos, Hydra, Eris) feed a replicated state machine;
+here the state machine is a simple append-only log keyed by batch rank.  The
+log validates the invariants any consumer relies on: ranks arrive in order
+without gaps, and no message is delivered twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.network.message import SequencedBatch, TimestampedMessage
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One applied batch."""
+
+    rank: int
+    message_keys: Tuple[Tuple[str, int], ...]
+    applied_at: float
+
+
+class ReplicatedLog:
+    """Applies batches in rank order, enforcing exactly-once delivery."""
+
+    def __init__(self, name: str = "log") -> None:
+        self._name = name
+        self._entries: List[LogEntry] = []
+        self._applied_keys: Set[Tuple[str, int]] = set()
+        self._next_rank = 0
+
+    @property
+    def name(self) -> str:
+        """Replica name."""
+        return self._name
+
+    @property
+    def entries(self) -> List[LogEntry]:
+        """Applied entries in rank order."""
+        return list(self._entries)
+
+    @property
+    def next_rank(self) -> int:
+        """The rank the log expects next."""
+        return self._next_rank
+
+    @property
+    def applied_message_count(self) -> int:
+        """Total messages applied so far."""
+        return len(self._applied_keys)
+
+    def apply(self, batch: SequencedBatch, applied_at: float = 0.0) -> LogEntry:
+        """Apply one batch; raises on rank gaps, reordering or duplicates."""
+        if batch.rank != self._next_rank:
+            raise ValueError(
+                f"log {self._name!r} expected rank {self._next_rank}, got {batch.rank}"
+            )
+        duplicate = [message.key for message in batch.messages if message.key in self._applied_keys]
+        if duplicate:
+            raise ValueError(f"duplicate delivery of messages {duplicate!r}")
+        entry = LogEntry(
+            rank=batch.rank,
+            message_keys=tuple(message.key for message in batch.messages),
+            applied_at=float(applied_at),
+        )
+        self._entries.append(entry)
+        self._applied_keys.update(entry.message_keys)
+        self._next_rank += 1
+        return entry
+
+    def apply_all(self, batches: List[SequencedBatch]) -> List[LogEntry]:
+        """Apply a list of batches in order."""
+        return [self.apply(batch) for batch in batches]
+
+    def contains(self, message: TimestampedMessage) -> bool:
+        """True when ``message`` has been applied."""
+        return message.key in self._applied_keys

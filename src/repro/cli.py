@@ -1,0 +1,125 @@
+"""Command-line interface for the experiment harness.
+
+Every paper artifact and ablation can be regenerated from the shell::
+
+    python -m repro.cli figure5 --num-clients 80
+    python -m repro.cli thresholds
+    python -m repro.cli psafe
+    python -m repro.cli baselines
+    python -m repro.cli learning
+    python -m repro.cli scaling
+    python -m repro.cli all --csv-dir results/
+
+Each subcommand prints the same rows the corresponding benchmark target
+regenerates; ``--csv-dir`` additionally writes one CSV per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.ablations import (
+    run_baseline_comparison,
+    run_learning_ablation,
+    run_psafe_sweep,
+    run_scaling_sweep,
+    run_threshold_sweep,
+)
+from repro.experiments.figure5 import Figure5Settings, figure5_rows, run_figure5
+from repro.experiments.reporting import format_table, rows_to_csv
+
+
+def _figure5_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
+    settings = Figure5Settings(num_clients=args.num_clients, threshold=args.threshold, seed=args.seed)
+    return figure5_rows(run_figure5(settings))
+
+
+def _threshold_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
+    return run_threshold_sweep(num_clients=args.num_clients, seed=args.seed)
+
+
+def _psafe_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
+    return run_psafe_sweep(num_clients=min(args.num_clients, 12), seed=args.seed)
+
+
+def _baseline_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
+    return run_baseline_comparison(num_clients=args.num_clients, seed=args.seed)
+
+
+def _learning_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
+    return run_learning_ablation(num_clients=args.num_clients, seed=args.seed)
+
+
+def _scaling_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
+    return run_scaling_sweep(seed=args.seed)
+
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], List[Dict[str, object]]]] = {
+    "figure5": _figure5_rows,
+    "thresholds": _threshold_rows,
+    "psafe": _psafe_rows,
+    "baselines": _baseline_rows,
+    "learning": _learning_rows,
+    "scaling": _scaling_rows,
+}
+
+TITLES = {
+    "figure5": "Figure 5: RAS of Tommy vs TrueTime",
+    "thresholds": "ABL-THRESH: batching-threshold sweep",
+    "psafe": "ABL-PSAFE: safe-emission confidence sweep",
+    "baselines": "ABL-BASE: FIFO / WFO / TrueTime / Tommy on a burst",
+    "learning": "ABL-LEARN: seeded vs probe-learned distributions",
+    "scaling": "ABL-SCALE: client-count scaling",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation of 'Beyond Lamport, Towards Probabilistic Fair Ordering'.",
+    )
+    parser.add_argument("--num-clients", type=int, default=60, help="clients per scenario (default 60)")
+    parser.add_argument("--threshold", type=float, default=0.75, help="batching threshold (default 0.75)")
+    parser.add_argument("--seed", type=int, default=7, help="root random seed")
+    parser.add_argument("--csv-dir", default=None, help="also write one CSV per experiment into this directory")
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to regenerate ('all' runs every one)",
+    )
+    return parser
+
+
+def run_experiment(name: str, args: argparse.Namespace) -> List[Dict[str, object]]:
+    """Run one named experiment and return its rows."""
+    if name not in EXPERIMENTS:
+        raise ValueError(f"unknown experiment {name!r}")
+    return EXPERIMENTS[name](args)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    if args.csv_dir:
+        os.makedirs(args.csv_dir, exist_ok=True)
+
+    for name in names:
+        rows = run_experiment(name, args)
+        print(format_table(rows, title=TITLES[name]))
+        if args.csv_dir:
+            path = os.path.join(args.csv_dir, f"{name}.csv")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(rows_to_csv(rows))
+            print(f"wrote {path}\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Clock models.
+
+A :class:`ReferenceClock` represents the omniscient observer's global clock
+(paper Definition 1, footnote 2).  A :class:`LocalClock` is a client's clock:
+its reading at true time ``t`` is ``t + offset(t)`` where the offset is drawn
+from the client's offset distribution, optionally augmented by a slowly
+varying drift process (:mod:`repro.clocks.drift`) and read jitter modelling
+host data-path latency (paper §5, "Host-network variability").
+:class:`TrueTimeClock` provides the Spanner-style bounded-uncertainty
+interval API used by the TrueTime baseline sequencer.
+"""
+
+from repro.clocks.reference import ReferenceClock
+from repro.clocks.drift import ConstantDrift, DriftModel, NoDrift, RandomWalkDrift
+from repro.clocks.local import ClockReading, LocalClock
+from repro.clocks.truetime import TrueTimeClock, TrueTimeInterval
+
+__all__ = [
+    "ReferenceClock",
+    "DriftModel",
+    "NoDrift",
+    "ConstantDrift",
+    "RandomWalkDrift",
+    "ClockReading",
+    "LocalClock",
+    "TrueTimeClock",
+    "TrueTimeInterval",
+]

@@ -1,0 +1,92 @@
+"""Clock drift models.
+
+Drift is the slowly varying component of clock error: frequency error of the
+oscillator integrated over time.  The paper flags drift as future work (§5);
+we model it so experiments can quantify how much drift degrades Tommy when
+the learned offset distribution becomes stale.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class DriftModel(abc.ABC):
+    """Deterministic-in-seed model of accumulated drift at true time ``t``."""
+
+    @abc.abstractmethod
+    def offset_at(self, true_time: float) -> float:
+        """Accumulated drift (seconds) at true time ``true_time``."""
+
+    def reset(self) -> None:
+        """Reset any internal state (default: nothing to reset)."""
+
+
+class NoDrift(DriftModel):
+    """Perfectly stable oscillator — drift is identically zero."""
+
+    def offset_at(self, true_time: float) -> float:
+        return 0.0
+
+
+class ConstantDrift(DriftModel):
+    """Constant frequency error: drift grows linearly with elapsed time.
+
+    ``rate_ppm`` is expressed in parts-per-million, the conventional unit for
+    oscillator error (10 ppm = 10 microseconds of drift per second).
+    """
+
+    def __init__(self, rate_ppm: float, start_time: float = 0.0) -> None:
+        self._rate = float(rate_ppm) * 1e-6
+        self._start = float(start_time)
+
+    @property
+    def rate_ppm(self) -> float:
+        """Frequency error in parts-per-million."""
+        return self._rate * 1e6
+
+    def offset_at(self, true_time: float) -> float:
+        return self._rate * (float(true_time) - self._start)
+
+
+class RandomWalkDrift(DriftModel):
+    """Drift that wanders as a random walk sampled on a fixed step grid.
+
+    The walk is generated lazily but deterministically from the seed, so two
+    queries at the same time return the same drift regardless of query order.
+    """
+
+    def __init__(self, step_std: float, step_interval: float = 1.0, seed: int = 0) -> None:
+        if step_interval <= 0:
+            raise ValueError(f"step_interval must be positive, got {step_interval!r}")
+        if step_std < 0:
+            raise ValueError(f"step_std must be non-negative, got {step_std!r}")
+        self._step_std = float(step_std)
+        self._interval = float(step_interval)
+        self._seed = int(seed)
+        self._walk = np.zeros(1)
+
+    def _extend_to(self, steps: int) -> None:
+        if steps < self._walk.size:
+            return
+        rng = np.random.default_rng(self._seed)
+        increments = rng.normal(0.0, self._step_std, size=steps + 1)
+        walk = np.concatenate([[0.0], np.cumsum(increments)])
+        self._walk = walk
+
+    def offset_at(self, true_time: float) -> float:
+        if true_time <= 0:
+            return 0.0
+        position = float(true_time) / self._interval
+        upper = int(np.ceil(position)) + 1
+        self._extend_to(upper)
+        lower_index = int(np.floor(position))
+        frac = position - lower_index
+        lower = self._walk[lower_index]
+        upper_value = self._walk[min(lower_index + 1, self._walk.size - 1)]
+        return float(lower + frac * (upper_value - lower))
+
+    def reset(self) -> None:
+        self._walk = np.zeros(1)

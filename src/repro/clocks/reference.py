@@ -1,0 +1,23 @@
+"""The omniscient observer's reference clock."""
+
+from __future__ import annotations
+
+from repro.simulation.event_loop import EventLoop
+
+
+class ReferenceClock:
+    """Global clock with infinite resolution, tied to the event loop's true time.
+
+    The reference clock is only available to the evaluation harness (ground
+    truth); no simulated participant may consult it for sequencing decisions.
+    """
+
+    def __init__(self, loop: EventLoop) -> None:
+        self._loop = loop
+
+    def now(self) -> float:
+        """Current true time in seconds."""
+        return self._loop.now
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"ReferenceClock(t={self.now():.9f})"

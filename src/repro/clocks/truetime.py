@@ -1,0 +1,67 @@
+"""Spanner TrueTime-style interval clock.
+
+The paper's baseline (§4) emulates TrueTime by giving every message an
+uncertainty interval ``[T - 3*sigma, T + 3*sigma]`` and assigning the same
+rank to messages whose intervals overlap.  :class:`TrueTimeClock` produces
+those intervals from a :class:`~repro.clocks.local.LocalClock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clocks.local import ClockReading, LocalClock
+
+
+@dataclass(frozen=True)
+class TrueTimeInterval:
+    """A bounded-uncertainty timestamp ``[earliest, latest]``."""
+
+    earliest: float
+    latest: float
+
+    def __post_init__(self) -> None:
+        if self.latest < self.earliest:
+            raise ValueError(f"latest ({self.latest}) precedes earliest ({self.earliest})")
+
+    @property
+    def midpoint(self) -> float:
+        """The centre of the interval."""
+        return 0.5 * (self.earliest + self.latest)
+
+    @property
+    def width(self) -> float:
+        """Total width of the uncertainty interval."""
+        return self.latest - self.earliest
+
+    def overlaps(self, other: "TrueTimeInterval") -> bool:
+        """True when the two intervals share at least one point."""
+        return self.earliest <= other.latest and other.earliest <= self.latest
+
+    def definitely_before(self, other: "TrueTimeInterval") -> bool:
+        """True when this interval ends strictly before the other begins."""
+        return self.latest < other.earliest
+
+
+class TrueTimeClock:
+    """Wraps a :class:`LocalClock` to produce TrueTime-style intervals."""
+
+    def __init__(self, clock: LocalClock, sigma_multiplier: float = 3.0) -> None:
+        if sigma_multiplier <= 0:
+            raise ValueError(f"sigma_multiplier must be positive, got {sigma_multiplier!r}")
+        self._clock = clock
+        self._multiplier = float(sigma_multiplier)
+
+    @property
+    def sigma_multiplier(self) -> float:
+        """Number of standard deviations on either side of the reported time."""
+        return self._multiplier
+
+    def interval_for(self, reading: ClockReading) -> TrueTimeInterval:
+        """The uncertainty interval around an existing clock reading."""
+        half_width = self._multiplier * self._clock.offset_distribution.std
+        return TrueTimeInterval(reading.reported - half_width, reading.reported + half_width)
+
+    def now_interval(self) -> TrueTimeInterval:
+        """Read the clock and return the interval around the fresh reading."""
+        return self.interval_for(self._clock.read())

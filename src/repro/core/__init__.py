@@ -1,0 +1,71 @@
+"""Tommy: probabilistic fair ordering (the paper's primary contribution).
+
+Pipeline (paper §3):
+
+1. :class:`PrecedenceModel` computes the *preceding-probability*
+   ``P(T*_i < T*_j | T_i, T_j)`` for message pairs from the clients' clock
+   error distributions (§3.2 Gaussian closed form, §3.3 FFT convolution for
+   arbitrary distributions).
+2. :class:`LikelyHappenedBefore` wraps those probabilities as the
+   ``likely-happened-before`` relation.
+3. :class:`TournamentGraph` keeps, for every pair, the direction with the
+   higher probability and extracts a linear order (topological order of the
+   transitive tournament; cycle-breaking heuristics from
+   :mod:`repro.core.cycles` otherwise, §3.4).
+4. :func:`form_batches` inserts a batch boundary between adjacent messages
+   whose preceding-probability exceeds the confidence threshold (§3.4).
+5. :class:`TommySequencer` packages 1–4 as an offline sequencer;
+   :class:`OnlineTommySequencer` adds safe batch emission and arrival
+   completeness tracking (§3.5, Appendix C).
+
+Extensions sketched by the paper and implemented here: fair total order via
+stochastic tie-breaking (:mod:`repro.core.total_order`) and Byzantine
+timestamp auditing (:mod:`repro.core.byzantine`).
+
+Timestamp-error convention
+--------------------------
+Throughout this package a client's *clock error distribution* is the
+distribution of ``epsilon = reported_timestamp - true_time`` — exactly what
+:class:`repro.clocks.LocalClock` samples and what probe-based learners
+estimate.  The paper's ``theta`` (true minus reported) is the negation; all
+formulas here are derived for the ``epsilon`` convention so that clocks,
+learners and the sequencer agree without sign gymnastics at call sites.
+"""
+
+from repro.core.config import TommyConfig
+from repro.core.probability import PrecedenceModel, gaussian_preceding_probability
+from repro.core.relation import LikelyHappenedBefore, PairProbability
+from repro.core.tournament import TournamentGraph
+from repro.core.cycles import (
+    CycleResolution,
+    break_cycles_greedy,
+    break_cycles_stochastic,
+    eades_linear_arrangement,
+)
+from repro.core.batching import BatchingOutcome, form_batches
+from repro.core.sequencer import TommySequencer
+from repro.core.online import EmittedBatch, OnlineTommySequencer
+from repro.core.total_order import FairTotalOrder, TieBreakRecord
+from repro.core.byzantine import ByzantineAuditor, TimestampAuditVerdict
+
+__all__ = [
+    "TommyConfig",
+    "PrecedenceModel",
+    "gaussian_preceding_probability",
+    "LikelyHappenedBefore",
+    "PairProbability",
+    "TournamentGraph",
+    "CycleResolution",
+    "break_cycles_greedy",
+    "break_cycles_stochastic",
+    "eades_linear_arrangement",
+    "BatchingOutcome",
+    "form_batches",
+    "TommySequencer",
+    "OnlineTommySequencer",
+    "EmittedBatch",
+    "FairTotalOrder",
+    "TieBreakRecord",
+    "ByzantineAuditor",
+    "TimestampAuditVerdict",
+]

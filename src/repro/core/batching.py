@@ -1,0 +1,127 @@
+"""Threshold batching of a linear message order (paper §3.4).
+
+Given the extracted linear order and the preceding-probabilities of adjacent
+messages, a batch boundary is inserted between messages ``i`` and ``j``
+whenever ``P(i precedes j) > threshold``.  Messages that cannot be separated
+confidently share a batch; batches receive consecutive ranks starting at 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.relation import LikelyHappenedBefore, MessageKey
+from repro.network.message import SequencedBatch, TimestampedMessage
+
+
+@dataclass(frozen=True)
+class BatchingOutcome:
+    """Batches plus the boundary decisions that produced them."""
+
+    batches: Tuple[SequencedBatch, ...]
+    boundary_probabilities: Tuple[float, ...]
+    threshold: float
+
+    @property
+    def batch_count(self) -> int:
+        """Number of batches."""
+        return len(self.batches)
+
+    @property
+    def batch_sizes(self) -> Tuple[int, ...]:
+        """Batch sizes in rank order."""
+        return tuple(batch.size for batch in self.batches)
+
+    @property
+    def largest_batch(self) -> int:
+        """Size of the largest batch (0 when there are no batches)."""
+        return max(self.batch_sizes, default=0)
+
+    @property
+    def singleton_fraction(self) -> float:
+        """Fraction of batches containing exactly one message (ideal fairness)."""
+        if not self.batches:
+            return 0.0
+        singles = sum(1 for batch in self.batches if batch.size == 1)
+        return singles / len(self.batches)
+
+
+def _strict_boundary_strengths(order: Sequence[MessageKey], relation: LikelyHappenedBefore) -> List[float]:
+    """Strength of every potential boundary under the strict (all-pairs) rule.
+
+    The strength of the boundary after position ``k`` is
+    ``min_{i <= k < j} P(order[i] precedes order[j])`` — the least confident
+    pair straddling the boundary.  Computed in O(n^2) with a running
+    column-minimum.
+    """
+    n = len(order)
+    if n < 2:
+        return []
+    strengths = [float("inf")] * (n - 1)
+    # column_min[j] = min over i <= k of P(order[i] -> order[j]); updated as k grows
+    column_min = [float("inf")] * n
+    for k in range(n - 1):
+        for j in range(k + 1, n):
+            probability = relation.probability(order[k], order[j])
+            if probability < column_min[j]:
+                column_min[j] = probability
+        strengths[k] = min(column_min[k + 1 :])
+    return strengths
+
+
+def form_batches(
+    order: Sequence[MessageKey],
+    relation: LikelyHappenedBefore,
+    threshold: float,
+    mode: str = "adjacent",
+) -> BatchingOutcome:
+    """Split ``order`` into ranked batches at confident boundaries.
+
+    Parameters
+    ----------
+    order:
+        Linear order of message keys (from the tournament stage).
+    relation:
+        The likely-happened-before relation supplying pair probabilities.
+    threshold:
+        Boundary confidence threshold in ``[0.5, 1)``; the paper uses 0.75.
+    mode:
+        ``"adjacent"`` (paper §3.4): a boundary is created between adjacent
+        messages ``i, j`` whenever ``P(i precedes j) > threshold``.
+        ``"strict"`` (paper Appendix C / online sequencing): a boundary is
+        only created when *every* pair straddling it exceeds the threshold,
+        so a single high-uncertainty message pulls otherwise-separable
+        messages into its batch.
+    """
+    if not 0.5 <= threshold < 1.0:
+        raise ValueError(f"threshold must be in [0.5, 1), got {threshold!r}")
+    if mode not in {"adjacent", "strict"}:
+        raise ValueError(f"unknown batching mode {mode!r}")
+    order = list(order)
+    if not order:
+        return BatchingOutcome(batches=(), boundary_probabilities=(), threshold=threshold)
+
+    if mode == "adjacent":
+        boundary_strengths = [
+            relation.probability(earlier_key, later_key)
+            for earlier_key, later_key in zip(order, order[1:])
+        ]
+    else:
+        boundary_strengths = _strict_boundary_strengths(order, relation)
+
+    groups: List[List[TimestampedMessage]] = [[relation.message(order[0])]]
+    for strength, later_key in zip(boundary_strengths, order[1:]):
+        if strength > threshold:
+            groups.append([relation.message(later_key)])
+        else:
+            groups[-1].append(relation.message(later_key))
+
+    batches = tuple(
+        SequencedBatch(rank=rank, messages=tuple(group)) for rank, group in enumerate(groups)
+    )
+    return BatchingOutcome(
+        batches=batches,
+        boundary_probabilities=tuple(boundary_strengths),
+        threshold=threshold,
+    )

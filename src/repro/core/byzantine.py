@@ -1,0 +1,148 @@
+"""Byzantine-client timestamp auditing (paper §5, "Byzantine Clients").
+
+In auction-apps a client has an incentive to back-date its timestamps to win
+trades.  A full Byzantine-ordered-consensus treatment (Pompe) is out of
+scope; this module implements the mitigation direction the paper sketches:
+the sequencer cross-checks every reported timestamp against the message's
+arrival time.  Because ``arrival = true_time + network_delay`` and
+``reported = true_time + eps``, the difference ``reported - arrival`` must lie
+in ``[q_lo(eps) - max_delay, q_hi(eps) - min_delay]`` for an honest client.
+Violations accumulate into a per-client suspicion score; policies can clamp
+implausible timestamps or exclude repeat offenders.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.distributions.base import OffsetDistribution
+from repro.network.message import TimestampedMessage
+
+
+@dataclass(frozen=True)
+class TimestampAuditVerdict:
+    """The auditor's judgement for one message."""
+
+    message_key: Tuple[str, int]
+    client_id: str
+    plausible: bool
+    deviation: float
+    lower_bound: float
+    upper_bound: float
+    clamped_timestamp: Optional[float] = None
+
+    @property
+    def suspicious(self) -> bool:
+        """Convenience alias: the message failed the plausibility check."""
+        return not self.plausible
+
+
+class ByzantineAuditor:
+    """Per-message timestamp plausibility checks with per-client scoring."""
+
+    def __init__(
+        self,
+        client_distributions: Dict[str, OffsetDistribution],
+        min_network_delay: float = 0.0,
+        max_network_delay: float = 1.0,
+        tail_probability: float = 1e-4,
+        exclusion_threshold: int = 3,
+    ) -> None:
+        if max_network_delay < min_network_delay:
+            raise ValueError("max_network_delay must be >= min_network_delay")
+        if min_network_delay < 0:
+            raise ValueError("min_network_delay must be non-negative")
+        if not 0.0 < tail_probability < 0.5:
+            raise ValueError("tail_probability must be in (0, 0.5)")
+        if exclusion_threshold < 1:
+            raise ValueError("exclusion_threshold must be at least 1")
+        self._distributions = dict(client_distributions)
+        self._min_delay = float(min_network_delay)
+        self._max_delay = float(max_network_delay)
+        self._tail = float(tail_probability)
+        self._exclusion_threshold = int(exclusion_threshold)
+        self._violations: Dict[str, int] = defaultdict(int)
+        self._checks: Dict[str, int] = defaultdict(int)
+        self._verdicts: List[TimestampAuditVerdict] = []
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def exclusion_threshold(self) -> int:
+        """Number of violations after which a client is excluded."""
+        return self._exclusion_threshold
+
+    def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
+        """Add or replace a client's clock-error distribution."""
+        self._distributions[client_id] = distribution
+
+    def violation_count(self, client_id: str) -> int:
+        """Number of implausible timestamps observed from ``client_id``."""
+        return self._violations.get(client_id, 0)
+
+    def suspicion_score(self, client_id: str) -> float:
+        """Fraction of audited messages from ``client_id`` that were implausible."""
+        checks = self._checks.get(client_id, 0)
+        if checks == 0:
+            return 0.0
+        return self._violations.get(client_id, 0) / checks
+
+    def is_excluded(self, client_id: str) -> bool:
+        """True once a client's violations reach the exclusion threshold."""
+        return self._violations.get(client_id, 0) >= self._exclusion_threshold
+
+    def excluded_clients(self) -> List[str]:
+        """All clients currently excluded."""
+        return sorted(client for client in self._violations if self.is_excluded(client))
+
+    @property
+    def verdicts(self) -> List[TimestampAuditVerdict]:
+        """All verdicts issued so far."""
+        return list(self._verdicts)
+
+    # ----------------------------------------------------------------- audit
+    def plausible_bounds(self, client_id: str) -> Tuple[float, float]:
+        """Plausible range of ``reported - arrival`` for an honest client."""
+        if client_id not in self._distributions:
+            raise KeyError(f"no clock-error distribution registered for client {client_id!r}")
+        distribution = self._distributions[client_id]
+        eps_lo = distribution.quantile(self._tail)
+        eps_hi = distribution.quantile(1.0 - self._tail)
+        return (eps_lo - self._max_delay, eps_hi - self._min_delay)
+
+    def audit(self, message: TimestampedMessage, arrival_time: float) -> TimestampAuditVerdict:
+        """Audit one message given its sequencer-clock arrival time."""
+        lower, upper = self.plausible_bounds(message.client_id)
+        deviation = message.timestamp - float(arrival_time)
+        plausible = lower <= deviation <= upper
+        clamped: Optional[float] = None
+        if not plausible:
+            clamped = float(arrival_time) + (lower if deviation < lower else upper)
+        self._checks[message.client_id] += 1
+        if not plausible:
+            self._violations[message.client_id] += 1
+        verdict = TimestampAuditVerdict(
+            message_key=message.key,
+            client_id=message.client_id,
+            plausible=plausible,
+            deviation=deviation,
+            lower_bound=lower,
+            upper_bound=upper,
+            clamped_timestamp=clamped,
+        )
+        self._verdicts.append(verdict)
+        return verdict
+
+    def sanitize(self, message: TimestampedMessage, arrival_time: float) -> Optional[TimestampedMessage]:
+        """Audit and mitigate: clamp implausible timestamps, drop excluded clients.
+
+        Returns ``None`` when the client is excluded, the original message
+        when it is plausible, and a timestamp-clamped copy otherwise.
+        """
+        verdict = self.audit(message, arrival_time)
+        if self.is_excluded(message.client_id):
+            return None
+        if verdict.plausible:
+            return message
+        return message.with_timestamp(verdict.clamped_timestamp)

@@ -1,0 +1,160 @@
+"""Cycle-breaking policies for intransitive likely-happened-before relations.
+
+The paper (§3.4) observes that the likely-happened-before relation is not
+necessarily transitive, so the kept-edge tournament may be cyclic and a
+minimum feedback arc set is NP-hard to find.  Three practical policies are
+provided:
+
+* :func:`break_cycles_greedy` — repeatedly remove the lowest-probability edge
+  that participates in a cycle (a deterministic approximation of the minimum
+  feedback arc set, biased toward ignoring the least-confident precedences).
+* :func:`break_cycles_stochastic` — remove a random cycle edge with
+  probability proportional to ``1 - p``; over many sequencing rounds no
+  client's confident precedences are systematically discarded, realising the
+  "stochastic fairness" direction the paper sketches.
+* :func:`eades_linear_arrangement` — the Eades–Lin–Smyth greedy linear
+  arrangement; edges pointing backwards in that arrangement form a feedback
+  arc set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.core.relation import MessageKey, PairProbability
+
+
+@dataclass(frozen=True)
+class CycleResolution:
+    """Outcome of a cycle-breaking pass."""
+
+    removed_edges: Tuple[PairProbability, ...]
+    policy: str
+    was_cyclic: bool
+
+    @property
+    def removed_probability_mass(self) -> float:
+        """Sum of probabilities of the removed (ignored) edges."""
+        return float(sum(edge.probability for edge in self.removed_edges))
+
+
+def _find_cycle(graph: nx.DiGraph) -> Optional[List[Tuple[MessageKey, MessageKey]]]:
+    try:
+        return [(u, v) for u, v, _direction in nx.find_cycle(graph, orientation="original")]
+    except nx.NetworkXNoCycle:
+        return None
+
+
+def break_cycles_greedy(graph: nx.DiGraph) -> CycleResolution:
+    """Remove the minimum-probability edge of some cycle until acyclic.
+
+    Mutates ``graph`` in place and returns the removed edges.
+    """
+    removed: List[PairProbability] = []
+    was_cyclic = not nx.is_directed_acyclic_graph(graph)
+    while True:
+        cycle = _find_cycle(graph)
+        if cycle is None:
+            break
+        weakest = min(cycle, key=lambda edge: graph.edges[edge]["probability"])
+        probability = float(graph.edges[weakest]["probability"])
+        graph.remove_edge(*weakest)
+        removed.append(PairProbability(source=weakest[0], target=weakest[1], probability=probability))
+    return CycleResolution(removed_edges=tuple(removed), policy="greedy", was_cyclic=was_cyclic)
+
+
+def break_cycles_stochastic(graph: nx.DiGraph, rng: np.random.Generator) -> CycleResolution:
+    """Remove a randomly chosen edge of each cycle, biased toward low probability.
+
+    Each cycle edge is selected with probability proportional to ``1 - p``
+    (plus a small floor so certain edges are never impossible to remove),
+    yielding long-run stochastic fairness across repeated sequencing rounds.
+    """
+    removed: List[PairProbability] = []
+    was_cyclic = not nx.is_directed_acyclic_graph(graph)
+    while True:
+        cycle = _find_cycle(graph)
+        if cycle is None:
+            break
+        weights = np.asarray(
+            [1.0 - float(graph.edges[edge]["probability"]) + 1e-6 for edge in cycle], dtype=float
+        )
+        weights = weights / weights.sum()
+        index = int(rng.choice(len(cycle), p=weights))
+        victim = cycle[index]
+        probability = float(graph.edges[victim]["probability"])
+        graph.remove_edge(*victim)
+        removed.append(PairProbability(source=victim[0], target=victim[1], probability=probability))
+    return CycleResolution(removed_edges=tuple(removed), policy="stochastic", was_cyclic=was_cyclic)
+
+
+def eades_linear_arrangement(graph: nx.DiGraph) -> List[MessageKey]:
+    """Eades–Lin–Smyth greedy linear arrangement of a directed graph.
+
+    Produces an ordering of the nodes such that the set of edges pointing
+    backwards (from a later to an earlier node) is a small feedback arc set.
+    The input graph is not modified.
+    """
+    working = graph.copy()
+    left: List[MessageKey] = []
+    right: List[MessageKey] = []
+    while working.number_of_nodes():
+        # peel off sinks to the right
+        progressed = True
+        while progressed:
+            progressed = False
+            sinks = [node for node in working.nodes if working.out_degree(node) == 0]
+            for sink in sorted(sinks):
+                right.append(sink)
+                working.remove_node(sink)
+                progressed = True
+            sources = [node for node in working.nodes if working.in_degree(node) == 0]
+            for source in sorted(sources):
+                left.append(source)
+                working.remove_node(source)
+                progressed = True
+        if not working.number_of_nodes():
+            break
+        # pick the node maximising out-degree minus in-degree
+        best = max(
+            working.nodes,
+            key=lambda node: (working.out_degree(node) - working.in_degree(node), node),
+        )
+        left.append(best)
+        working.remove_node(best)
+    return left + list(reversed(right))
+
+
+def remove_backward_edges(graph: nx.DiGraph, order: List[MessageKey]) -> CycleResolution:
+    """Remove every edge pointing backwards with respect to ``order``."""
+    position: Dict[MessageKey, int] = {node: index for index, node in enumerate(order)}
+    was_cyclic = not nx.is_directed_acyclic_graph(graph)
+    removed: List[PairProbability] = []
+    for source, target in list(graph.edges):
+        if position[source] > position[target]:
+            probability = float(graph.edges[source, target]["probability"])
+            graph.remove_edge(source, target)
+            removed.append(PairProbability(source=source, target=target, probability=probability))
+    return CycleResolution(removed_edges=tuple(removed), policy="eades", was_cyclic=was_cyclic)
+
+
+def resolve_cycles(
+    graph: nx.DiGraph, policy: str, rng: Optional[np.random.Generator] = None
+) -> CycleResolution:
+    """Apply the configured cycle-breaking ``policy`` to ``graph`` in place."""
+    if nx.is_directed_acyclic_graph(graph):
+        return CycleResolution(removed_edges=(), policy=policy, was_cyclic=False)
+    if policy == "greedy":
+        return break_cycles_greedy(graph)
+    if policy == "stochastic":
+        if rng is None:
+            rng = np.random.default_rng(0)
+        return break_cycles_stochastic(graph, rng)
+    if policy == "eades":
+        order = eades_linear_arrangement(graph)
+        return remove_backward_edges(graph, order)
+    raise ValueError(f"unknown cycle policy {policy!r}")

@@ -1,0 +1,308 @@
+"""Online Tommy sequencing (paper §3.5 and Appendix C).
+
+The online sequencer receives a stream of timestamped messages and
+heartbeats and must decide *when* a batch can be emitted such that no later
+arrival belongs in it or deserves a lower rank.  Two mechanisms interact:
+
+* **Safe emission time (Q1).**  For every message ``k`` in the candidate
+  batch a future time ``T^F_k`` is computed with
+  ``P(T*_k < T^F_k) > p_safe``; the batch's safe emission time is
+  ``T_b = max_k T^F_k``.  The batch is only emitted once the sequencer's
+  clock reaches ``T_b`` and no newer pending message belongs to it.
+* **Arrival completeness (Q2).**  With ordered per-client channels and a
+  known client set, all messages timestamped <= ``t`` have arrived once every
+  client has been heard from (message or heartbeat) with a timestamp > ``t``.
+  A bounded-delay alternative waits ``max_network_delay`` instead.
+
+Every new arrival re-runs tentative batching over the pending set, so a
+high-uncertainty message automatically merges with (and thereby delays)
+messages it cannot be confidently ordered against — the Appendix C scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.batching import form_batches
+from repro.core.config import TommyConfig
+from repro.core.cycles import resolve_cycles
+from repro.core.probability import PrecedenceModel
+from repro.core.relation import LikelyHappenedBefore
+from repro.core.tournament import TournamentGraph
+from repro.distributions.base import OffsetDistribution
+from repro.network.message import Heartbeat, SequencedBatch, TimestampedMessage
+from repro.sequencers.base import SequencingResult
+from repro.simulation.entity import Entity
+from repro.simulation.event_loop import Event, EventLoop
+
+
+@dataclass(frozen=True)
+class EmittedBatch:
+    """An emitted batch plus its emission bookkeeping."""
+
+    batch: SequencedBatch
+    emitted_at: float
+    safe_emission_time: float
+
+    @property
+    def rank(self) -> int:
+        """Rank of the emitted batch."""
+        return self.batch.rank
+
+    @property
+    def size(self) -> int:
+        """Number of messages in the batch."""
+        return self.batch.size
+
+    def emission_latencies(self) -> List[float]:
+        """Per-message latency from ground-truth generation to emission."""
+        return [
+            self.emitted_at - message.true_time
+            for message in self.batch.messages
+            if message.true_time is not None
+        ]
+
+
+class OnlineTommySequencer(Entity):
+    """Streaming fair sequencer with safe batch emission."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        client_distributions: Dict[str, OffsetDistribution],
+        config: Optional[TommyConfig] = None,
+        known_clients: Optional[Sequence[str]] = None,
+        name: str = "tommy-online",
+    ) -> None:
+        super().__init__(loop, name)
+        self._config = config if config is not None else TommyConfig()
+        self._model = PrecedenceModel(
+            method=self._config.probability_method,
+            convolution_points=self._config.convolution_points,
+        )
+        for client_id, distribution in client_distributions.items():
+            self._model.register_client(client_id, distribution)
+        self._rng = np.random.default_rng(self._config.seed if self._config.seed is not None else 0)
+        self._known_clients = set(known_clients) if known_clients is not None else set(client_distributions)
+        self._pending: List[TimestampedMessage] = []
+        self._arrival_times: Dict[Tuple[str, int], float] = {}
+        self._latest_client_timestamp: Dict[str, float] = {}
+        self._emitted: List[EmittedBatch] = []
+        self._next_rank = 0
+        self._check_event: Optional[Event] = None
+        self._extension_count = 0
+        self._forced_emissions = 0
+
+    # ------------------------------------------------------------- properties
+    @property
+    def config(self) -> TommyConfig:
+        """The sequencer configuration."""
+        return self._config
+
+    @property
+    def model(self) -> PrecedenceModel:
+        """Preceding-probability model."""
+        return self._model
+
+    @property
+    def pending_messages(self) -> List[TimestampedMessage]:
+        """Messages received but not yet emitted."""
+        return list(self._pending)
+
+    @property
+    def emitted_batches(self) -> List[EmittedBatch]:
+        """Batches emitted so far, in rank order."""
+        return list(self._emitted)
+
+    @property
+    def extension_count(self) -> int:
+        """How many times a scheduled emission was deferred by new arrivals."""
+        return self._extension_count
+
+    @property
+    def forced_emissions(self) -> int:
+        """Batches emitted by the ``max_batch_age`` liveness guard."""
+        return self._forced_emissions
+
+    def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
+        """Register a (new) client's clock-error distribution."""
+        self._model.register_client(client_id, distribution)
+        self._known_clients.add(client_id)
+
+    # ---------------------------------------------------------------- intake
+    def receive(self, item: Union[TimestampedMessage, Heartbeat], arrival_time: Optional[float] = None) -> None:
+        """Handle an arriving message or heartbeat.
+
+        Designed to be wired directly into
+        :meth:`repro.network.transport.SequencerEndpoint.on_arrival`.
+        """
+        arrival = self.now if arrival_time is None else float(arrival_time)
+        if isinstance(item, Heartbeat):
+            self._note_client_progress(item.client_id, item.timestamp)
+        elif isinstance(item, TimestampedMessage):
+            if not self._model.has_client(item.client_id):
+                raise KeyError(f"client {item.client_id!r} has no registered clock-error distribution")
+            self._pending.append(item)
+            self._arrival_times[item.key] = arrival
+            self._note_client_progress(item.client_id, item.timestamp)
+        else:
+            raise TypeError(f"unsupported item type {type(item).__name__}")
+        self._schedule_check()
+
+    def _note_client_progress(self, client_id: str, timestamp: float) -> None:
+        current = self._latest_client_timestamp.get(client_id, -float("inf"))
+        if timestamp > current:
+            self._latest_client_timestamp[client_id] = timestamp
+        self._known_clients.add(client_id)
+
+    # ----------------------------------------------------- tentative batching
+    def _tentative_groups(self) -> List[List[TimestampedMessage]]:
+        """Batching of the current pending set.
+
+        Always uses the *strict* batching rule: a batch boundary requires
+        every straddling pair to be confident.  This is what makes a single
+        high-uncertainty message pull later messages into its batch (the
+        Appendix C scenario) and what makes emitting the first batch safe.
+        """
+        if not self._pending:
+            return []
+        relation = LikelyHappenedBefore.from_model(self._pending, self._model)
+        tournament = TournamentGraph.from_relation(relation, tie_epsilon=self._config.tie_epsilon)
+        resolve_cycles(tournament.graph, self._config.cycle_policy, rng=self._rng)
+        order = tournament.topological_order()
+        outcome = form_batches(order, relation, self._config.threshold, mode="strict")
+        return [list(batch.messages) for batch in outcome.batches]
+
+    def safe_emission_time(self, batch: Sequence[TimestampedMessage]) -> float:
+        """``T_b = max_k T^F_k`` over the batch (paper §3.5)."""
+        if not batch:
+            raise ValueError("cannot compute a safe emission time for an empty batch")
+        return max(self._model.safe_emission_time(message, self._config.p_safe) for message in batch)
+
+    def _completeness_satisfied(self, batch: Sequence[TimestampedMessage]) -> bool:
+        mode = self._config.completeness_mode
+        if mode == "none":
+            return True
+        batch_horizon = max(message.timestamp for message in batch)
+        if mode == "heartbeat":
+            if not self._known_clients:
+                return True
+            # On an ordered channel, having heard from a client at timestamp
+            # >= horizon means none of its messages timestamped below the
+            # horizon are still in flight (per-client FIFO + monotone
+            # per-client timestamps).
+            return all(
+                self._latest_client_timestamp.get(client_id, -float("inf")) >= batch_horizon
+                for client_id in self._known_clients
+            )
+        # bounded_delay: all messages timestamped <= batch_horizon have arrived
+        # once the sequencer clock passes batch_horizon + max one-way delay.
+        return self.now >= batch_horizon + self._config.max_network_delay
+
+    # ---------------------------------------------------------------- emission
+    def _schedule_check(self, at: Optional[float] = None) -> None:
+        when = self.now if at is None else max(float(at), self.now)
+        if self._check_event is not None and not self._check_event.cancelled:
+            if self._check_event.time <= when:
+                self._extension_count += 1
+            self.cancel(self._check_event)
+        self._check_event = self.call_at(when, self._emission_check)
+
+    def _batch_age(self, candidate: Sequence[TimestampedMessage]) -> float:
+        """Age (seconds) of the candidate's oldest arrival at the sequencer."""
+        arrivals = [
+            self._arrival_times.get(message.key, self.now) for message in candidate
+        ]
+        return self.now - min(arrivals)
+
+    def _emission_check(self) -> None:
+        self._check_event = None
+        emitted_any = True
+        while emitted_any and self._pending:
+            emitted_any = False
+            groups = self._tentative_groups()
+            if not groups:
+                return
+            candidate = groups[0]
+            safe_time = self.safe_emission_time(candidate)
+            max_age = self._config.max_batch_age
+            if max_age is not None and self._batch_age(candidate) >= max_age:
+                # liveness guard: a failed client or adverse arrival pattern must
+                # not block the sequencer forever (paper §3.5 liveness caveat)
+                self._forced_emissions += 1
+                self._emit(candidate, safe_time)
+                emitted_any = True
+                continue
+            if self.now >= safe_time and self._completeness_satisfied(candidate):
+                self._emit(candidate, safe_time)
+                emitted_any = True
+            elif self.now < safe_time:
+                self._schedule_check(min(safe_time, self._forced_deadline(candidate, safe_time)))
+                return
+            elif self._config.completeness_mode == "bounded_delay":
+                # completeness will be satisfied by the passage of time alone
+                horizon = max(message.timestamp for message in candidate)
+                deadline = horizon + self._config.max_network_delay
+                self._schedule_check(min(deadline, self._forced_deadline(candidate, deadline)))
+                return
+            else:
+                # waiting on completeness; a future heartbeat/message (or the
+                # liveness guard's deadline) will trigger the next check
+                if max_age is not None:
+                    self._schedule_check(self._forced_deadline(candidate, float("inf")))
+                return
+
+    def _forced_deadline(self, candidate: Sequence[TimestampedMessage], fallback: float) -> float:
+        """Absolute time at which the liveness guard would force emission."""
+        if self._config.max_batch_age is None:
+            return fallback
+        oldest_arrival = min(
+            self._arrival_times.get(message.key, self.now) for message in candidate
+        )
+        return oldest_arrival + self._config.max_batch_age
+
+    def _emit(self, candidate: List[TimestampedMessage], safe_time: float) -> None:
+        batch = SequencedBatch(rank=self._next_rank, messages=tuple(candidate), emitted_at=self.now)
+        self._emitted.append(EmittedBatch(batch=batch, emitted_at=self.now, safe_emission_time=safe_time))
+        self._next_rank += 1
+        emitted_keys = {message.key for message in candidate}
+        self._pending = [message for message in self._pending if message.key not in emitted_keys]
+
+    def flush(self) -> List[EmittedBatch]:
+        """Force-emit everything still pending (end of an experiment run).
+
+        The remaining messages are batched exactly as the offline pipeline
+        would batch them, ignoring safe-emission waits and completeness.
+        """
+        for group in self._tentative_groups():
+            self._emit(group, safe_time=self.now)
+        return self.emitted_batches
+
+    # ------------------------------------------------------------------ views
+    def arrival_time_of(self, message: TimestampedMessage) -> Optional[float]:
+        """True arrival time of ``message`` at the sequencer, if it arrived."""
+        return self._arrival_times.get(message.key)
+
+    def result(self) -> SequencingResult:
+        """The emitted batches as a :class:`SequencingResult`."""
+        batches = tuple(emitted.batch for emitted in self._emitted)
+        metadata = {
+            "sequencer": "tommy-online",
+            "p_safe": self._config.p_safe,
+            "threshold": self._config.threshold,
+            "completeness_mode": self._config.completeness_mode,
+            "extensions": self._extension_count,
+            "forced_emissions": self._forced_emissions,
+            "pending": len(self._pending),
+        }
+        return SequencingResult(batches=batches, metadata=metadata)
+
+    def emission_latencies(self) -> List[float]:
+        """Per-message generation-to-emission latencies across all emitted batches."""
+        latencies: List[float] = []
+        for emitted in self._emitted:
+            latencies.extend(emitted.emission_latencies())
+        return latencies

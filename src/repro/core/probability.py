@@ -1,0 +1,165 @@
+"""Preceding-probability computation (paper §3.2 and §3.3).
+
+Given messages ``i`` and ``j`` with reported timestamps ``T_i`` and ``T_j``
+and per-client clock-error distributions ``f_i`` and ``f_j`` (of
+``epsilon = reported - true``), the probability that ``i`` was truly
+generated before ``j`` is::
+
+    P(T*_i < T*_j | T_i, T_j) = P(T_i - eps_i < T_j - eps_j)
+                              = P(eps_j - eps_i < T_j - T_i)
+                              = CDF_{delta}(T_j - T_i),   delta = eps_j - eps_i
+
+For independent Gaussian errors this is the closed form
+``Phi((T_j - T_i - (mu_j - mu_i)) / sqrt(sigma_i^2 + sigma_j^2))``;
+otherwise the difference density is obtained by (FFT) convolution of the two
+error densities (:mod:`repro.distributions.difference`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.distributions.base import OffsetDistribution
+from repro.distributions.difference import DifferenceDistribution, difference_distribution
+from repro.distributions.parametric import GaussianDistribution
+from repro.network.message import TimestampedMessage
+
+
+def _standard_normal_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def gaussian_preceding_probability(
+    timestamp_i: float,
+    timestamp_j: float,
+    dist_i: GaussianDistribution,
+    dist_j: GaussianDistribution,
+) -> float:
+    """Closed-form preceding probability for Gaussian clock errors.
+
+    Matches the paper's §3.2 expression (stated there in the ``theta = -epsilon``
+    convention); derived here for the ``epsilon = reported - true`` convention.
+    """
+    variance = dist_i.variance + dist_j.variance
+    gap = timestamp_j - timestamp_i - (dist_j.mean - dist_i.mean)
+    if variance <= 0:
+        if gap > 0:
+            return 1.0
+        if gap < 0:
+            return 0.0
+        return 0.5
+    return _standard_normal_cdf(gap / math.sqrt(variance))
+
+
+class PrecedenceModel:
+    """Computes preceding-probabilities from per-client error distributions.
+
+    The model caches the pairwise difference distribution for each ordered
+    client pair so that sequencing ``n`` messages from ``c`` clients costs at
+    most ``c^2`` convolutions regardless of ``n`` (the optimisation paper
+    §3.3 motivates with FFT).
+    """
+
+    def __init__(self, method: str = "auto", convolution_points: int = 2048) -> None:
+        if method not in {"auto", "gaussian", "fft", "direct"}:
+            raise ValueError(f"unknown method {method!r}")
+        self._method = method
+        self._points = int(convolution_points)
+        self._distributions: Dict[str, OffsetDistribution] = {}
+        self._pair_cache: Dict[Tuple[str, str], DifferenceDistribution] = {}
+        self._probability_evaluations = 0
+
+    # --------------------------------------------------------------- clients
+    @property
+    def method(self) -> str:
+        """Probability computation method."""
+        return self._method
+
+    @property
+    def client_ids(self) -> Tuple[str, ...]:
+        """Registered client ids (sorted)."""
+        return tuple(sorted(self._distributions))
+
+    @property
+    def probability_evaluations(self) -> int:
+        """Number of pairwise probability evaluations performed."""
+        return self._probability_evaluations
+
+    def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
+        """Register (or replace) the clock-error distribution of ``client_id``.
+
+        Replacing a distribution invalidates the cached pairwise differences
+        involving that client.
+        """
+        if not client_id:
+            raise ValueError("client_id must be non-empty")
+        self._distributions[client_id] = distribution
+        self._pair_cache = {
+            pair: diff for pair, diff in self._pair_cache.items() if client_id not in pair
+        }
+
+    def has_client(self, client_id: str) -> bool:
+        """True when a distribution is registered for ``client_id``."""
+        return client_id in self._distributions
+
+    def distribution_for(self, client_id: str) -> OffsetDistribution:
+        """The registered error distribution of ``client_id``."""
+        try:
+            return self._distributions[client_id]
+        except KeyError:
+            raise KeyError(f"no clock-error distribution registered for client {client_id!r}") from None
+
+    # --------------------------------------------------------- probabilities
+    def pair_difference(self, client_i: str, client_j: str) -> DifferenceDistribution:
+        """Distribution of ``eps_j - eps_i`` for the ordered client pair."""
+        key = (client_i, client_j)
+        if key not in self._pair_cache:
+            dist_i = self.distribution_for(client_i)
+            dist_j = self.distribution_for(client_j)
+            self._pair_cache[key] = difference_distribution(
+                dist_i, dist_j, method=self._method, num_points=self._points
+            )
+        return self._pair_cache[key]
+
+    def preceding_probability(self, message_i: TimestampedMessage, message_j: TimestampedMessage) -> float:
+        """``P(message_i generated before message_j)`` from timestamps alone."""
+        return self.preceding_probability_for(
+            message_i.client_id, message_i.timestamp, message_j.client_id, message_j.timestamp
+        )
+
+    def preceding_probability_for(
+        self,
+        client_i: str,
+        timestamp_i: float,
+        client_j: str,
+        timestamp_j: float,
+    ) -> float:
+        """Preceding probability given raw client ids and timestamps."""
+        self._probability_evaluations += 1
+        dist_i = self.distribution_for(client_i)
+        dist_j = self.distribution_for(client_j)
+        use_closed_form = (
+            self._method in {"auto", "gaussian"}
+            and isinstance(dist_i, GaussianDistribution)
+            and isinstance(dist_j, GaussianDistribution)
+        )
+        if use_closed_form:
+            return gaussian_preceding_probability(timestamp_i, timestamp_j, dist_i, dist_j)
+        difference = self.pair_difference(client_i, client_j)
+        return difference.cdf(timestamp_j - timestamp_i)
+
+    # ------------------------------------------------------ safe-emission T^F
+    def safe_emission_time(self, message: TimestampedMessage, p_safe: float) -> float:
+        """Future (sequencer-clock) time ``T^F`` with ``P(T* < T^F) > p_safe``.
+
+        Because ``T* = T - eps``, ``P(T* < T^F) = P(eps > T - T^F)`` and the
+        smallest safe ``T^F`` is ``T - Q_eps(1 - p_safe)`` where ``Q_eps`` is
+        the error distribution's quantile function (paper §3.5 suggests a
+        binary search; the quantile is that search done once per
+        distribution).
+        """
+        if not 0.5 < p_safe < 1.0:
+            raise ValueError(f"p_safe must be in (0.5, 1), got {p_safe!r}")
+        distribution = self.distribution_for(message.client_id)
+        return message.timestamp - distribution.quantile(1.0 - p_safe)

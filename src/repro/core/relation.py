@@ -1,0 +1,128 @@
+"""The likely-happened-before relation.
+
+``i --p--> j`` states that message ``i`` happened before message ``j`` with
+probability ``p`` (paper §1, §3).  :class:`LikelyHappenedBefore` materialises
+the relation over a finite message set by querying a
+:class:`~repro.core.probability.PrecedenceModel` for every unordered pair and
+keeping both directed probabilities (they sum to 1 under the continuous-clock
+assumption of no exact ties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.probability import PrecedenceModel
+from repro.network.message import TimestampedMessage
+
+MessageKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class PairProbability:
+    """Directed pair ``source --probability--> target``."""
+
+    source: MessageKey
+    target: MessageKey
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability!r}")
+
+    @property
+    def reversed_probability(self) -> float:
+        """Probability of the opposite direction (``1 - probability``)."""
+        return 1.0 - self.probability
+
+
+class LikelyHappenedBefore:
+    """All pairwise likely-happened-before probabilities for a message set."""
+
+    def __init__(self, messages: Sequence[TimestampedMessage], probabilities: Dict[Tuple[MessageKey, MessageKey], float]) -> None:
+        self._messages: Dict[MessageKey, TimestampedMessage] = {message.key: message for message in messages}
+        if len(self._messages) != len(messages):
+            raise ValueError("duplicate message keys in relation")
+        self._probabilities = dict(probabilities)
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def from_model(
+        cls, messages: Sequence[TimestampedMessage], model: PrecedenceModel
+    ) -> "LikelyHappenedBefore":
+        """Evaluate the relation for every unordered message pair."""
+        messages = list(messages)
+        probabilities: Dict[Tuple[MessageKey, MessageKey], float] = {}
+        for index_i in range(len(messages)):
+            for index_j in range(index_i + 1, len(messages)):
+                message_i = messages[index_i]
+                message_j = messages[index_j]
+                p = model.preceding_probability(message_i, message_j)
+                probabilities[(message_i.key, message_j.key)] = p
+                probabilities[(message_j.key, message_i.key)] = 1.0 - p
+        return cls(messages, probabilities)
+
+    @classmethod
+    def from_matrix(
+        cls, messages: Sequence[TimestampedMessage], matrix: Sequence[Sequence[float]]
+    ) -> "LikelyHappenedBefore":
+        """Build the relation from an explicit probability matrix.
+
+        ``matrix[i][j]`` is the probability that ``messages[i]`` precedes
+        ``messages[j]`` (diagonal entries ignored).  This is how the
+        Appendix B worked example is expressed.
+        """
+        messages = list(messages)
+        n = len(messages)
+        if len(matrix) != n or any(len(row) != n for row in matrix):
+            raise ValueError("matrix must be square and match the number of messages")
+        probabilities: Dict[Tuple[MessageKey, MessageKey], float] = {}
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                p = float(matrix[i][j])
+                if not 0.0 <= p <= 1.0:
+                    raise ValueError(f"matrix[{i}][{j}] = {p!r} is not a probability")
+                probabilities[(messages[i].key, messages[j].key)] = p
+        # verify (approximate) complementarity
+        for i in range(n):
+            for j in range(i + 1, n):
+                forward = probabilities[(messages[i].key, messages[j].key)]
+                backward = probabilities[(messages[j].key, messages[i].key)]
+                if abs(forward + backward - 1.0) > 1e-6:
+                    raise ValueError(
+                        f"matrix entries ({i},{j}) and ({j},{i}) must sum to 1, got {forward} + {backward}"
+                    )
+        return cls(messages, probabilities)
+
+    # --------------------------------------------------------------- queries
+    @property
+    def message_keys(self) -> List[MessageKey]:
+        """Keys of all messages in the relation."""
+        return list(self._messages)
+
+    def message(self, key: MessageKey) -> TimestampedMessage:
+        """The message object for ``key``."""
+        return self._messages[key]
+
+    def messages(self) -> List[TimestampedMessage]:
+        """All messages in the relation."""
+        return list(self._messages.values())
+
+    def probability(self, source: MessageKey, target: MessageKey) -> float:
+        """``P(source happened before target)``."""
+        return self._probabilities[(source, target)]
+
+    def pairs(self) -> Iterator[PairProbability]:
+        """Iterate over every directed pair."""
+        for (source, target), probability in self._probabilities.items():
+            yield PairProbability(source=source, target=target, probability=probability)
+
+    def confident_pairs(self, threshold: float) -> List[PairProbability]:
+        """Directed pairs whose probability strictly exceeds ``threshold``."""
+        return [pair for pair in self.pairs() if pair.probability > threshold]
+
+    def __len__(self) -> int:
+        return len(self._messages)

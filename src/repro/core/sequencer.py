@@ -1,0 +1,104 @@
+"""The offline Tommy sequencer (paper §3.1–§3.4).
+
+``TommySequencer`` assumes all messages are present (the paper's §3
+assumption, lifted by :mod:`repro.core.online`), computes the
+likely-happened-before relation over them, extracts a linear order from the
+kept-edge tournament (breaking cycles per the configured policy when the
+relation is intransitive) and forms ranked batches at the confidence
+threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.batching import form_batches
+from repro.core.config import TommyConfig
+from repro.core.cycles import resolve_cycles
+from repro.core.probability import PrecedenceModel
+from repro.core.relation import LikelyHappenedBefore
+from repro.core.tournament import TournamentGraph
+from repro.distributions.base import OffsetDistribution
+from repro.network.message import TimestampedMessage
+from repro.sequencers.base import OfflineSequencer, SequencingResult
+
+
+class TommySequencer(OfflineSequencer):
+    """Probabilistic fair sequencer operating on a complete message set."""
+
+    name = "tommy"
+
+    def __init__(
+        self,
+        client_distributions: Optional[Dict[str, OffsetDistribution]] = None,
+        config: Optional[TommyConfig] = None,
+    ) -> None:
+        self._config = config if config is not None else TommyConfig()
+        self._model = PrecedenceModel(
+            method=self._config.probability_method,
+            convolution_points=self._config.convolution_points,
+        )
+        self._rng = np.random.default_rng(self._config.seed if self._config.seed is not None else 0)
+        for client_id, distribution in (client_distributions or {}).items():
+            self._model.register_client(client_id, distribution)
+
+    # ----------------------------------------------------------- registration
+    @property
+    def config(self) -> TommyConfig:
+        """The sequencer's configuration."""
+        return self._config
+
+    @property
+    def model(self) -> PrecedenceModel:
+        """The underlying preceding-probability model."""
+        return self._model
+
+    def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
+        """Register or update a client's clock-error distribution."""
+        self._model.register_client(client_id, distribution)
+
+    # ------------------------------------------------------------- sequencing
+    def relation_for(self, messages: Sequence[TimestampedMessage]) -> LikelyHappenedBefore:
+        """Likely-happened-before relation over ``messages``."""
+        return LikelyHappenedBefore.from_model(list(messages), self._model)
+
+    def sequence(self, messages: Sequence[TimestampedMessage]) -> SequencingResult:
+        messages = self._validate(messages)
+        if not messages:
+            return SequencingResult(batches=(), metadata={"sequencer": self.name})
+        for message in messages:
+            if not self._model.has_client(message.client_id):
+                raise KeyError(
+                    f"client {message.client_id!r} has no registered clock-error distribution"
+                )
+
+        relation = self.relation_for(messages)
+        return self.sequence_relation(relation)
+
+    def sequence_relation(self, relation: LikelyHappenedBefore) -> SequencingResult:
+        """Sequence messages given an already-computed relation.
+
+        This entry point supports the Appendix-B style workflow where the
+        pairwise probabilities are supplied directly as a matrix.
+        """
+        tournament = TournamentGraph.from_relation(relation, tie_epsilon=self._config.tie_epsilon)
+        transitive = tournament.is_transitive_tournament()
+        resolution = resolve_cycles(tournament.graph, self._config.cycle_policy, rng=self._rng)
+        order = tournament.topological_order()
+        outcome = form_batches(order, relation, self._config.threshold, mode=self._config.batching_mode)
+        metadata = {
+            "sequencer": self.name,
+            "threshold": self._config.threshold,
+            "transitive": transitive,
+            "was_cyclic": resolution.was_cyclic,
+            "cycle_policy": resolution.policy,
+            "removed_edges": len(resolution.removed_edges),
+            "removed_probability_mass": resolution.removed_probability_mass,
+            "tie_count": tournament.tie_count,
+            "linear_order": [key for key in order],
+            "boundary_probabilities": list(outcome.boundary_probabilities),
+            "batch_sizes": list(outcome.batch_sizes),
+        }
+        return SequencingResult(batches=outcome.batches, metadata=metadata)

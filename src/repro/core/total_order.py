@@ -1,0 +1,90 @@
+"""Fair total order extension (paper §5, "Extension to Fair Total Order").
+
+Tommy emits ranked batches (a fair partial order).  Some applications need a
+total order on messages.  Breaking ties inside a batch arbitrarily would let
+some clients systematically win, so ties are broken *uniformly at random*;
+over many batches no client is preferred, which is the stochastic-fairness
+property the paper suggests.  :class:`FairTotalOrder` performs the tie-break
+and keeps per-client win/loss statistics so experiments (and tests) can check
+the long-run fairness claim.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.message import SequencedBatch, TimestampedMessage
+from repro.sequencers.base import SequencingResult
+
+
+@dataclass(frozen=True)
+class TieBreakRecord:
+    """Bookkeeping for one batch's tie-break."""
+
+    rank: int
+    batch_size: int
+    winner_client: str
+    order: Tuple[Tuple[str, int], ...]
+
+
+class FairTotalOrder:
+    """Randomised tie-breaking of batches into a total message order."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._records: List[TieBreakRecord] = []
+        self._first_counts: Dict[str, int] = defaultdict(int)
+        self._appearance_counts: Dict[str, int] = defaultdict(int)
+
+    # --------------------------------------------------------------- shuffle
+    def order_batch(self, batch: SequencedBatch) -> List[TimestampedMessage]:
+        """Return the batch's messages in a uniformly random order."""
+        messages = list(batch.messages)
+        permutation = self._rng.permutation(len(messages))
+        ordered = [messages[index] for index in permutation]
+        for message in messages:
+            self._appearance_counts[message.client_id] += 1
+        self._first_counts[ordered[0].client_id] += 1
+        self._records.append(
+            TieBreakRecord(
+                rank=batch.rank,
+                batch_size=batch.size,
+                winner_client=ordered[0].client_id,
+                order=tuple(message.key for message in ordered),
+            )
+        )
+        return ordered
+
+    def totalize(self, result: SequencingResult) -> List[TimestampedMessage]:
+        """Flatten a batched sequencing result into a total order."""
+        total: List[TimestampedMessage] = []
+        for batch in result.batches:
+            total.extend(self.order_batch(batch))
+        return total
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def records(self) -> List[TieBreakRecord]:
+        """All tie-break records so far."""
+        return list(self._records)
+
+    def first_position_share(self) -> Dict[str, float]:
+        """Fraction of batches each client won the first position of.
+
+        Only batches the client actually appeared in are counted in its
+        denominator, so under uniform tie-breaking the share converges to
+        ``1 / batch_size`` for symmetric workloads.
+        """
+        shares: Dict[str, float] = {}
+        for client, appearances in self._appearance_counts.items():
+            if appearances:
+                shares[client] = self._first_counts.get(client, 0) / appearances
+        return shares
+
+    def win_counts(self) -> Dict[str, int]:
+        """Raw first-position counts per client."""
+        return dict(self._first_counts)

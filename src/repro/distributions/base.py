@@ -1,0 +1,115 @@
+"""Abstract interfaces for clock-offset distributions."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class DistributionError(ValueError):
+    """Raised for invalid distribution parameters or unusable supports."""
+
+
+class OffsetDistribution(abc.ABC):
+    """A probability distribution over a client's clock offset (seconds).
+
+    Implementations must provide a PDF, a CDF, sampling, the first two
+    moments, and a finite numerical support used when a distribution has to
+    be discretised (for FFT convolution of non-Gaussian offsets).
+    """
+
+    #: human-readable distribution family name
+    family: str = "abstract"
+
+    # ----------------------------------------------------------------- stats
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected value of the offset."""
+
+    @property
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Variance of the offset."""
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the offset."""
+        return float(np.sqrt(self.variance))
+
+    # ------------------------------------------------------------- densities
+    @abc.abstractmethod
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        """Probability density evaluated element-wise at ``x``."""
+
+    @abc.abstractmethod
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Cumulative distribution evaluated element-wise at ``x``."""
+
+    def sf(self, x: np.ndarray) -> np.ndarray:
+        """Survival function ``1 - cdf(x)``."""
+        return 1.0 - self.cdf(x)
+
+    def quantile(self, q: float) -> float:
+        """Approximate inverse CDF by bisection over the numerical support."""
+        if not 0.0 <= q <= 1.0:
+            raise DistributionError(f"quantile level must be in [0, 1], got {q!r}")
+        lo, hi = self.support()
+        if q <= 0.0:
+            return lo
+        if q >= 1.0:
+            return hi
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if float(self.cdf(np.asarray(mid))) < q:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    # -------------------------------------------------------------- sampling
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw samples using ``rng``; scalar when ``size`` is ``None``."""
+
+    # --------------------------------------------------------------- support
+    def support(self, coverage: float = 1.0 - 1e-9) -> Tuple[float, float]:
+        """Finite interval containing ``coverage`` of the probability mass.
+
+        The default uses a mean +/- k*std bound suitable for light-tailed
+        distributions; heavy-tailed implementations should override it.
+        """
+        if coverage <= 0.0 or coverage > 1.0:
+            raise DistributionError(f"coverage must be in (0, 1], got {coverage!r}")
+        k = max(8.0, np.sqrt(2.0 / max(1.0 - coverage, 1e-12)))
+        spread = self.std if self.std > 0 else 1e-9
+        return (self.mean - k * spread, self.mean + k * spread)
+
+    def grid(self, num_points: int = 4096, coverage: float = 1.0 - 1e-9) -> Tuple[np.ndarray, np.ndarray]:
+        """Discretise the PDF on an evenly spaced grid covering the support."""
+        if num_points < 8:
+            raise DistributionError("grid needs at least 8 points")
+        lo, hi = self.support(coverage)
+        xs = np.linspace(lo, hi, num_points)
+        return xs, self.pdf(xs)
+
+    # ------------------------------------------------------------ operations
+    def negated(self) -> "OffsetDistribution":
+        """Distribution of ``-X`` where ``X`` follows this distribution."""
+        from repro.distributions.empirical import EmpiricalDistribution
+
+        xs, ps = self.grid()
+        return EmpiricalDistribution.from_density(-xs[::-1], ps[::-1])
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<{type(self).__name__} mean={self.mean:.3e} std={self.std:.3e}>"
+
+
+class SampledDistribution(OffsetDistribution):
+    """Mixin for distributions defined by, or reducible to, raw samples."""
+
+    @abc.abstractmethod
+    def samples(self) -> np.ndarray:
+        """Return the underlying (or representative) sample array."""

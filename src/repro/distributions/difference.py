@@ -1,0 +1,104 @@
+"""Distribution of the difference of two clock offsets.
+
+``DifferenceDistribution`` wraps the density of ``delta = theta_j - theta_i``
+and exposes the tail integral the sequencer needs for the
+preceding-probability (paper §3.2):
+
+``P(T*_i < T*_j | T_i, T_j) = P(delta > T_i - T_j) = 1 - CDF_delta(T_i - T_j)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.distributions.base import DistributionError, OffsetDistribution
+from repro.distributions.convolution import convolve_direct, convolve_fft
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.parametric import GaussianDistribution
+
+
+class DifferenceDistribution:
+    """The distribution of ``theta_j - theta_i`` for one ordered client pair."""
+
+    def __init__(self, distribution: OffsetDistribution, exact: bool = False) -> None:
+        self._distribution = distribution
+        self._exact = bool(exact)
+
+    @property
+    def distribution(self) -> OffsetDistribution:
+        """The underlying distribution object for ``delta``."""
+        return self._distribution
+
+    @property
+    def exact(self) -> bool:
+        """True when the density is a closed form (Gaussian), not a numerical grid."""
+        return self._exact
+
+    @property
+    def mean(self) -> float:
+        """Mean of ``delta``."""
+        return self._distribution.mean
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of ``delta``."""
+        return self._distribution.std
+
+    def tail_probability(self, threshold: float) -> float:
+        """``P(delta > threshold)`` — the preceding-probability integrand."""
+        return float(np.clip(self._distribution.sf(np.asarray(threshold, dtype=float)), 0.0, 1.0))
+
+    def cdf(self, x: float) -> float:
+        """``P(delta <= x)``."""
+        return float(np.clip(self._distribution.cdf(np.asarray(x, dtype=float)), 0.0, 1.0))
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF of ``delta``."""
+        return self._distribution.quantile(q)
+
+
+def gaussian_difference(dist_i: GaussianDistribution, dist_j: GaussianDistribution) -> DifferenceDistribution:
+    """Closed-form difference for independent Gaussian offsets.
+
+    ``theta_j - theta_i ~ N(mu_j - mu_i, sigma_i^2 + sigma_j^2)``.
+    """
+    mean = dist_j.mean - dist_i.mean
+    std = float(np.sqrt(dist_i.variance + dist_j.variance))
+    return DifferenceDistribution(GaussianDistribution(mean, std), exact=True)
+
+
+def difference_distribution(
+    dist_i: OffsetDistribution,
+    dist_j: OffsetDistribution,
+    method: str = "auto",
+    num_points: int = 2048,
+) -> DifferenceDistribution:
+    """Compute the distribution of ``theta_j - theta_i``.
+
+    Parameters
+    ----------
+    method:
+        ``"auto"`` uses the Gaussian closed form when both inputs are
+        Gaussian and FFT convolution otherwise; ``"gaussian"`` forces the
+        closed form (raising if the inputs are not Gaussian); ``"fft"`` and
+        ``"direct"`` force the corresponding numerical path.
+    num_points:
+        Grid resolution for the numerical paths.
+    """
+    if method not in {"auto", "gaussian", "fft", "direct"}:
+        raise DistributionError(f"unknown method {method!r}")
+
+    both_gaussian = isinstance(dist_i, GaussianDistribution) and isinstance(dist_j, GaussianDistribution)
+    if method == "gaussian" and not both_gaussian:
+        raise DistributionError("gaussian method requires Gaussian inputs")
+    if method in {"auto", "gaussian"} and both_gaussian:
+        return gaussian_difference(dist_i, dist_j)
+
+    if method == "direct":
+        deltas, density = convolve_direct(dist_i, dist_j, num_points=min(num_points, 2048))
+    else:
+        deltas, density = convolve_fft(dist_i, dist_j, num_points=num_points)
+    return DifferenceDistribution(EmpiricalDistribution.from_density(deltas, density), exact=False)

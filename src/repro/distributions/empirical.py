@@ -1,0 +1,138 @@
+"""Empirical (data-driven) offset distributions.
+
+Clients that learn their offset distribution from synchronization probes
+(paper §3.3, §5) produce empirical distributions: either a histogram of raw
+probe offsets or a discretised density obtained from convolution.  Both are
+represented here by a piecewise-linear density on an even grid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.distributions.base import DistributionError, SampledDistribution
+
+
+class EmpiricalDistribution(SampledDistribution):
+    """Distribution represented by a density tabulated on an even grid."""
+
+    family = "empirical"
+
+    def __init__(self, grid_x: np.ndarray, density: np.ndarray, samples: Optional[np.ndarray] = None) -> None:
+        grid_x = np.asarray(grid_x, dtype=float)
+        density = np.asarray(density, dtype=float)
+        if grid_x.ndim != 1 or density.ndim != 1 or grid_x.size != density.size:
+            raise DistributionError("grid and density must be 1-D arrays of equal length")
+        if grid_x.size < 2:
+            raise DistributionError("empirical distribution needs at least 2 grid points")
+        if np.any(np.diff(grid_x) <= 0):
+            raise DistributionError("grid must be strictly increasing")
+        if np.any(density < -1e-12):
+            raise DistributionError("density must be non-negative")
+        density = np.clip(density, 0.0, None)
+        mass = np.trapezoid(density, grid_x)
+        if mass <= 0:
+            raise DistributionError("density integrates to zero")
+        self._x = grid_x
+        self._pdf = density / mass
+        # cumulative trapezoid
+        increments = 0.5 * (self._pdf[1:] + self._pdf[:-1]) * np.diff(self._x)
+        self._cdf = np.concatenate([[0.0], np.cumsum(increments)])
+        self._cdf = self._cdf / self._cdf[-1]
+        self._samples = None if samples is None else np.asarray(samples, dtype=float)
+        self._mean = float(np.trapezoid(self._x * self._pdf, self._x))
+        second = float(np.trapezoid(self._x ** 2 * self._pdf, self._x))
+        self._variance = max(second - self._mean ** 2, 0.0)
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def from_samples(cls, samples: np.ndarray, bins: int = 128, padding: float = 0.05) -> "EmpiricalDistribution":
+        """Build a histogram-based density from raw offset samples."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.size < 2:
+            raise DistributionError("need at least 2 samples")
+        lo, hi = float(samples.min()), float(samples.max())
+        span = max(hi - lo, 1e-12)
+        lo -= padding * span
+        hi += padding * span
+        counts, edges = np.histogram(samples, bins=bins, range=(lo, hi), density=True)
+        centers = 0.5 * (edges[1:] + edges[:-1])
+        # ensure strictly positive mass even for degenerate histograms
+        if counts.sum() == 0:
+            counts = np.ones_like(counts)
+        return cls(centers, counts, samples=samples)
+
+    @classmethod
+    def from_density(cls, grid_x: np.ndarray, density: np.ndarray) -> "EmpiricalDistribution":
+        """Wrap an already-computed density (e.g. the output of a convolution)."""
+        return cls(np.asarray(grid_x, dtype=float), np.asarray(density, dtype=float))
+
+    @classmethod
+    def from_kde(cls, samples: np.ndarray, num_points: int = 512, bandwidth: Optional[float] = None) -> "EmpiricalDistribution":
+        """Gaussian kernel density estimate over ``samples``."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.size < 2:
+            raise DistributionError("need at least 2 samples")
+        std = float(samples.std())
+        if std == 0:
+            std = 1e-9
+        if bandwidth is None:
+            bandwidth = 1.06 * std * samples.size ** (-1.0 / 5.0)
+        bandwidth = max(float(bandwidth), 1e-12)
+        lo = float(samples.min()) - 4 * bandwidth
+        hi = float(samples.max()) + 4 * bandwidth
+        xs = np.linspace(lo, hi, num_points)
+        diffs = (xs[:, None] - samples[None, :]) / bandwidth
+        density = np.exp(-0.5 * diffs ** 2).sum(axis=1) / (samples.size * bandwidth * np.sqrt(2 * np.pi))
+        return cls(xs, density, samples=samples)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def grid_x(self) -> np.ndarray:
+        """Grid points the density is tabulated on."""
+        return self._x.copy()
+
+    @property
+    def density(self) -> np.ndarray:
+        """Normalised density values at :attr:`grid_x`."""
+        return self._pdf.copy()
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return self._variance
+
+    def samples(self) -> np.ndarray:
+        """Raw samples if the distribution was built from samples, else the grid."""
+        if self._samples is not None:
+            return self._samples.copy()
+        return self._x.copy()
+
+    # ------------------------------------------------------------- densities
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return np.interp(x, self._x, self._pdf, left=0.0, right=0.0)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return np.interp(x, self._x, self._cdf, left=0.0, right=1.0)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise DistributionError(f"quantile level must be in [0, 1], got {q!r}")
+        return float(np.interp(q, self._cdf, self._x))
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        if self._samples is not None and self._samples.size >= 8:
+            # bootstrap resampling from the observed probes
+            return rng.choice(self._samples, size=size, replace=True)
+        qs = rng.uniform(0.0, 1.0, size=size)
+        return np.interp(qs, self._cdf, self._x)
+
+    def support(self, coverage: float = 1.0 - 1e-9) -> Tuple[float, float]:
+        return (float(self._x[0]), float(self._x[-1]))

@@ -1,0 +1,156 @@
+"""Learning clock-offset distributions from synchronization-probe samples.
+
+Paper §5 ("Learning Clock Offsets Distributions"): every synchronization
+probe yields one offset observation; clients accumulate probes and estimate
+their offset distribution, then ship the estimate (not the raw probes) to the
+sequencer.  This module provides parametric and non-parametric estimators,
+and a small model-selection helper that picks the best fit by log-likelihood
+with a complexity penalty (AIC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.distributions.base import DistributionError, OffsetDistribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.parametric import (
+    GaussianDistribution,
+    LaplaceDistribution,
+    ShiftedLogNormalDistribution,
+    UniformDistribution,
+)
+
+
+@dataclass(frozen=True)
+class DistributionEstimate:
+    """An estimated offset distribution plus goodness-of-fit diagnostics."""
+
+    distribution: OffsetDistribution
+    family: str
+    sample_count: int
+    log_likelihood: float
+    aic: float
+
+    @property
+    def mean(self) -> float:
+        """Mean of the estimated distribution."""
+        return self.distribution.mean
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the estimated distribution."""
+        return self.distribution.std
+
+
+def _require_samples(samples: np.ndarray, minimum: int) -> np.ndarray:
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 1:
+        raise DistributionError("samples must be a 1-D array")
+    if samples.size < minimum:
+        raise DistributionError(f"need at least {minimum} samples, got {samples.size}")
+    if not np.all(np.isfinite(samples)):
+        raise DistributionError("samples must be finite")
+    return samples
+
+
+def _log_likelihood(dist: OffsetDistribution, samples: np.ndarray) -> float:
+    densities = np.clip(dist.pdf(samples), 1e-300, None)
+    return float(np.log(densities).sum())
+
+
+def estimate_gaussian(samples: np.ndarray) -> DistributionEstimate:
+    """Fit a Gaussian by maximum likelihood (sample mean / std)."""
+    samples = _require_samples(samples, 2)
+    mean = float(samples.mean())
+    std = float(samples.std(ddof=1))
+    if std <= 0:
+        std = 1e-9
+    dist = GaussianDistribution(mean, std)
+    ll = _log_likelihood(dist, samples)
+    return DistributionEstimate(dist, "gaussian", samples.size, ll, 2 * 2 - 2 * ll)
+
+
+def estimate_laplace(samples: np.ndarray) -> DistributionEstimate:
+    """Fit a Laplace distribution (median / mean absolute deviation)."""
+    samples = _require_samples(samples, 2)
+    loc = float(np.median(samples))
+    scale = float(np.mean(np.abs(samples - loc)))
+    if scale <= 0:
+        scale = 1e-9
+    dist = LaplaceDistribution(loc, scale)
+    ll = _log_likelihood(dist, samples)
+    return DistributionEstimate(dist, "laplace", samples.size, ll, 2 * 2 - 2 * ll)
+
+
+def estimate_uniform(samples: np.ndarray) -> DistributionEstimate:
+    """Fit a uniform distribution to the sample range (with a small margin)."""
+    samples = _require_samples(samples, 2)
+    lo, hi = float(samples.min()), float(samples.max())
+    span = max(hi - lo, 1e-12)
+    margin = span / samples.size
+    dist = UniformDistribution(lo - margin, hi + margin)
+    ll = _log_likelihood(dist, samples)
+    return DistributionEstimate(dist, "uniform", samples.size, ll, 2 * 2 - 2 * ll)
+
+
+def estimate_lognormal(samples: np.ndarray) -> DistributionEstimate:
+    """Fit a shifted log-normal to capture skewed, long-right-tail offsets."""
+    samples = _require_samples(samples, 4)
+    shift = float(samples.min()) - 1e-6 - 0.05 * float(samples.std() + 1e-12)
+    shifted = samples - shift
+    logs = np.log(np.clip(shifted, 1e-12, None))
+    mu = float(logs.mean())
+    sigma = float(logs.std(ddof=1))
+    if sigma <= 0:
+        sigma = 1e-6
+    dist = ShiftedLogNormalDistribution(shift, mu, sigma)
+    ll = _log_likelihood(dist, samples)
+    return DistributionEstimate(dist, "shifted-lognormal", samples.size, ll, 2 * 3 - 2 * ll)
+
+
+def estimate_empirical(samples: np.ndarray, bins: int = 64, kde: bool = False) -> DistributionEstimate:
+    """Non-parametric estimate (histogram by default, KDE when ``kde=True``)."""
+    samples = _require_samples(samples, 2)
+    if kde:
+        dist: OffsetDistribution = EmpiricalDistribution.from_kde(samples)
+    else:
+        dist = EmpiricalDistribution.from_samples(samples, bins=bins)
+    ll = _log_likelihood(dist, samples)
+    # penalise by the number of occupied bins as a crude parameter count
+    k = bins if not kde else samples.size
+    return DistributionEstimate(dist, "empirical", samples.size, ll, 2 * k - 2 * ll)
+
+
+def fit_best_distribution(samples: np.ndarray, candidates: Optional[Dict[str, bool]] = None) -> DistributionEstimate:
+    """Fit several parametric families and return the lowest-AIC estimate.
+
+    ``candidates`` maps family name to a boolean enabling that family; by
+    default Gaussian, Laplace, uniform and shifted log-normal are tried.
+    """
+    samples = _require_samples(samples, 4)
+    enabled = {"gaussian": True, "laplace": True, "uniform": True, "shifted-lognormal": True}
+    if candidates:
+        enabled.update(candidates)
+
+    estimators = {
+        "gaussian": estimate_gaussian,
+        "laplace": estimate_laplace,
+        "uniform": estimate_uniform,
+        "shifted-lognormal": estimate_lognormal,
+    }
+    estimates = []
+    for family, estimator in estimators.items():
+        if not enabled.get(family, False):
+            continue
+        try:
+            estimates.append(estimator(samples))
+        except (DistributionError, ValueError):
+            continue
+    if not estimates:
+        raise DistributionError("no candidate family could be fitted")
+    return min(estimates, key=lambda estimate: estimate.aic)

@@ -1,0 +1,88 @@
+"""Mixture distributions for multi-modal clock-offset behaviour.
+
+A client whose synchronization path flips between two routes (or whose host
+alternates between idle and loaded states) exhibits a bimodal offset
+distribution; mixtures model that directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions.base import DistributionError, OffsetDistribution
+
+
+class MixtureDistribution(OffsetDistribution):
+    """Finite mixture ``sum_k w_k * component_k``."""
+
+    family = "mixture"
+
+    def __init__(self, components: Sequence[OffsetDistribution], weights: Sequence[float]) -> None:
+        if len(components) == 0:
+            raise DistributionError("mixture needs at least one component")
+        if len(components) != len(weights):
+            raise DistributionError("components and weights must have the same length")
+        weights = np.asarray(weights, dtype=float)
+        if np.any(weights < 0):
+            raise DistributionError("mixture weights must be non-negative")
+        total = float(weights.sum())
+        if total <= 0:
+            raise DistributionError("mixture weights must not all be zero")
+        self._components = list(components)
+        self._weights = weights / total
+
+    @property
+    def components(self) -> Tuple[OffsetDistribution, ...]:
+        """The mixture components."""
+        return tuple(self._components)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalised mixture weights."""
+        return self._weights.copy()
+
+    @property
+    def mean(self) -> float:
+        return float(sum(w * c.mean for w, c in zip(self._weights, self._components)))
+
+    @property
+    def variance(self) -> float:
+        mean = self.mean
+        second_moment = sum(
+            w * (c.variance + c.mean ** 2) for w, c in zip(self._weights, self._components)
+        )
+        return float(second_moment - mean ** 2)
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        total = np.zeros_like(x, dtype=float)
+        for weight, component in zip(self._weights, self._components):
+            total = total + weight * component.pdf(x)
+        return total
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        total = np.zeros_like(x, dtype=float)
+        for weight, component in zip(self._weights, self._components):
+            total = total + weight * component.cdf(x)
+        return total
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        if size is None:
+            index = rng.choice(len(self._components), p=self._weights)
+            return self._components[index].sample(rng)
+        counts = rng.multinomial(size, self._weights)
+        draws = [
+            np.asarray(component.sample(rng, size=count), dtype=float)
+            for component, count in zip(self._components, counts)
+            if count > 0
+        ]
+        values = np.concatenate(draws) if draws else np.empty(0)
+        rng.shuffle(values)
+        return values
+
+    def support(self, coverage: float = 1.0 - 1e-9) -> Tuple[float, float]:
+        bounds = [component.support(coverage) for component in self._components]
+        return (min(lo for lo, _ in bounds), max(hi for _, hi in bounds))

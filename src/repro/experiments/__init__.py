@@ -1,0 +1,42 @@
+"""Experiment harness reproducing the paper's evaluation.
+
+* :mod:`repro.experiments.figure5` regenerates Figure 5 (RAS of Tommy vs the
+  TrueTime baseline as clock standard deviation and the inter-message gap
+  vary).
+* :mod:`repro.experiments.ablations` contains the ablation sweeps the paper's
+  discussion motivates: batching threshold, p_safe, non-Gaussian
+  distributions, learned vs seeded distributions, client-count scaling, and
+  the FIFO/WFO baselines.
+* :mod:`repro.experiments.runner` runs one scenario through any set of
+  sequencers and collects the metric bundle.
+* :mod:`repro.experiments.reporting` renders result rows as aligned text
+  tables or CSV for EXPERIMENTS.md.
+"""
+
+from repro.experiments.runner import SequencerComparison, run_comparison
+from repro.experiments.figure5 import Figure5Point, Figure5Settings, run_figure5
+from repro.experiments.ablations import (
+    run_baseline_comparison,
+    run_distribution_ablation,
+    run_learning_ablation,
+    run_psafe_sweep,
+    run_scaling_sweep,
+    run_threshold_sweep,
+)
+from repro.experiments.reporting import format_table, rows_to_csv
+
+__all__ = [
+    "SequencerComparison",
+    "run_comparison",
+    "Figure5Point",
+    "Figure5Settings",
+    "run_figure5",
+    "run_threshold_sweep",
+    "run_psafe_sweep",
+    "run_distribution_ablation",
+    "run_learning_ablation",
+    "run_scaling_sweep",
+    "run_baseline_comparison",
+    "format_table",
+    "rows_to_csv",
+]

@@ -1,0 +1,47 @@
+"""Plain-text and CSV rendering of experiment result rows."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render dictionaries as an aligned, monospaced table.
+
+    All rows must share the same keys (the first row's key order is used).
+    """
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    headers = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != headers:
+            raise ValueError("all rows must have the same keys in the same order")
+    columns = {header: [str(row[header]) for row in rows] for header in headers}
+    widths = {header: max(len(header), *(len(value) for value in columns[header])) for header in headers}
+
+    def render_row(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[header]) for header, value in zip(headers, values))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append(render_row(["-" * widths[header] for header in headers]))
+    for row in rows:
+        lines.append(render_row([str(row[header]) for header in headers]))
+    return "\n".join(lines) + "\n"
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dictionaries as CSV text (header + one line per row)."""
+    if not rows:
+        return ""
+    headers = list(rows[0].keys())
+    buffer = io.StringIO()
+    buffer.write(",".join(headers) + "\n")
+    for row in rows:
+        if list(row.keys()) != headers:
+            raise ValueError("all rows must have the same keys in the same order")
+        buffer.write(",".join(str(row[header]) for header in headers) + "\n")
+    return buffer.getvalue()

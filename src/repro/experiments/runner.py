@@ -1,0 +1,67 @@
+"""Run one scenario through several sequencers and collect metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.batching_stats import BatchStatistics, batch_statistics
+from repro.metrics.kendall import kendall_tau_from_result
+from repro.metrics.pairwise import PairwiseStats, pairwise_stats
+from repro.metrics.ras import RankAgreementBreakdown, rank_agreement_score
+from repro.network.message import TimestampedMessage
+from repro.sequencers.base import OfflineSequencer, SequencingResult
+from repro.workloads.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class SequencerComparison:
+    """Metrics of one sequencer on one scenario."""
+
+    sequencer_name: str
+    ras: RankAgreementBreakdown
+    pairwise: PairwiseStats
+    kendall_distance: float
+    batches: BatchStatistics
+    result: SequencingResult
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary suitable for report tables."""
+        return {
+            "sequencer": self.sequencer_name,
+            "ras": self.ras.score,
+            "ras_normalized": round(self.ras.normalized_score, 4),
+            "correct_pairs": self.ras.correct_pairs,
+            "incorrect_pairs": self.ras.incorrect_pairs,
+            "indifferent_pairs": self.ras.indifferent_pairs,
+            "accuracy": round(self.pairwise.accuracy, 4),
+            "kendall_distance": round(self.kendall_distance, 4),
+            "batches": self.batches.batch_count,
+            "mean_batch_size": round(self.batches.mean_size, 3),
+        }
+
+
+def evaluate_result(
+    name: str, result: SequencingResult, messages: Sequence[TimestampedMessage]
+) -> SequencerComparison:
+    """Score an existing sequencing result against ground truth."""
+    return SequencerComparison(
+        sequencer_name=name,
+        ras=rank_agreement_score(result, messages),
+        pairwise=pairwise_stats(result, messages),
+        kendall_distance=kendall_tau_from_result(result, messages),
+        batches=batch_statistics(result),
+        result=result,
+    )
+
+
+def run_comparison(
+    scenario: Scenario, sequencers: Dict[str, OfflineSequencer]
+) -> List[SequencerComparison]:
+    """Sequence the scenario's messages with every sequencer and score each."""
+    messages = list(scenario.messages)
+    comparisons: List[SequencerComparison] = []
+    for name, sequencer in sequencers.items():
+        result = sequencer.sequence(messages)
+        comparisons.append(evaluate_result(name, result, messages))
+    return comparisons

@@ -1,0 +1,32 @@
+"""Fairness and ordering quality metrics.
+
+The headline metric is the paper's Rank Agreement Score (RAS, §4): for every
+pair of messages, +1 when the sequencer orders them as the omniscient
+observer would, -1 when it inverts them, and 0 when it is indifferent (same
+batch).  Supporting metrics: normalised RAS, pairwise accuracy/inversion
+rates, Kendall-tau distance against the ground-truth order, batch-size
+statistics, per-client fairness summaries and emission-latency summaries for
+online sequencing.
+"""
+
+from repro.metrics.ras import RankAgreementBreakdown, rank_agreement_score
+from repro.metrics.pairwise import PairwiseStats, pairwise_stats
+from repro.metrics.kendall import kendall_tau_distance, kendall_tau_from_result
+from repro.metrics.batching_stats import BatchStatistics, batch_statistics
+from repro.metrics.fairness import ClientFairness, per_client_fairness
+from repro.metrics.latency import LatencySummary, summarize_latencies
+
+__all__ = [
+    "RankAgreementBreakdown",
+    "rank_agreement_score",
+    "PairwiseStats",
+    "pairwise_stats",
+    "kendall_tau_distance",
+    "kendall_tau_from_result",
+    "BatchStatistics",
+    "batch_statistics",
+    "ClientFairness",
+    "per_client_fairness",
+    "LatencySummary",
+    "summarize_latencies",
+]

@@ -1,0 +1,59 @@
+"""Batch-size statistics for a sequencing result.
+
+The paper argues that fairness improves with smaller batches ("Ideally, each
+batch should be of size 1", §3.4), so batch-size statistics are the natural
+companion to RAS when sweeping the confidence threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.sequencers.base import SequencingResult
+
+
+@dataclass(frozen=True)
+class BatchStatistics:
+    """Summary of the batch-size distribution of one sequencing result."""
+
+    batch_count: int
+    message_count: int
+    mean_size: float
+    max_size: int
+    singleton_fraction: float
+    size_p50: float
+    size_p95: float
+
+    @property
+    def batches_per_message(self) -> float:
+        """Granularity measure in ``(0, 1]``: 1.0 means a total order."""
+        if self.message_count == 0:
+            return 0.0
+        return self.batch_count / self.message_count
+
+
+def batch_statistics(result: SequencingResult) -> BatchStatistics:
+    """Compute :class:`BatchStatistics` for ``result``."""
+    sizes = np.asarray(result.batch_sizes, dtype=float)
+    if sizes.size == 0:
+        return BatchStatistics(
+            batch_count=0,
+            message_count=0,
+            mean_size=0.0,
+            max_size=0,
+            singleton_fraction=0.0,
+            size_p50=0.0,
+            size_p95=0.0,
+        )
+    return BatchStatistics(
+        batch_count=int(sizes.size),
+        message_count=int(sizes.sum()),
+        mean_size=float(sizes.mean()),
+        max_size=int(sizes.max()),
+        singleton_fraction=float(np.mean(sizes == 1)),
+        size_p50=float(np.percentile(sizes, 50)),
+        size_p95=float(np.percentile(sizes, 95)),
+    )

@@ -1,0 +1,95 @@
+"""Per-client fairness accounting.
+
+A sequencer can look accurate in aggregate while systematically disadvantaging
+one client (for instance the client with the noisiest clock).  These metrics
+break the pairwise outcome down per client: how often each client's messages
+were ranked too late (disadvantaged) or too early (advantaged) relative to
+the omniscient order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.network.message import TimestampedMessage
+from repro.sequencers.base import SequencingResult
+
+
+@dataclass(frozen=True)
+class ClientFairness:
+    """Pair-level outcome counts attributed to one client."""
+
+    client_id: str
+    advantaged_pairs: int
+    disadvantaged_pairs: int
+    correct_pairs: int
+    indifferent_pairs: int
+
+    @property
+    def total_pairs(self) -> int:
+        """All comparable pairs involving this client."""
+        return self.advantaged_pairs + self.disadvantaged_pairs + self.correct_pairs + self.indifferent_pairs
+
+    @property
+    def disadvantage_rate(self) -> float:
+        """Fraction of this client's pairs in which it was ranked unfairly late."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.disadvantaged_pairs / self.total_pairs
+
+    @property
+    def advantage_rate(self) -> float:
+        """Fraction of this client's pairs in which it was ranked unfairly early."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.advantaged_pairs / self.total_pairs
+
+
+def per_client_fairness(
+    result: SequencingResult, messages: Sequence[TimestampedMessage]
+) -> Dict[str, ClientFairness]:
+    """Per-client breakdown of pairwise ordering outcomes.
+
+    For a pair ``(a, b)`` with ``a`` truly earlier: if the sequencer ranks
+    ``a`` after ``b``, client of ``a`` is *disadvantaged* and client of ``b``
+    is *advantaged*; a correct ranking credits both clients' ``correct``
+    count; a shared batch credits both clients' ``indifferent`` count.
+    """
+    ranks = result.rank_of()
+    counts = {
+        client: {"advantaged": 0, "disadvantaged": 0, "correct": 0, "indifferent": 0}
+        for client in {message.client_id for message in messages}
+    }
+    messages = list(messages)
+    for i in range(len(messages)):
+        for j in range(i + 1, len(messages)):
+            a, b = messages[i], messages[j]
+            if a.true_time is None or b.true_time is None:
+                raise ValueError("all messages need ground-truth times for fairness accounting")
+            if a.true_time == b.true_time:
+                continue
+            earlier, later = (a, b) if a.true_time < b.true_time else (b, a)
+            rank_earlier = ranks[earlier.key]
+            rank_later = ranks[later.key]
+            if rank_earlier == rank_later:
+                counts[earlier.client_id]["indifferent"] += 1
+                counts[later.client_id]["indifferent"] += 1
+            elif rank_earlier < rank_later:
+                counts[earlier.client_id]["correct"] += 1
+                counts[later.client_id]["correct"] += 1
+            else:
+                counts[earlier.client_id]["disadvantaged"] += 1
+                counts[later.client_id]["advantaged"] += 1
+
+    return {
+        client: ClientFairness(
+            client_id=client,
+            advantaged_pairs=c["advantaged"],
+            disadvantaged_pairs=c["disadvantaged"],
+            correct_pairs=c["correct"],
+            indifferent_pairs=c["indifferent"],
+        )
+        for client, c in counts.items()
+    }

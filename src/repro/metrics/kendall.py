@@ -1,0 +1,54 @@
+"""Kendall-tau distance between a sequencing result and the ground truth.
+
+Unlike RAS, Kendall-tau needs a total order, so messages inside a batch are
+compared by treating same-rank pairs as half-discordant (the standard
+tie-adjusted treatment): this penalises huge indifferent batches, offering a
+complementary view to RAS's neutral score of 0 for indifference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.network.message import TimestampedMessage
+from repro.sequencers.base import SequencingResult
+
+
+def kendall_tau_distance(true_order: Sequence[float], ranks: Sequence[float]) -> float:
+    """Normalised Kendall distance in ``[0, 1]`` with ties counted as 0.5.
+
+    ``true_order[k]`` and ``ranks[k]`` describe item ``k``; the distance is
+    the fraction of comparable pairs (distinct true values) that are ordered
+    discordantly, with rank ties contributing half a discordance.
+    """
+    if len(true_order) != len(ranks):
+        raise ValueError("true_order and ranks must have the same length")
+    n = len(true_order)
+    comparable = 0
+    discordant = 0.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if true_order[i] == true_order[j]:
+                continue
+            comparable += 1
+            true_sign = true_order[i] < true_order[j]
+            if ranks[i] == ranks[j]:
+                discordant += 0.5
+            elif (ranks[i] < ranks[j]) != true_sign:
+                discordant += 1.0
+    if comparable == 0:
+        return 0.0
+    return discordant / comparable
+
+
+def kendall_tau_from_result(result: SequencingResult, messages: Sequence[TimestampedMessage]) -> float:
+    """Kendall distance of a sequencing result versus ground-truth times."""
+    rank_map = result.rank_of()
+    true_times: List[float] = []
+    ranks: List[float] = []
+    for message in messages:
+        if message.true_time is None:
+            raise ValueError(f"message {message.key!r} has no ground-truth time")
+        true_times.append(message.true_time)
+        ranks.append(float(rank_map[message.key]))
+    return kendall_tau_distance(true_times, ranks)

@@ -1,0 +1,46 @@
+"""Emission-latency summaries for online sequencing experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distributional summary of emission latencies (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for report tables."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
+    """Summarise a collection of latencies; zeros when the collection is empty."""
+    values = np.asarray(list(latencies), dtype=float)
+    if values.size == 0:
+        return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+    return LatencySummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        p50=float(np.percentile(values, 50)),
+        p95=float(np.percentile(values, 95)),
+        p99=float(np.percentile(values, 99)),
+        maximum=float(values.max()),
+    )

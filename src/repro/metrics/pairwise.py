@@ -1,0 +1,39 @@
+"""Pairwise accuracy / inversion statistics for a sequencing result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.ras import rank_agreement_score
+from repro.network.message import TimestampedMessage
+from repro.sequencers.base import SequencingResult
+
+
+@dataclass(frozen=True)
+class PairwiseStats:
+    """Accuracy-style view of the pair-level outcome."""
+
+    accuracy: float
+    inversion_rate: float
+    indifference_rate: float
+    comparable_pairs: int
+
+    def __post_init__(self) -> None:
+        total = self.accuracy + self.inversion_rate + self.indifference_rate
+        if self.comparable_pairs > 0 and abs(total - 1.0) > 1e-9:
+            raise ValueError("pairwise rates must sum to 1")
+
+
+def pairwise_stats(result: SequencingResult, messages: Sequence[TimestampedMessage]) -> PairwiseStats:
+    """Fraction of comparable pairs ordered correctly / inverted / left indifferent."""
+    breakdown = rank_agreement_score(result, messages)
+    total = breakdown.total_pairs
+    if total == 0:
+        return PairwiseStats(accuracy=0.0, inversion_rate=0.0, indifference_rate=0.0, comparable_pairs=0)
+    return PairwiseStats(
+        accuracy=breakdown.correct_pairs / total,
+        inversion_rate=breakdown.incorrect_pairs / total,
+        indifference_rate=breakdown.indifferent_pairs / total,
+        comparable_pairs=total,
+    )

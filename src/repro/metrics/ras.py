@@ -1,0 +1,93 @@
+"""Rank Agreement Score (RAS), the paper's evaluation metric (§4).
+
+For every unordered pair of messages ``(a, b)`` whose ground-truth generation
+times differ:
+
+* **+1** when the sequencer's batch ranks order the pair the same way as the
+  ground truth,
+* **-1** when the sequencer inverts the pair,
+* **0** when the sequencer is indifferent (both messages share a batch).
+
+The figure-5 y-axis is the *sum* of the per-pair scores over all pairs; we
+also expose a normalised variant (divide by the number of comparable pairs)
+so different message counts can be compared on one axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.network.message import TimestampedMessage
+from repro.sequencers.base import SequencingResult
+
+
+@dataclass(frozen=True)
+class RankAgreementBreakdown:
+    """Pair-level counts backing a Rank Agreement Score."""
+
+    correct_pairs: int
+    incorrect_pairs: int
+    indifferent_pairs: int
+
+    @property
+    def total_pairs(self) -> int:
+        """Number of comparable pairs (ground-truth times differ)."""
+        return self.correct_pairs + self.incorrect_pairs + self.indifferent_pairs
+
+    @property
+    def score(self) -> int:
+        """The raw RAS: ``correct - incorrect``."""
+        return self.correct_pairs - self.incorrect_pairs
+
+    @property
+    def normalized_score(self) -> float:
+        """RAS divided by the number of comparable pairs (in ``[-1, 1]``)."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.score / self.total_pairs
+
+    @property
+    def decisiveness(self) -> float:
+        """Fraction of pairs the sequencer actually ordered (non-indifferent)."""
+        if self.total_pairs == 0:
+            return 0.0
+        return (self.correct_pairs + self.incorrect_pairs) / self.total_pairs
+
+
+def rank_agreement_score(
+    result: SequencingResult,
+    messages: Sequence[TimestampedMessage],
+) -> RankAgreementBreakdown:
+    """Compute the RAS of ``result`` against the messages' ground-truth times.
+
+    Every message must carry a ``true_time`` and must appear in the result.
+    Pairs whose ground-truth times are exactly equal are skipped (the paper
+    assumes no two events occur at the same instant).
+    """
+    ranks = result.rank_of()
+    ordered: list[Tuple[float, int]] = []
+    for message in messages:
+        if message.true_time is None:
+            raise ValueError(f"message {message.key!r} has no ground-truth time")
+        if message.key not in ranks:
+            raise ValueError(f"message {message.key!r} is missing from the sequencing result")
+        ordered.append((message.true_time, ranks[message.key]))
+
+    correct = incorrect = indifferent = 0
+    n = len(ordered)
+    for i in range(n):
+        true_i, rank_i = ordered[i]
+        for j in range(i + 1, n):
+            true_j, rank_j = ordered[j]
+            if true_i == true_j:
+                continue
+            if rank_i == rank_j:
+                indifferent += 1
+            elif (true_i < true_j) == (rank_i < rank_j):
+                correct += 1
+            else:
+                incorrect += 1
+    return RankAgreementBreakdown(
+        correct_pairs=correct, incorrect_pairs=incorrect, indifferent_pairs=indifferent
+    )

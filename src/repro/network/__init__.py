@@ -1,0 +1,37 @@
+"""Network substrate: messages, delay models, channels and transports.
+
+The sequencer only cares about *when* messages arrive and whether per-client
+delivery is ordered, so the network substrate models exactly that: links with
+configurable delay/jitter distributions (:mod:`repro.network.link`), ordered
+(TCP-like) and unordered (UDP-like) channels (:mod:`repro.network.channel`),
+and a client-to-sequencer transport with heartbeats
+(:mod:`repro.network.transport`).
+"""
+
+from repro.network.message import Heartbeat, SequencedBatch, TimestampedMessage
+from repro.network.link import (
+    ConstantDelay,
+    DelayModel,
+    GammaDelay,
+    LogNormalDelay,
+    UniformJitterDelay,
+)
+from repro.network.channel import Channel, OrderedChannel, UnorderedChannel
+from repro.network.transport import ClientEndpoint, SequencerEndpoint, Transport
+
+__all__ = [
+    "TimestampedMessage",
+    "Heartbeat",
+    "SequencedBatch",
+    "DelayModel",
+    "ConstantDelay",
+    "UniformJitterDelay",
+    "LogNormalDelay",
+    "GammaDelay",
+    "Channel",
+    "OrderedChannel",
+    "UnorderedChannel",
+    "ClientEndpoint",
+    "SequencerEndpoint",
+    "Transport",
+]

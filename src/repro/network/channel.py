@@ -1,0 +1,112 @@
+"""Point-to-point channels with configurable delivery semantics.
+
+``OrderedChannel`` models a TCP-like connection: per-sender FIFO delivery is
+preserved even when sampled delays would reorder messages (a later message is
+held until earlier ones have been delivered).  ``UnorderedChannel`` delivers
+each message independently after its sampled delay, so reordering is
+possible.  The online sequencer's completeness rule (paper §3.5, Q2) is only
+sound on ordered channels, which tests exercise explicitly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.network.link import DelayModel
+from repro.simulation.entity import Entity
+from repro.simulation.event_loop import EventLoop
+from repro.simulation.trace import TraceRecorder
+
+DeliveryCallback = Callable[[Any], None]
+
+
+class Channel(Entity, abc.ABC):
+    """A unidirectional channel from one sender to one receiver callback."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        delay_model: DelayModel,
+        rng: np.random.Generator,
+        deliver: DeliveryCallback,
+        trace: Optional[TraceRecorder] = None,
+        drop_probability: float = 0.0,
+    ) -> None:
+        super().__init__(loop, name)
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(f"drop_probability must be in [0, 1), got {drop_probability!r}")
+        self._delay_model = delay_model
+        self._rng = rng
+        self._deliver = deliver
+        self._trace = trace
+        self._drop_probability = float(drop_probability)
+        self._sent = 0
+        self._delivered = 0
+        self._dropped = 0
+
+    @property
+    def sent(self) -> int:
+        """Messages accepted for transmission."""
+        return self._sent
+
+    @property
+    def delivered(self) -> int:
+        """Messages delivered to the receiver callback."""
+        return self._delivered
+
+    @property
+    def dropped(self) -> int:
+        """Messages dropped by the loss process."""
+        return self._dropped
+
+    def send(self, item: Any) -> None:
+        """Transmit ``item``; it is delivered (or dropped) asynchronously."""
+        self._sent += 1
+        if self._drop_probability > 0 and self._rng.random() < self._drop_probability:
+            self._dropped += 1
+            if self._trace is not None:
+                self._trace.record(self.now, self.name, "drop", item=item)
+            return
+        delay = max(float(self._delay_model.sample(self._rng)), 0.0)
+        self._enqueue(item, delay)
+
+    @abc.abstractmethod
+    def _enqueue(self, item: Any, delay: float) -> None:
+        """Schedule delivery of ``item`` after ``delay`` seconds."""
+
+    def _do_deliver(self, item: Any) -> None:
+        self._delivered += 1
+        if self._trace is not None:
+            self._trace.record(self.now, self.name, "deliver", item=item)
+        self._deliver(item)
+
+
+class UnorderedChannel(Channel):
+    """UDP-like channel: each message is delivered after its own delay."""
+
+    def _enqueue(self, item: Any, delay: float) -> None:
+        self.call_after(delay, self._do_deliver, item)
+
+
+class OrderedChannel(Channel):
+    """TCP-like channel: per-sender FIFO order is preserved.
+
+    Delivery time of message ``k`` is ``max(send_k + delay_k, delivery_{k-1})``
+    which models head-of-line blocking of an in-order byte stream.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._last_delivery_time = -float("inf")
+
+    def _enqueue(self, item: Any, delay: float) -> None:
+        target = max(self.now + delay, self._last_delivery_time)
+        # strictly increase delivery time so FIFO order is unambiguous
+        if target <= self._last_delivery_time:
+            target = np.nextafter(self._last_delivery_time, float("inf"))
+        self._last_delivery_time = target
+        self.call_at(target, self._do_deliver, item)

@@ -1,0 +1,105 @@
+"""One-way network delay models.
+
+On-prem exchanges engineer equal-length wires so FIFO arrival order equals
+generation order (paper Figure 4); cloud networks do not, which is why the
+sequencer has to reason about timestamps.  These delay models let experiments
+span both regimes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class DelayModel(abc.ABC):
+    """Distribution of the one-way delay experienced by each message."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one delay value (seconds, non-negative)."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected delay."""
+
+
+class ConstantDelay(DelayModel):
+    """Fixed propagation delay with zero jitter (equal-length-wire model)."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay!r}")
+        self._delay = float(delay)
+
+    @property
+    def mean(self) -> float:
+        return self._delay
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._delay
+
+
+class UniformJitterDelay(DelayModel):
+    """Base propagation delay plus uniformly distributed jitter."""
+
+    def __init__(self, base: float, jitter: float) -> None:
+        if base < 0 or jitter < 0:
+            raise ValueError("base and jitter must be non-negative")
+        self._base = float(base)
+        self._jitter = float(jitter)
+
+    @property
+    def mean(self) -> float:
+        return self._base + self._jitter / 2.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._base + float(rng.uniform(0.0, self._jitter)) if self._jitter > 0 else self._base
+
+
+class LogNormalDelay(DelayModel):
+    """Heavy-tailed delay typical of shared cloud networks.
+
+    Parameterised by the median delay and a shape parameter sigma; a minimum
+    propagation floor is always added.
+    """
+
+    def __init__(self, median: float, sigma: float, floor: float = 0.0) -> None:
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median!r}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma!r}")
+        if floor < 0:
+            raise ValueError(f"floor must be non-negative, got {floor!r}")
+        self._mu = float(np.log(median))
+        self._sigma = float(sigma)
+        self._floor = float(floor)
+
+    @property
+    def mean(self) -> float:
+        return self._floor + float(np.exp(self._mu + self._sigma ** 2 / 2.0))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._floor + float(rng.lognormal(self._mu, self._sigma))
+
+
+class GammaDelay(DelayModel):
+    """Gamma-distributed queueing delay on top of a propagation floor."""
+
+    def __init__(self, shape: float, scale: float, floor: float = 0.0) -> None:
+        if shape <= 0 or scale <= 0:
+            raise ValueError("shape and scale must be positive")
+        if floor < 0:
+            raise ValueError(f"floor must be non-negative, got {floor!r}")
+        self._shape = float(shape)
+        self._scale = float(scale)
+        self._floor = float(floor)
+
+    @property
+    def mean(self) -> float:
+        return self._floor + self._shape * self._scale
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._floor + float(rng.gamma(self._shape, self._scale))

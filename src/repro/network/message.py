@@ -1,0 +1,105 @@
+"""Message types exchanged between clients and the sequencer."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+_MESSAGE_COUNTER = itertools.count()
+
+
+def _next_message_id() -> int:
+    return next(_MESSAGE_COUNTER)
+
+
+@dataclass(frozen=True)
+class TimestampedMessage:
+    """A client message carrying a local-clock timestamp (paper §3.1).
+
+    Attributes
+    ----------
+    client_id:
+        Identifier of the originating client.
+    timestamp:
+        The local-clock timestamp ``T_i`` attached by the client.  This is the
+        only timestamp visible to the sequencer.
+    true_time:
+        The omniscient observer's generation time ``t``.  Used exclusively by
+        the evaluation harness; sequencers must never read it.
+    payload:
+        Application payload (order, bid, command, ...).
+    message_id:
+        Globally unique id, assigned at construction.
+    sequence_number:
+        Per-client monotone counter (used by ordered channels / heartbeats).
+    """
+
+    client_id: str
+    timestamp: float
+    true_time: Optional[float] = None
+    payload: Any = None
+    message_id: int = field(default_factory=_next_message_id)
+    sequence_number: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.client_id:
+            raise ValueError("client_id must be a non-empty string")
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """Stable identity used by sequencers and metrics."""
+        return (self.client_id, self.message_id)
+
+    def with_timestamp(self, timestamp: float) -> "TimestampedMessage":
+        """Copy of this message with a different local timestamp (used by
+        Byzantine-client experiments that tamper with timestamps)."""
+        return TimestampedMessage(
+            client_id=self.client_id,
+            timestamp=float(timestamp),
+            true_time=self.true_time,
+            payload=self.payload,
+            message_id=self.message_id,
+            sequence_number=self.sequence_number,
+        )
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """A per-client liveness/progress beacon carrying the client's clock.
+
+    Heartbeats answer the online sequencer's completeness question (paper
+    §3.5 Q2 / Appendix C): once the sequencer has seen a message or heartbeat
+    with timestamp greater than ``t`` from every client on an ordered
+    channel, all messages with timestamps <= ``t`` have arrived.
+    """
+
+    client_id: str
+    timestamp: float
+    true_time: Optional[float] = None
+    sequence_number: int = 0
+
+
+@dataclass(frozen=True)
+class SequencedBatch:
+    """One emitted batch: a rank plus the messages sharing that rank."""
+
+    rank: int
+    messages: Tuple[TimestampedMessage, ...]
+    emitted_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be non-negative, got {self.rank!r}")
+        if not self.messages:
+            raise ValueError("a batch must contain at least one message")
+
+    @property
+    def size(self) -> int:
+        """Number of messages in the batch."""
+        return len(self.messages)
+
+    @property
+    def clients(self) -> Tuple[str, ...]:
+        """Distinct client ids present in the batch (sorted)."""
+        return tuple(sorted({message.client_id for message in self.messages}))

@@ -1,0 +1,87 @@
+"""Common interface and result type for offline sequencers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.message import SequencedBatch, TimestampedMessage
+
+
+@dataclass(frozen=True)
+class SequencingResult:
+    """The output of a sequencer: a totally ordered list of batches.
+
+    Batches are a fair *partial* order on messages (messages inside the same
+    batch are deliberately left unordered) and a total order on batches
+    (paper §3.4).
+    """
+
+    batches: Tuple[SequencedBatch, ...]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for index, batch in enumerate(self.batches):
+            if batch.rank != index:
+                raise ValueError(
+                    f"batch at position {index} has rank {batch.rank}; ranks must be 0..n-1 in order"
+                )
+
+    @property
+    def message_count(self) -> int:
+        """Total number of messages across all batches."""
+        return sum(batch.size for batch in self.batches)
+
+    @property
+    def batch_count(self) -> int:
+        """Number of batches."""
+        return len(self.batches)
+
+    @property
+    def batch_sizes(self) -> Tuple[int, ...]:
+        """Sizes of the batches in rank order."""
+        return tuple(batch.size for batch in self.batches)
+
+    def rank_of(self) -> Dict[Tuple[str, int], int]:
+        """Mapping from message key to its batch rank."""
+        ranks: Dict[Tuple[str, int], int] = {}
+        for batch in self.batches:
+            for message in batch.messages:
+                ranks[message.key] = batch.rank
+        return ranks
+
+    def messages_in_rank_order(self) -> List[TimestampedMessage]:
+        """All messages flattened in batch-rank order (within-batch order arbitrary)."""
+        flattened: List[TimestampedMessage] = []
+        for batch in self.batches:
+            flattened.extend(batch.messages)
+        return flattened
+
+
+def batches_from_groups(groups: Sequence[Sequence[TimestampedMessage]]) -> Tuple[SequencedBatch, ...]:
+    """Build rank-assigned batches from an ordered sequence of message groups."""
+    batches = []
+    for rank, group in enumerate(groups):
+        batches.append(SequencedBatch(rank=rank, messages=tuple(group)))
+    return tuple(batches)
+
+
+class OfflineSequencer(abc.ABC):
+    """A sequencer operating on a complete set of already-received messages."""
+
+    #: short identifier used in experiment reports
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sequence(self, messages: Sequence[TimestampedMessage]) -> SequencingResult:
+        """Order ``messages`` into ranked batches."""
+
+    def _validate(self, messages: Sequence[TimestampedMessage]) -> List[TimestampedMessage]:
+        messages = list(messages)
+        seen = set()
+        for message in messages:
+            if message.key in seen:
+                raise ValueError(f"duplicate message key {message.key!r}")
+            seen.add(message.key)
+        return messages

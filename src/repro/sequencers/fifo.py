@@ -1,0 +1,46 @@
+"""FIFO sequencer: ranks messages by observation (arrival) order."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.network.message import TimestampedMessage
+from repro.sequencers.base import OfflineSequencer, SequencingResult, batches_from_groups
+
+
+class FifoSequencer(OfflineSequencer):
+    """Ranks messages in the order the sequencer observed them.
+
+    This is the classical sequencer the paper contrasts against (§1): ranking
+    is "assigned based on the order in which it is observed by a
+    server/sequencer".  When given an explicit ``arrival_order`` (message
+    keys in arrival order) that order is used; otherwise the input sequence
+    order is taken to be the arrival order.
+    """
+
+    name = "fifo"
+
+    def __init__(self, batch_size: int = 1) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be at least 1, got {batch_size!r}")
+        self._batch_size = int(batch_size)
+
+    @property
+    def batch_size(self) -> int:
+        """Number of consecutive arrivals grouped into one rank."""
+        return self._batch_size
+
+    def sequence(
+        self,
+        messages: Sequence[TimestampedMessage],
+        arrival_order: Optional[Sequence[TimestampedMessage]] = None,
+    ) -> SequencingResult:
+        messages = self._validate(messages)
+        ordered = list(arrival_order) if arrival_order is not None else messages
+        if {m.key for m in ordered} != {m.key for m in messages}:
+            raise ValueError("arrival_order must contain exactly the messages being sequenced")
+        groups = [
+            ordered[start : start + self._batch_size]
+            for start in range(0, len(ordered), self._batch_size)
+        ]
+        return SequencingResult(batches=batches_from_groups(groups), metadata={"sequencer": self.name})

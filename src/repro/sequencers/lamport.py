@@ -1,0 +1,133 @@
+"""Lamport logical clocks, vector clocks and the happened-before relation.
+
+The paper frames Tommy against Lamport's classical ordering machinery: the
+happened-before relation orders causally related events and leaves concurrent
+events unordered, which is exactly the gap the likely-happened-before
+relation targets.  This module provides the classical machinery so examples
+and tests can demonstrate that gap concretely: messages generated
+independently by different clients are concurrent under happened-before, yet
+Tommy orders (most of) them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+_EVENT_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class LamportEvent:
+    """An event stamped with a Lamport time and its causal history."""
+
+    process: str
+    lamport_time: int
+    vector: Tuple[Tuple[str, int], ...]
+    event_id: int = field(default_factory=lambda: next(_EVENT_COUNTER))
+    label: str = ""
+
+    def vector_clock(self) -> Dict[str, int]:
+        """The event's vector clock as a dictionary."""
+        return dict(self.vector)
+
+
+class LamportClock:
+    """A per-process Lamport logical clock with an attached vector clock."""
+
+    def __init__(self, process: str) -> None:
+        if not process:
+            raise ValueError("process name must be non-empty")
+        self._process = process
+        self._time = 0
+        self._vector: Dict[str, int] = {process: 0}
+
+    @property
+    def process(self) -> str:
+        """Name of the process owning this clock."""
+        return self._process
+
+    @property
+    def time(self) -> int:
+        """Current Lamport time."""
+        return self._time
+
+    def vector(self) -> Dict[str, int]:
+        """Copy of the current vector clock."""
+        return dict(self._vector)
+
+    def _snapshot(self, label: str) -> LamportEvent:
+        return LamportEvent(
+            process=self._process,
+            lamport_time=self._time,
+            vector=tuple(sorted(self._vector.items())),
+            label=label,
+        )
+
+    def tick(self, label: str = "") -> LamportEvent:
+        """Record a local event."""
+        self._time += 1
+        self._vector[self._process] = self._vector.get(self._process, 0) + 1
+        return self._snapshot(label)
+
+    def send(self, label: str = "") -> LamportEvent:
+        """Record a message-send event; the returned event is the 'message'."""
+        return self.tick(label)
+
+    def receive(self, message: LamportEvent, label: str = "") -> LamportEvent:
+        """Record reception of ``message``, merging clocks per Lamport's rule."""
+        self._time = max(self._time, message.lamport_time) + 1
+        for process, counter in message.vector:
+            self._vector[process] = max(self._vector.get(process, 0), counter)
+        self._vector[self._process] = self._vector.get(self._process, 0) + 1
+        return self._snapshot(label)
+
+
+class VectorClock:
+    """Comparison helpers for vector timestamps."""
+
+    @staticmethod
+    def dominates(a: Dict[str, int], b: Dict[str, int]) -> bool:
+        """True when ``a`` >= ``b`` component-wise and ``a`` != ``b``."""
+        keys = set(a) | set(b)
+        at_least = all(a.get(key, 0) >= b.get(key, 0) for key in keys)
+        strictly = any(a.get(key, 0) > b.get(key, 0) for key in keys)
+        return at_least and strictly
+
+    @staticmethod
+    def concurrent(a: Dict[str, int], b: Dict[str, int]) -> bool:
+        """True when neither vector dominates the other."""
+        return not VectorClock.dominates(a, b) and not VectorClock.dominates(b, a) and a != b
+
+
+def happened_before(a: LamportEvent, b: LamportEvent) -> bool:
+    """Lamport's happened-before: true iff ``a``'s causal history precedes ``b``'s.
+
+    Implemented with vector clocks, which characterise happened-before
+    exactly: ``a -> b`` iff ``V(a) < V(b)`` component-wise (with at least one
+    strict inequality).
+    """
+    return VectorClock.dominates(b.vector_clock(), a.vector_clock())
+
+
+def concurrent(a: LamportEvent, b: LamportEvent) -> bool:
+    """True when neither event happened before the other."""
+    return not happened_before(a, b) and not happened_before(b, a)
+
+
+def causal_order(events: Iterable[LamportEvent]) -> Tuple[Tuple[LamportEvent, ...], FrozenSet[Tuple[int, int]]]:
+    """Partial order summary for a set of events.
+
+    Returns the events sorted by Lamport time (a linearisation consistent
+    with happened-before) and the set of ordered pairs ``(a.event_id,
+    b.event_id)`` for which ``a -> b`` holds.
+    """
+    events = list(events)
+    ordered_pairs = set()
+    for a in events:
+        for b in events:
+            if a is not b and happened_before(a, b):
+                ordered_pairs.add((a.event_id, b.event_id))
+    linearised = tuple(sorted(events, key=lambda event: (event.lamport_time, event.process, event.event_id)))
+    return linearised, frozenset(ordered_pairs)

@@ -1,0 +1,32 @@
+"""Omniscient-observer (oracle) sequencer.
+
+Definition 1 in the paper compares every sequencer against an omniscient
+observer with a global clock of infinite resolution.  The oracle sequencer
+orders messages by their ground-truth generation times and is used only by
+the evaluation harness (to compute Rank Agreement Scores and pairwise
+accuracy), never by a simulated participant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.network.message import TimestampedMessage
+from repro.sequencers.base import OfflineSequencer, SequencingResult, batches_from_groups
+
+
+class OracleSequencer(OfflineSequencer):
+    """Orders messages by true generation time, one message per batch."""
+
+    name = "oracle"
+
+    def sequence(self, messages: Sequence[TimestampedMessage]) -> SequencingResult:
+        messages = self._validate(messages)
+        for message in messages:
+            if message.true_time is None:
+                raise ValueError(
+                    f"message {message.key!r} has no ground-truth time; the oracle cannot order it"
+                )
+        ordered = sorted(messages, key=lambda message: (message.true_time, message.message_id))
+        groups = [[message] for message in ordered]
+        return SequencingResult(batches=batches_from_groups(groups), metadata={"sequencer": self.name})

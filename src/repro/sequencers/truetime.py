@@ -1,0 +1,78 @@
+"""Spanner-TrueTime baseline sequencer (paper §4).
+
+Each message is assigned an uncertainty interval ``[T - k*sigma, T + k*sigma]``
+(``k = 3`` in the paper) using its client's offset standard deviation.
+Messages whose intervals overlap cannot be ordered confidently and are given
+the same rank; the ranks follow the interval order.  Overlap is resolved by
+transitive clustering: the batch's interval is the union of its members'
+intervals, and a new message joins the batch when its interval overlaps that
+union.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.clocks.truetime import TrueTimeInterval
+from repro.distributions.base import OffsetDistribution
+from repro.network.message import TimestampedMessage
+from repro.sequencers.base import OfflineSequencer, SequencingResult, batches_from_groups
+
+
+class TrueTimeSequencer(OfflineSequencer):
+    """Conservative interval-overlap sequencer."""
+
+    name = "truetime"
+
+    def __init__(
+        self,
+        client_distributions: Dict[str, OffsetDistribution],
+        sigma_multiplier: float = 3.0,
+    ) -> None:
+        if sigma_multiplier <= 0:
+            raise ValueError(f"sigma_multiplier must be positive, got {sigma_multiplier!r}")
+        self._distributions = dict(client_distributions)
+        self._multiplier = float(sigma_multiplier)
+
+    @property
+    def sigma_multiplier(self) -> float:
+        """Half-width of the interval in units of the client's offset std."""
+        return self._multiplier
+
+    def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
+        """Add or update a client's offset distribution."""
+        self._distributions[client_id] = distribution
+
+    def interval_for(self, message: TimestampedMessage) -> TrueTimeInterval:
+        """The uncertainty interval assigned to ``message``."""
+        if message.client_id not in self._distributions:
+            raise KeyError(f"no offset distribution registered for client {message.client_id!r}")
+        distribution = self._distributions[message.client_id]
+        center = message.timestamp - distribution.mean
+        half_width = self._multiplier * distribution.std
+        return TrueTimeInterval(center - half_width, center + half_width)
+
+    def sequence(self, messages: Sequence[TimestampedMessage]) -> SequencingResult:
+        messages = self._validate(messages)
+        if not messages:
+            return SequencingResult(batches=(), metadata={"sequencer": self.name})
+
+        annotated = [(self.interval_for(message), message) for message in messages]
+        annotated.sort(key=lambda pair: (pair[0].earliest, pair[0].latest, pair[1].message_id))
+
+        groups = []
+        current_group = [annotated[0][1]]
+        current_latest = annotated[0][0].latest
+        for interval, message in annotated[1:]:
+            if interval.earliest <= current_latest:
+                current_group.append(message)
+                current_latest = max(current_latest, interval.latest)
+            else:
+                groups.append(current_group)
+                current_group = [message]
+                current_latest = interval.latest
+        groups.append(current_group)
+        return SequencingResult(
+            batches=batches_from_groups(groups),
+            metadata={"sequencer": self.name, "sigma_multiplier": self._multiplier},
+        )

@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel used by every other substrate.
+
+The kernel is deliberately small and deterministic: a priority-queue driven
+event loop (:class:`EventLoop`), simulated entities (:class:`Entity`), a
+seed-managed random source (:class:`RandomSource`) and a structured trace
+recorder (:class:`TraceRecorder`).  All time values are floats in seconds of
+*true* (reference) time; simulated clocks that drift or are offset from true
+time live in :mod:`repro.clocks`.
+"""
+
+from repro.simulation.event_loop import Event, EventLoop, SimulationError
+from repro.simulation.entity import Entity
+from repro.simulation.random_source import RandomSource
+from repro.simulation.trace import TraceRecorder, TraceEvent
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "SimulationError",
+    "Entity",
+    "RandomSource",
+    "TraceRecorder",
+    "TraceEvent",
+]

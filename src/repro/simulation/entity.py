@@ -1,0 +1,51 @@
+"""Base class for simulated entities (clients, sequencers, links)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simulation.event_loop import Event, EventLoop
+
+
+class Entity:
+    """A named participant attached to an :class:`~repro.simulation.EventLoop`.
+
+    Entities provide convenience wrappers over the loop's scheduling API so
+    concrete simulated components (clients, sequencers, network links) read
+    naturally: ``self.call_after(0.01, self.on_timeout)``.
+    """
+
+    def __init__(self, loop: EventLoop, name: str) -> None:
+        self._loop = loop
+        self._name = str(name)
+
+    @property
+    def loop(self) -> EventLoop:
+        """The event loop this entity is attached to."""
+        return self._loop
+
+    @property
+    def name(self) -> str:
+        """Stable, human-readable entity name."""
+        return self._name
+
+    @property
+    def now(self) -> float:
+        """Current true simulation time."""
+        return self._loop.now
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` at absolute true time ``when``."""
+        return self._loop.schedule_at(when, callback, *args, label=self._name, **kwargs)
+
+    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds of true time."""
+        return self._loop.schedule_after(delay, callback, *args, label=self._name, **kwargs)
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a pending event previously returned by ``call_at``/``call_after``."""
+        if event is not None:
+            self._loop.cancel(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<{type(self).__name__} {self._name!r} t={self.now:.6f}>"

@@ -1,0 +1,66 @@
+"""Structured trace recording for simulations.
+
+Traces are append-only lists of :class:`TraceEvent` records.  They are used
+by tests (to assert on causality and timing) and by the experiment harness
+(to compute emission latency and fairness metrics after a run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence: ``(time, source, kind, details)``."""
+
+    time: float
+    source: str
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records during a simulation run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._events: List[TraceEvent] = []
+        self._enabled = bool(enabled)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the recorder currently accepts events."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start accepting events."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Stop accepting events (records already captured are kept)."""
+        self._enabled = False
+
+    def record(self, time: float, source: str, kind: str, **details: Any) -> None:
+        """Append an event if the recorder is enabled."""
+        if self._enabled:
+            self._events.append(TraceEvent(time=time, source=source, kind=kind, details=details))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, kind: Optional[str] = None, source: Optional[str] = None) -> List[TraceEvent]:
+        """Return recorded events, optionally filtered by kind and source."""
+        result = self._events
+        if kind is not None:
+            result = [event for event in result if event.kind == kind]
+        if source is not None:
+            result = [event for event in result if event.source == source]
+        return list(result)
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self._events = []

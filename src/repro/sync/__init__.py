@@ -1,0 +1,35 @@
+"""Clock-synchronization substrate.
+
+Clients learn their clock-offset distributions by accumulating
+synchronization probes (paper §1 footnote 1, §3.3, §5).  This package
+provides the probe exchange (NTP-style four-timestamp round trips), offset
+estimators operating on probes, and a per-client learner that turns a window
+of probe-derived offsets into a :class:`~repro.distributions.estimation.DistributionEstimate`.
+"""
+
+from repro.sync.probe import ProbeExchange, SyncProbe
+from repro.sync.estimator import OffsetEstimator, offset_from_probe
+from repro.sync.learner import OffsetDistributionLearner
+from repro.sync.protocol import SyncProtocol, SyncSession
+from repro.sync.drift import (
+    AdaptiveOffsetLearner,
+    DriftFit,
+    DriftTracker,
+    RegimeShiftDetector,
+    RegimeShiftReport,
+)
+
+__all__ = [
+    "SyncProbe",
+    "ProbeExchange",
+    "OffsetEstimator",
+    "offset_from_probe",
+    "OffsetDistributionLearner",
+    "SyncProtocol",
+    "SyncSession",
+    "DriftTracker",
+    "DriftFit",
+    "RegimeShiftDetector",
+    "RegimeShiftReport",
+    "AdaptiveOffsetLearner",
+]

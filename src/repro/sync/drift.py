@@ -1,0 +1,231 @@
+"""Clock-drift tracking and synchronization-regime change detection.
+
+Paper §5 flags two gaps in the preliminary learning mechanism: (i) clock
+*drift* (a slowly growing offset component) is not captured by a static
+offset distribution, and (ii) abrupt environmental changes (e.g. a hot spot
+in the datacenter) can invalidate a learned distribution, so a robust
+mechanism must notice when the distribution has shifted.
+
+:class:`DriftTracker` fits a linear trend (offset = intercept + rate * time)
+to timestamped offset observations so the drift component can be removed
+before the residual distribution is learned.  :class:`RegimeShiftDetector`
+compares a recent observation window against the long-run baseline with a
+Welch-style z-test on the mean (and a ratio test on the spread) and flags a
+shift, at which point the caller should discard the stale window and
+re-learn (:class:`AdaptiveOffsetLearner` does exactly that).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distributions.estimation import DistributionEstimate
+from repro.sync.learner import OffsetDistributionLearner
+
+
+@dataclass(frozen=True)
+class DriftFit:
+    """Least-squares linear fit of offset versus time."""
+
+    intercept: float
+    rate: float
+    residual_std: float
+    sample_count: int
+
+    @property
+    def rate_ppm(self) -> float:
+        """Drift rate in parts-per-million (microseconds per second)."""
+        return self.rate * 1e6
+
+    def offset_at(self, time: float) -> float:
+        """Predicted drift-induced offset at ``time``."""
+        return self.intercept + self.rate * float(time)
+
+
+class DriftTracker:
+    """Tracks the linear drift component of timestamped offset observations."""
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 4:
+            raise ValueError("window must be at least 4 observations")
+        self._times: Deque[float] = deque(maxlen=window)
+        self._offsets: Deque[float] = deque(maxlen=window)
+
+    @property
+    def observation_count(self) -> int:
+        """Number of observations currently retained."""
+        return len(self._offsets)
+
+    def observe(self, time: float, offset: float) -> None:
+        """Record one offset observation made at (true or local) ``time``."""
+        self._times.append(float(time))
+        self._offsets.append(float(offset))
+
+    def can_fit(self, minimum: int = 8) -> bool:
+        """True once enough observations with distinct times are available."""
+        return len(self._offsets) >= minimum and len(set(self._times)) >= 2
+
+    def fit(self) -> DriftFit:
+        """Least-squares fit of ``offset = intercept + rate * time``."""
+        if not self.can_fit(minimum=4):
+            raise ValueError("not enough observations to fit a drift model")
+        times = np.asarray(self._times, dtype=float)
+        offsets = np.asarray(self._offsets, dtype=float)
+        rate, intercept = np.polyfit(times, offsets, deg=1)
+        residuals = offsets - (intercept + rate * times)
+        residual_std = float(residuals.std(ddof=1)) if residuals.size > 1 else 0.0
+        return DriftFit(
+            intercept=float(intercept),
+            rate=float(rate),
+            residual_std=residual_std,
+            sample_count=int(offsets.size),
+        )
+
+    def detrended_offsets(self) -> np.ndarray:
+        """Offset observations with the fitted linear drift removed."""
+        fit = self.fit()
+        times = np.asarray(self._times, dtype=float)
+        offsets = np.asarray(self._offsets, dtype=float)
+        return offsets - (fit.intercept + fit.rate * times)
+
+
+@dataclass(frozen=True)
+class RegimeShiftReport:
+    """Outcome of one regime-shift check."""
+
+    shifted: bool
+    mean_z_score: float
+    spread_ratio: float
+    baseline_count: int
+    recent_count: int
+
+
+class RegimeShiftDetector:
+    """Detects abrupt changes in a client's synchronization conditions.
+
+    The detector keeps a long *baseline* window and a short *recent* window
+    of offset observations.  A shift is reported when the recent mean moves
+    more than ``z_threshold`` standard errors away from the baseline mean, or
+    when the recent spread grows by more than ``spread_ratio_threshold``.
+    """
+
+    def __init__(
+        self,
+        baseline_window: int = 512,
+        recent_window: int = 32,
+        z_threshold: float = 4.0,
+        spread_ratio_threshold: float = 3.0,
+    ) -> None:
+        if baseline_window < 16:
+            raise ValueError("baseline_window must be at least 16")
+        if recent_window < 4:
+            raise ValueError("recent_window must be at least 4")
+        if recent_window >= baseline_window:
+            raise ValueError("recent_window must be smaller than baseline_window")
+        if z_threshold <= 0 or spread_ratio_threshold <= 1.0:
+            raise ValueError("z_threshold must be positive and spread_ratio_threshold above 1")
+        self._baseline: Deque[float] = deque(maxlen=baseline_window)
+        self._recent: Deque[float] = deque(maxlen=recent_window)
+        self._z_threshold = float(z_threshold)
+        self._spread_ratio_threshold = float(spread_ratio_threshold)
+        self._shifts_detected = 0
+
+    @property
+    def shifts_detected(self) -> int:
+        """Number of regime shifts reported so far."""
+        return self._shifts_detected
+
+    def observe(self, offset: float) -> RegimeShiftReport:
+        """Add an observation and check for a shift."""
+        offset = float(offset)
+        self._recent.append(offset)
+        report = self.check()
+        if report.shifted:
+            self._shifts_detected += 1
+        else:
+            self._baseline.append(offset)
+        return report
+
+    def check(self) -> RegimeShiftReport:
+        """Compare the recent window against the baseline without mutating state."""
+        baseline = np.asarray(self._baseline, dtype=float)
+        recent = np.asarray(self._recent, dtype=float)
+        if baseline.size < 16 or recent.size < 4:
+            return RegimeShiftReport(
+                shifted=False,
+                mean_z_score=0.0,
+                spread_ratio=1.0,
+                baseline_count=int(baseline.size),
+                recent_count=int(recent.size),
+            )
+        baseline_std = max(float(baseline.std(ddof=1)), 1e-12)
+        recent_std = max(float(recent.std(ddof=1)), 1e-12)
+        standard_error = np.sqrt(baseline_std ** 2 / baseline.size + recent_std ** 2 / recent.size)
+        z_score = float((recent.mean() - baseline.mean()) / max(standard_error, 1e-12))
+        spread_ratio = recent_std / baseline_std
+        shifted = abs(z_score) > self._z_threshold or spread_ratio > self._spread_ratio_threshold
+        return RegimeShiftReport(
+            shifted=shifted,
+            mean_z_score=z_score,
+            spread_ratio=spread_ratio,
+            baseline_count=int(baseline.size),
+            recent_count=int(recent.size),
+        )
+
+    def reset_baseline(self) -> None:
+        """Discard the baseline (after the caller has re-learned its distribution)."""
+        self._baseline.clear()
+        self._recent.clear()
+
+
+class AdaptiveOffsetLearner:
+    """Offset-distribution learner that re-learns after a regime shift.
+
+    Wraps an :class:`~repro.sync.learner.OffsetDistributionLearner` and a
+    :class:`RegimeShiftDetector`: when a shift is detected, the stale learner
+    window is dropped so the next estimate reflects only post-shift
+    conditions.
+    """
+
+    def __init__(
+        self,
+        learner: Optional[OffsetDistributionLearner] = None,
+        detector: Optional[RegimeShiftDetector] = None,
+    ) -> None:
+        self._learner = learner if learner is not None else OffsetDistributionLearner(window=1024)
+        self._detector = detector if detector is not None else RegimeShiftDetector()
+        self._relearn_count = 0
+
+    @property
+    def relearn_count(self) -> int:
+        """How many times the learner window was discarded due to a shift."""
+        return self._relearn_count
+
+    @property
+    def learner(self) -> OffsetDistributionLearner:
+        """The wrapped learner."""
+        return self._learner
+
+    def observe_offset(self, offset: float) -> RegimeShiftReport:
+        """Feed one offset observation through detection and learning."""
+        report = self._detector.observe(offset)
+        if report.shifted:
+            self._relearn_count += 1
+            self._learner = OffsetDistributionLearner(
+                window=self._learner.window, method=self._learner.method
+            )
+            self._detector.reset_baseline()
+        self._learner.observe_offset(offset)
+        return report
+
+    def can_estimate(self, minimum: int = 8) -> bool:
+        """True once the post-shift window has enough observations."""
+        return self._learner.can_estimate(minimum)
+
+    def estimate(self) -> DistributionEstimate:
+        """Current distribution estimate (post-shift observations only)."""
+        return self._learner.estimate()

@@ -1,0 +1,57 @@
+"""Offset estimators operating on synchronization probes."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.sync.probe import SyncProbe
+
+
+def offset_from_probe(probe: SyncProbe) -> float:
+    """Client-offset estimate (theta) derived from a single probe."""
+    return probe.client_offset_estimate
+
+
+class OffsetEstimator:
+    """Turns a stream of probes into per-probe offset observations.
+
+    Optional filtering keeps only the probes with the smallest round-trip
+    delays (a standard NTP/Huygens-style trick: small-RTT probes carry the
+    least queueing-induced asymmetry and therefore the cleanest offsets).
+    """
+
+    def __init__(self, best_fraction: float = 1.0) -> None:
+        if not 0.0 < best_fraction <= 1.0:
+            raise ValueError(f"best_fraction must be in (0, 1], got {best_fraction!r}")
+        self._best_fraction = float(best_fraction)
+
+    @property
+    def best_fraction(self) -> float:
+        """Fraction of lowest-RTT probes retained."""
+        return self._best_fraction
+
+    def offsets(self, probes: Sequence[SyncProbe]) -> np.ndarray:
+        """Offset observations (theta estimates) from ``probes``."""
+        probes = list(probes)
+        if not probes:
+            return np.empty(0)
+        if self._best_fraction < 1.0:
+            keep = max(1, int(round(len(probes) * self._best_fraction)))
+            probes = sorted(probes, key=lambda probe: probe.round_trip_delay)[:keep]
+        return np.asarray([offset_from_probe(probe) for probe in probes], dtype=float)
+
+    def estimate_offset(self, probes: Sequence[SyncProbe]) -> float:
+        """Point estimate of the current offset (median of retained probes)."""
+        offsets = self.offsets(probes)
+        if offsets.size == 0:
+            raise ValueError("cannot estimate an offset from zero probes")
+        return float(np.median(offsets))
+
+    def estimate_uncertainty(self, probes: Sequence[SyncProbe]) -> float:
+        """Spread (standard deviation) of retained probe offsets."""
+        offsets = self.offsets(probes)
+        if offsets.size < 2:
+            return 0.0
+        return float(offsets.std(ddof=1))

@@ -1,0 +1,106 @@
+"""Per-client offset-distribution learner.
+
+Implements the "clients learn their own f_theta" mechanism of paper §3.3/§5:
+a sliding window of probe-derived offset observations is turned into a
+distribution estimate that the client ships to the sequencer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.distributions.estimation import (
+    DistributionEstimate,
+    estimate_empirical,
+    estimate_gaussian,
+    fit_best_distribution,
+)
+from repro.sync.estimator import OffsetEstimator
+from repro.sync.probe import SyncProbe
+
+
+class OffsetDistributionLearner:
+    """Accumulates probe offsets and produces distribution estimates.
+
+    Parameters
+    ----------
+    window:
+        Maximum number of offset observations retained (older observations
+        are discarded, keeping the estimate responsive to changing
+        synchronization conditions).
+    method:
+        ``"gaussian"`` fits a Gaussian, ``"empirical"`` a histogram,
+        ``"auto"`` performs AIC model selection across parametric families.
+    estimator:
+        Optional probe filter / offset extractor.
+    """
+
+    def __init__(
+        self,
+        window: int = 1024,
+        method: str = "gaussian",
+        estimator: Optional[OffsetEstimator] = None,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be at least 2, got {window!r}")
+        if method not in {"gaussian", "empirical", "auto"}:
+            raise ValueError(f"unknown learning method {method!r}")
+        self._window = int(window)
+        self._method = method
+        self._estimator = estimator if estimator is not None else OffsetEstimator()
+        self._offsets: Deque[float] = deque(maxlen=self._window)
+        self._probe_count = 0
+
+    @property
+    def window(self) -> int:
+        """Maximum number of observations retained."""
+        return self._window
+
+    @property
+    def observation_count(self) -> int:
+        """Number of offset observations currently in the window."""
+        return len(self._offsets)
+
+    @property
+    def probe_count(self) -> int:
+        """Total number of probes ever observed."""
+        return self._probe_count
+
+    @property
+    def method(self) -> str:
+        """The configured estimation method."""
+        return self._method
+
+    def observe_probe(self, probe: SyncProbe) -> None:
+        """Add one probe's offset observation to the window."""
+        self._probe_count += 1
+        offsets = self._estimator.offsets([probe])
+        if offsets.size:
+            self._offsets.append(float(offsets[0]))
+
+    def observe_offset(self, offset: float) -> None:
+        """Add a raw offset observation directly (e.g. from another protocol)."""
+        self._probe_count += 1
+        self._offsets.append(float(offset))
+
+    def offsets(self) -> np.ndarray:
+        """The current window of offset observations."""
+        return np.asarray(self._offsets, dtype=float)
+
+    def can_estimate(self, minimum: int = 8) -> bool:
+        """True once at least ``minimum`` observations are available."""
+        return len(self._offsets) >= minimum
+
+    def estimate(self) -> DistributionEstimate:
+        """Produce a distribution estimate from the current window."""
+        samples = self.offsets()
+        if samples.size < 2:
+            raise ValueError("need at least 2 offset observations to estimate a distribution")
+        if self._method == "gaussian":
+            return estimate_gaussian(samples)
+        if self._method == "empirical":
+            return estimate_empirical(samples)
+        return fit_best_distribution(samples)

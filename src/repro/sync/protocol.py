@@ -1,0 +1,135 @@
+"""A periodic best-effort clock-synchronization protocol.
+
+The protocol orchestrates :class:`~repro.sync.probe.ProbeExchange` rounds for
+every client (paper Figure 1: "best effort synchronization"), feeds probe
+offsets into each client's :class:`~repro.sync.learner.OffsetDistributionLearner`
+and periodically publishes updated distribution estimates to the sequencer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.clocks.local import LocalClock
+from repro.distributions.estimation import DistributionEstimate
+from repro.network.link import DelayModel
+from repro.simulation.event_loop import EventLoop
+from repro.sync.learner import OffsetDistributionLearner
+from repro.sync.probe import ProbeExchange
+
+PublishCallback = Callable[[str, DistributionEstimate], None]
+
+
+@dataclass
+class SyncSession:
+    """Probe exchange plus learner for one client."""
+
+    client_id: str
+    exchange: ProbeExchange
+    learner: OffsetDistributionLearner
+
+    def run_round(self, probes_per_round: int) -> None:
+        """Run one synchronization round (a burst of probes)."""
+        for probe in self.exchange.run_probes(probes_per_round):
+            self.learner.observe_probe(probe)
+
+    def latest_estimate(self) -> DistributionEstimate:
+        """Current distribution estimate from the learner."""
+        return self.learner.estimate()
+
+
+class SyncProtocol:
+    """Round-based synchronization across a set of clients."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        probes_per_round: int = 16,
+        round_interval: float = 1.0,
+        publish: Optional[PublishCallback] = None,
+    ) -> None:
+        if probes_per_round < 1:
+            raise ValueError("probes_per_round must be at least 1")
+        if round_interval <= 0:
+            raise ValueError("round_interval must be positive")
+        self._loop = loop
+        self._probes_per_round = int(probes_per_round)
+        self._round_interval = float(round_interval)
+        self._publish = publish
+        self._sessions: Dict[str, SyncSession] = {}
+        self._rounds_completed = 0
+        self._running = False
+
+    @property
+    def sessions(self) -> Dict[str, SyncSession]:
+        """Mapping from client id to its synchronization session."""
+        return dict(self._sessions)
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of completed synchronization rounds."""
+        return self._rounds_completed
+
+    def add_client(
+        self,
+        client_id: str,
+        clock: LocalClock,
+        forward_delay: DelayModel,
+        backward_delay: DelayModel,
+        rng: np.random.Generator,
+        learner: Optional[OffsetDistributionLearner] = None,
+    ) -> SyncSession:
+        """Register a client for synchronization."""
+        if client_id in self._sessions:
+            raise ValueError(f"duplicate sync client {client_id!r}")
+        exchange = ProbeExchange(self._loop, client_id, clock, forward_delay, backward_delay, rng)
+        session = SyncSession(
+            client_id=client_id,
+            exchange=exchange,
+            learner=learner if learner is not None else OffsetDistributionLearner(),
+        )
+        self._sessions[client_id] = session
+        return session
+
+    def run_round(self) -> None:
+        """Run one probing round for every registered client."""
+        for session in self._sessions.values():
+            session.run_round(self._probes_per_round)
+        self._rounds_completed += 1
+        if self._publish is not None:
+            for client_id, session in self._sessions.items():
+                if session.learner.can_estimate():
+                    self._publish(client_id, session.latest_estimate())
+
+    def run_rounds(self, count: int) -> None:
+        """Run ``count`` rounds back to back."""
+        for _ in range(count):
+            self.run_round()
+
+    def start(self) -> None:
+        """Start periodic rounds on the event loop."""
+        if self._running:
+            return
+        self._running = True
+        self._loop.schedule_after(self._round_interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop periodic rounds."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.run_round()
+        self._loop.schedule_after(self._round_interval, self._tick)
+
+    def estimates(self) -> Dict[str, DistributionEstimate]:
+        """Latest distribution estimate for every client that has enough probes."""
+        result: Dict[str, DistributionEstimate] = {}
+        for client_id, session in self._sessions.items():
+            if session.learner.can_estimate():
+                result[client_id] = session.latest_estimate()
+        return result

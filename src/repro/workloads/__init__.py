@@ -1,0 +1,40 @@
+"""Workload generators for auction-app scenarios.
+
+The paper's motivating workloads are *auction-apps*: many clients reacting to
+a shared sensitive event within a very small window of time (financial
+exchanges responding to market volatility, ad exchanges, sneaker drops).
+Arrival processes (:mod:`repro.workloads.arrivals`) model *when* events are
+generated in true time; scenarios (:mod:`repro.workloads.scenario`) combine
+arrivals with per-client clock-error distributions to produce the
+timestamped message sets that sequencers consume and the evaluation harness
+scores.
+"""
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstArrivals,
+    PoissonArrivals,
+    UniformGapArrivals,
+)
+from repro.workloads.scenario import ClientSpec, Scenario, ScenarioConfig, build_scenario
+from repro.workloads.multiregion import (
+    DEFAULT_REGIONS,
+    MultiRegionScenario,
+    RegionProfile,
+    build_multiregion_scenario,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "UniformGapArrivals",
+    "PoissonArrivals",
+    "BurstArrivals",
+    "ClientSpec",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+    "RegionProfile",
+    "DEFAULT_REGIONS",
+    "MultiRegionScenario",
+    "build_multiregion_scenario",
+]

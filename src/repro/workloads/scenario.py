@@ -1,0 +1,139 @@
+"""Offline evaluation scenarios: arrivals + clock errors → timestamped messages.
+
+This mirrors the paper's §4 methodology exactly: every client is assigned a
+clock-error distribution; at each ground-truth generation time ``t`` a noise
+sample ``eps`` is drawn and the message is tagged ``T = t + eps``.  The
+sequencer sees only ``T`` (and the client's distribution); ground-truth times
+are retained on the message for scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions.base import OffsetDistribution
+from repro.distributions.parametric import GaussianDistribution
+from repro.network.message import TimestampedMessage
+from repro.workloads.arrivals import ArrivalProcess, UniformGapArrivals
+
+DistributionFactory = Callable[[int, np.random.Generator], OffsetDistribution]
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """One client's identity and ground-truth clock-error distribution."""
+
+    client_id: str
+    distribution: OffsetDistribution
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Configuration of an offline evaluation scenario.
+
+    Attributes
+    ----------
+    num_clients:
+        Number of clients (the paper uses 500).
+    arrivals:
+        Arrival process producing ground-truth generation times.
+    distribution_factory:
+        Callable ``(client_index, rng) -> OffsetDistribution`` assigning each
+        client its clock-error distribution.  Defaults to zero-mean Gaussians
+        with per-client standard deviations drawn uniformly from
+        ``[0, default_sigma]``.
+    default_sigma:
+        Scale used by the default distribution factory.
+    seed:
+        Root seed for all randomness in the scenario.
+    """
+
+    num_clients: int = 500
+    arrivals: ArrivalProcess = field(default_factory=lambda: UniformGapArrivals(messages_per_client=1, gap=1.0))
+    distribution_factory: Optional[DistributionFactory] = None
+    default_sigma: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError("num_clients must be at least 1")
+        if self.default_sigma < 0:
+            raise ValueError("default_sigma must be non-negative")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A generated scenario: messages plus ground-truth client distributions."""
+
+    messages: Tuple[TimestampedMessage, ...]
+    clients: Tuple[ClientSpec, ...]
+    config: ScenarioConfig
+
+    @property
+    def client_distributions(self) -> Dict[str, OffsetDistribution]:
+        """Mapping from client id to its ground-truth error distribution."""
+        return {client.client_id: client.distribution for client in self.clients}
+
+    @property
+    def client_ids(self) -> Tuple[str, ...]:
+        """All client ids."""
+        return tuple(client.client_id for client in self.clients)
+
+    def messages_by_true_time(self) -> List[TimestampedMessage]:
+        """Messages sorted by ground-truth generation time."""
+        return sorted(self.messages, key=lambda message: message.true_time)
+
+    def messages_by_client(self) -> Dict[str, List[TimestampedMessage]]:
+        """Messages grouped per client, each group in true-time order."""
+        grouped: Dict[str, List[TimestampedMessage]] = {client_id: [] for client_id in self.client_ids}
+        for message in self.messages_by_true_time():
+            grouped[message.client_id].append(message)
+        return grouped
+
+
+def _default_factory(default_sigma: float) -> DistributionFactory:
+    def factory(client_index: int, rng: np.random.Generator) -> OffsetDistribution:
+        sigma = float(rng.uniform(0.0, default_sigma)) if default_sigma > 0 else 0.0
+        sigma = max(sigma, 1e-9)
+        return GaussianDistribution(0.0, sigma)
+
+    return factory
+
+
+def build_scenario(config: ScenarioConfig) -> Scenario:
+    """Generate messages and client distributions for ``config``.
+
+    Deterministic for a given configuration (all randomness flows from
+    ``config.seed``).
+    """
+    rng = np.random.default_rng(config.seed)
+    factory = config.distribution_factory or _default_factory(config.default_sigma)
+
+    clients: List[ClientSpec] = []
+    for index in range(config.num_clients):
+        client_id = f"client-{index:04d}"
+        clients.append(ClientSpec(client_id=client_id, distribution=factory(index, rng)))
+
+    arrival_times = config.arrivals.generate([client.client_id for client in clients], rng)
+    distributions = {client.client_id: client.distribution for client in clients}
+
+    messages: List[TimestampedMessage] = []
+    sequence_numbers: Dict[str, int] = {client.client_id: 0 for client in clients}
+    for client_id, times in arrival_times.items():
+        for true_time in times:
+            noise = float(distributions[client_id].sample(rng))
+            sequence_numbers[client_id] += 1
+            messages.append(
+                TimestampedMessage(
+                    client_id=client_id,
+                    timestamp=true_time + noise,
+                    true_time=true_time,
+                    payload=None,
+                    sequence_number=sequence_numbers[client_id],
+                )
+            )
+    messages.sort(key=lambda message: message.true_time)
+    return Scenario(messages=tuple(messages), clients=tuple(clients), config=config)

@@ -1,0 +1,58 @@
+"""Tests for the sealed-bid second-price auction."""
+
+import pytest
+
+from repro.apps.auction import Bid, SealedBidAuction
+
+
+def test_second_price_rule():
+    auction = SealedBidAuction()
+    outcome = auction.resolve([Bid("a", 10.0), Bid("b", 8.0), Bid("c", 5.0)])
+    assert outcome.winner == "a"
+    assert outcome.clearing_price == 8.0
+    assert outcome.had_winner
+
+
+def test_single_bid_pays_reserve():
+    auction = SealedBidAuction(reserve_price=2.0)
+    outcome = auction.resolve([Bid("solo", 10.0)])
+    assert outcome.winner == "solo"
+    assert outcome.clearing_price == 2.0
+
+
+def test_reserve_price_filters_low_bids():
+    auction = SealedBidAuction(reserve_price=6.0)
+    outcome = auction.resolve([Bid("low", 5.0), Bid("lower", 3.0)])
+    assert outcome.winner is None
+    assert not outcome.had_winner
+
+
+def test_capacity_rejects_late_bids_so_order_matters():
+    auction = SealedBidAuction(capacity=2)
+    early_order = auction.resolve([Bid("a", 5.0), Bid("b", 6.0), Bid("late-high", 100.0)])
+    assert early_order.winner == "b"
+    assert len(early_order.rejected_late) == 1
+    reordered = auction.resolve([Bid("late-high", 100.0), Bid("a", 5.0), Bid("b", 6.0)])
+    assert reordered.winner == "late-high"
+
+
+def test_deterministic_tie_break_by_client_id():
+    auction = SealedBidAuction()
+    outcome = auction.resolve([Bid("zed", 10.0), Bid("alice", 10.0)])
+    assert outcome.winner == "alice"
+    assert outcome.clearing_price == 10.0
+
+
+def test_no_bids_yields_no_winner():
+    outcome = SealedBidAuction().resolve([])
+    assert outcome.winner is None
+    assert outcome.clearing_price == 0.0
+
+
+def test_invalid_configuration_and_bids_rejected():
+    with pytest.raises(ValueError):
+        SealedBidAuction(capacity=0)
+    with pytest.raises(ValueError):
+        SealedBidAuction(reserve_price=-1.0)
+    with pytest.raises(ValueError):
+        Bid("a", -5.0)

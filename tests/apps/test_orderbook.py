@@ -1,0 +1,106 @@
+"""Tests for the limit order book matching engine."""
+
+import pytest
+
+from repro.apps.orderbook import LimitOrderBook, Order, OrderSide
+
+
+def buy(client, price, qty):
+    return Order(client_id=client, side=OrderSide.BUY, price=price, quantity=qty)
+
+
+def sell(client, price, qty):
+    return Order(client_id=client, side=OrderSide.SELL, price=price, quantity=qty)
+
+
+def test_crossing_orders_trade_at_resting_price():
+    book = LimitOrderBook()
+    book.submit(sell("maker", 100.0, 10))
+    trades = book.submit(buy("taker", 105.0, 10))
+    assert len(trades) == 1
+    assert trades[0].price == 100.0
+    assert trades[0].quantity == 10
+    assert trades[0].buy_client == "taker"
+    assert trades[0].sell_client == "maker"
+    assert book.depth() == {"bids": 0, "asks": 0}
+
+
+def test_non_crossing_orders_rest_in_the_book():
+    book = LimitOrderBook()
+    book.submit(buy("a", 99.0, 5))
+    book.submit(sell("b", 101.0, 5))
+    assert book.trades == []
+    assert book.best_bid() == 99.0
+    assert book.best_ask() == 101.0
+
+
+def test_partial_fill_leaves_remainder_resting():
+    book = LimitOrderBook()
+    book.submit(sell("maker", 100.0, 10))
+    book.submit(buy("taker", 100.0, 4))
+    assert book.depth()["asks"] == 6
+    trades = book.submit(buy("taker2", 100.0, 6))
+    assert trades[0].quantity == 6
+    assert book.depth()["asks"] == 0
+
+
+def test_price_priority_better_price_fills_first():
+    book = LimitOrderBook()
+    book.submit(sell("expensive", 101.0, 5))
+    book.submit(sell("cheap", 100.0, 5))
+    trades = book.submit(buy("taker", 101.0, 5))
+    assert trades[0].sell_client == "cheap"
+
+
+def test_time_priority_at_same_price():
+    book = LimitOrderBook()
+    book.submit(sell("first", 100.0, 5))
+    book.submit(sell("second", 100.0, 5))
+    trades = book.submit(buy("taker", 100.0, 5))
+    assert trades[0].sell_client == "first"
+
+
+def test_sequencing_order_decides_who_trades():
+    """The same order set produces different winners under different sequencers."""
+    orders = [sell("maker", 100.0, 5), buy("fast", 100.0, 5), buy("slow", 100.0, 5)]
+
+    book_fair = LimitOrderBook()
+    book_fair.submit_all(orders)
+    assert book_fair.trades[0].buy_client == "fast"
+
+    book_unfair = LimitOrderBook()
+    book_unfair.submit_all([orders[0], orders[2], orders[1]])
+    assert book_unfair.trades[0].buy_client == "slow"
+
+
+def test_aggressive_order_sweeps_multiple_levels():
+    book = LimitOrderBook()
+    book.submit(sell("a", 100.0, 3))
+    book.submit(sell("b", 101.0, 3))
+    trades = book.submit(buy("taker", 102.0, 6))
+    assert len(trades) == 2
+    assert sum(trade.quantity for trade in trades) == 6
+    assert trades[0].price == 100.0
+    assert trades[1].price == 101.0
+
+
+def test_fills_by_client_tally():
+    book = LimitOrderBook()
+    book.submit(sell("maker", 100.0, 10))
+    book.submit(buy("taker", 100.0, 10))
+    fills = book.fills_by_client()
+    assert fills["maker"] == 10
+    assert fills["taker"] == 10
+
+
+def test_invalid_orders_rejected():
+    with pytest.raises(ValueError):
+        Order(client_id="a", side=OrderSide.BUY, price=0.0, quantity=1)
+    with pytest.raises(ValueError):
+        Order(client_id="a", side=OrderSide.BUY, price=1.0, quantity=0)
+
+
+def test_processed_order_count():
+    book = LimitOrderBook()
+    book.submit_all([buy("a", 99.0, 1), sell("b", 100.0, 1)])
+    assert book.processed_orders == 2

@@ -1,0 +1,57 @@
+"""Tests for the replicated log consumer."""
+
+import pytest
+
+from repro.apps.replicated_log import ReplicatedLog
+from repro.network.message import SequencedBatch
+from tests.conftest import make_message
+
+
+def batch(rank, clients):
+    return SequencedBatch(rank=rank, messages=tuple(make_message(c, float(rank)) for c in clients))
+
+
+def test_apply_in_rank_order():
+    log = ReplicatedLog()
+    log.apply(batch(0, ["a"]))
+    log.apply(batch(1, ["b", "c"]))
+    assert log.next_rank == 2
+    assert log.applied_message_count == 3
+    assert [entry.rank for entry in log.entries] == [0, 1]
+
+
+def test_rank_gap_rejected():
+    log = ReplicatedLog()
+    log.apply(batch(0, ["a"]))
+    with pytest.raises(ValueError):
+        log.apply(batch(2, ["b"]))
+
+
+def test_out_of_order_rejected():
+    log = ReplicatedLog()
+    with pytest.raises(ValueError):
+        log.apply(batch(1, ["a"]))
+
+
+def test_duplicate_message_rejected():
+    log = ReplicatedLog()
+    first = batch(0, ["a"])
+    log.apply(first)
+    duplicate = SequencedBatch(rank=1, messages=first.messages)
+    with pytest.raises(ValueError):
+        log.apply(duplicate)
+
+
+def test_contains_reflects_applied_messages():
+    log = ReplicatedLog()
+    applied = batch(0, ["a"])
+    log.apply(applied)
+    assert log.contains(applied.messages[0])
+    assert not log.contains(make_message("z", 9.0))
+
+
+def test_apply_all_convenience():
+    log = ReplicatedLog()
+    entries = log.apply_all([batch(0, ["a"]), batch(1, ["b"])])
+    assert len(entries) == 2
+    assert log.next_rank == 2

@@ -1,0 +1,63 @@
+"""Tests for clock drift models."""
+
+import pytest
+
+from repro.clocks.drift import ConstantDrift, NoDrift, RandomWalkDrift
+
+
+def test_no_drift_is_zero_everywhere():
+    drift = NoDrift()
+    assert drift.offset_at(0.0) == 0.0
+    assert drift.offset_at(1e6) == 0.0
+
+
+def test_constant_drift_grows_linearly():
+    drift = ConstantDrift(rate_ppm=10.0)
+    assert drift.offset_at(0.0) == pytest.approx(0.0)
+    assert drift.offset_at(1.0) == pytest.approx(10e-6)
+    assert drift.offset_at(100.0) == pytest.approx(1e-3)
+
+
+def test_constant_drift_respects_start_time():
+    drift = ConstantDrift(rate_ppm=10.0, start_time=50.0)
+    assert drift.offset_at(50.0) == pytest.approx(0.0)
+    assert drift.offset_at(60.0) == pytest.approx(100e-6)
+
+
+def test_constant_drift_rate_property_round_trips():
+    assert ConstantDrift(rate_ppm=25.0).rate_ppm == pytest.approx(25.0)
+
+
+def test_random_walk_is_deterministic_for_seed():
+    a = RandomWalkDrift(step_std=1e-6, step_interval=1.0, seed=3)
+    b = RandomWalkDrift(step_std=1e-6, step_interval=1.0, seed=3)
+    times = [0.5, 1.7, 10.3, 100.1]
+    assert [a.offset_at(t) for t in times] == [b.offset_at(t) for t in times]
+
+
+def test_random_walk_query_order_does_not_matter():
+    a = RandomWalkDrift(step_std=1e-6, seed=5)
+    b = RandomWalkDrift(step_std=1e-6, seed=5)
+    forward = [a.offset_at(t) for t in (1.0, 50.0)]
+    backward = [b.offset_at(t) for t in (50.0, 1.0)][::-1]
+    assert forward == pytest.approx(backward)
+
+
+def test_random_walk_is_zero_at_or_before_time_zero():
+    drift = RandomWalkDrift(step_std=1e-6, seed=1)
+    assert drift.offset_at(0.0) == 0.0
+    assert drift.offset_at(-5.0) == 0.0
+
+
+def test_random_walk_reset_clears_state():
+    drift = RandomWalkDrift(step_std=1e-6, seed=1)
+    value = drift.offset_at(10.0)
+    drift.reset()
+    assert drift.offset_at(10.0) == pytest.approx(value)
+
+
+def test_invalid_parameters_raise():
+    with pytest.raises(ValueError):
+        RandomWalkDrift(step_std=-1.0)
+    with pytest.raises(ValueError):
+        RandomWalkDrift(step_std=1.0, step_interval=0.0)

@@ -1,0 +1,81 @@
+"""Tests for the local clock model."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.drift import ConstantDrift
+from repro.clocks.local import LocalClock
+from repro.distributions.parametric import GaussianDistribution
+from repro.simulation.event_loop import EventLoop
+
+
+def make_clock(loop, mean=0.0, std=1.0, **kwargs):
+    return LocalClock(loop, GaussianDistribution(mean, std), np.random.default_rng(0), **kwargs)
+
+
+def test_reading_reports_true_time_plus_error():
+    loop = EventLoop(start_time=100.0)
+    clock = make_clock(loop, mean=5.0, std=0.0)
+    reading = clock.read()
+    assert reading.true_time == 100.0
+    assert reading.reported == pytest.approx(105.0)
+    assert reading.error == pytest.approx(5.0)
+
+
+def test_fresh_offset_sampled_every_read_by_default():
+    loop = EventLoop()
+    clock = make_clock(loop, std=1.0)
+    offsets = {clock.read().offset for _ in range(10)}
+    assert len(offsets) > 1
+
+
+def test_fixed_offset_mode_holds_one_draw():
+    loop = EventLoop()
+    clock = make_clock(loop, std=1.0, resample_every_read=False)
+    offsets = {clock.read().offset for _ in range(10)}
+    assert len(offsets) == 1
+
+
+def test_drift_accumulates_with_true_time():
+    loop = EventLoop()
+    clock = make_clock(loop, std=0.0, drift=ConstantDrift(rate_ppm=1000.0))
+    loop.schedule_at(10.0, lambda: None)
+    loop.run()
+    reading = clock.read()
+    assert reading.drift == pytest.approx(10.0 * 1000e-6)
+    assert reading.reported == pytest.approx(10.0 + 0.01)
+
+
+def test_read_jitter_adds_noise():
+    loop = EventLoop()
+    clock = make_clock(loop, std=0.0, read_jitter_std=0.5)
+    jitters = [clock.read().jitter for _ in range(20)]
+    assert any(abs(j) > 0 for j in jitters)
+
+
+def test_negative_jitter_std_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        make_clock(loop, read_jitter_std=-1.0)
+
+
+def test_read_count_increments():
+    loop = EventLoop()
+    clock = make_clock(loop)
+    for _ in range(3):
+        clock.read()
+    assert clock.reads == 3
+
+
+def test_now_returns_reported_timestamp():
+    loop = EventLoop(start_time=50.0)
+    clock = make_clock(loop, mean=0.0, std=0.0)
+    assert clock.now() == pytest.approx(50.0)
+
+
+def test_sampled_errors_follow_distribution_statistics():
+    loop = EventLoop()
+    clock = make_clock(loop, mean=2.0, std=3.0)
+    errors = np.array([clock.read().offset for _ in range(4000)])
+    assert errors.mean() == pytest.approx(2.0, abs=0.2)
+    assert errors.std() == pytest.approx(3.0, abs=0.2)

@@ -1,0 +1,13 @@
+"""Tests for the reference (omniscient observer) clock."""
+
+from repro.clocks.reference import ReferenceClock
+from repro.simulation.event_loop import EventLoop
+
+
+def test_reference_clock_tracks_loop_time():
+    loop = EventLoop(start_time=2.0)
+    clock = ReferenceClock(loop)
+    assert clock.now() == 2.0
+    loop.schedule_at(9.0, lambda: None)
+    loop.run()
+    assert clock.now() == 9.0

@@ -1,0 +1,63 @@
+"""Tests for the TrueTime interval clock."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.local import LocalClock
+from repro.clocks.truetime import TrueTimeClock, TrueTimeInterval
+from repro.distributions.parametric import GaussianDistribution
+from repro.simulation.event_loop import EventLoop
+
+
+def test_interval_orders_and_width():
+    interval = TrueTimeInterval(1.0, 3.0)
+    assert interval.midpoint == 2.0
+    assert interval.width == 2.0
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(ValueError):
+        TrueTimeInterval(3.0, 1.0)
+
+
+def test_overlap_and_definitely_before():
+    a = TrueTimeInterval(0.0, 2.0)
+    b = TrueTimeInterval(1.5, 3.0)
+    c = TrueTimeInterval(2.5, 4.0)
+    assert a.overlaps(b)
+    assert b.overlaps(a)
+    assert not a.overlaps(c)
+    assert a.definitely_before(c)
+    assert not a.definitely_before(b)
+
+
+def test_touching_intervals_overlap():
+    a = TrueTimeInterval(0.0, 1.0)
+    b = TrueTimeInterval(1.0, 2.0)
+    assert a.overlaps(b)
+    assert not a.definitely_before(b)
+
+
+def test_clock_interval_uses_sigma_multiplier():
+    loop = EventLoop(start_time=10.0)
+    clock = LocalClock(loop, GaussianDistribution(0.0, 2.0), np.random.default_rng(0))
+    truetime = TrueTimeClock(clock, sigma_multiplier=3.0)
+    interval = truetime.now_interval()
+    assert interval.width == pytest.approx(12.0)
+
+
+def test_interval_for_existing_reading_is_centered_on_reported():
+    loop = EventLoop(start_time=10.0)
+    clock = LocalClock(loop, GaussianDistribution(0.0, 1.0), np.random.default_rng(0))
+    truetime = TrueTimeClock(clock, sigma_multiplier=2.0)
+    reading = clock.read()
+    interval = truetime.interval_for(reading)
+    assert interval.midpoint == pytest.approx(reading.reported)
+    assert interval.width == pytest.approx(4.0)
+
+
+def test_non_positive_multiplier_rejected():
+    loop = EventLoop()
+    clock = LocalClock(loop, GaussianDistribution(0.0, 1.0), np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        TrueTimeClock(clock, sigma_multiplier=0.0)

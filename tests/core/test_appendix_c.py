@@ -1,0 +1,91 @@
+"""Reproduction of the paper's Appendix C online-sequencing example (APPC).
+
+Two clients: C1 (precise clock) sends messages 1a and 1b, C2 (noisy clock)
+sends message 2.  True generation times 100.0, 100.2, 100.3; reported
+timestamps 100.0, 100.6, 100.3.  The sequencer must (i) keep all three in one
+batch because C2's uncertainty prevents confident separation, (ii) only emit
+once every client has shown progress beyond the batch horizon (Q2) and the
+safe emission time T_b = max_k T^F_k has passed (Q1).
+"""
+
+import pytest
+
+from repro.core.config import TommyConfig
+from repro.core.online import OnlineTommySequencer
+from repro.distributions.parametric import GaussianDistribution
+from repro.network.message import Heartbeat
+from repro.simulation.event_loop import EventLoop
+from tests.conftest import make_message
+
+C1_SIGMA = 0.05
+C2_SIGMA = 1.0
+
+
+@pytest.fixture
+def online_setup():
+    loop = EventLoop(start_time=100.0)
+    distributions = {
+        "c1": GaussianDistribution(0.0, C1_SIGMA),
+        "c2": GaussianDistribution(0.4, C2_SIGMA),
+    }
+    sequencer = OnlineTommySequencer(
+        loop,
+        distributions,
+        TommyConfig(completeness_mode="heartbeat", p_safe=0.999),
+        known_clients=["c1", "c2"],
+    )
+    return loop, sequencer
+
+
+def test_step_by_step_batch_growth(online_setup):
+    loop, sequencer = online_setup
+    msg_1a = make_message("c1", 100.0, true_time=100.0)
+    msg_2 = make_message("c2", 100.6, true_time=100.2)
+    msg_1b = make_message("c1", 100.3, true_time=100.3)
+
+    # Step 1: 1a arrives and forms a tentative batch of its own
+    sequencer.receive(msg_1a, arrival_time=loop.now)
+    assert len(sequencer.pending_messages) == 1
+
+    # Step 2: the high-uncertainty message joins the same (still-open) batch
+    sequencer.receive(msg_2, arrival_time=loop.now)
+    groups = sequencer._tentative_groups()
+    assert len(groups[0]) == 2
+
+    # Step 3: 1b, although clearly after 1a locally, cannot be separated from 2
+    sequencer.receive(msg_1b, arrival_time=loop.now)
+    groups = sequencer._tentative_groups()
+    assert len(groups) == 1
+    assert len(groups[0]) == 3
+
+    # Step 4: nothing can be emitted before completeness + T_b
+    assert sequencer.emitted_batches == []
+    sequencer.receive(Heartbeat(client_id="c1", timestamp=200.0), arrival_time=loop.now)
+    sequencer.receive(Heartbeat(client_id="c2", timestamp=200.0), arrival_time=loop.now)
+    loop.run(until=200.0)
+    assert len(sequencer.emitted_batches) == 1
+    batch = sequencer.emitted_batches[0]
+    assert batch.size == 3
+
+    # the emission respected the safe emission time of the noisiest member
+    t_b = sequencer.safe_emission_time(list(batch.batch.messages))
+    assert batch.emitted_at >= t_b - 1e-9
+
+
+def test_safe_emission_time_dominated_by_noisy_client(online_setup):
+    _loop, sequencer = online_setup
+    msg_1a = make_message("c1", 100.0, true_time=100.0)
+    msg_2 = make_message("c2", 100.6, true_time=100.2)
+    t_f_1a = sequencer.model.safe_emission_time(msg_1a, 0.999)
+    t_f_2 = sequencer.model.safe_emission_time(msg_2, 0.999)
+    assert t_f_2 > t_f_1a
+    assert sequencer.safe_emission_time([msg_1a, msg_2]) == pytest.approx(t_f_2)
+
+
+def test_without_heartbeats_the_batch_is_never_emitted(online_setup):
+    loop, sequencer = online_setup
+    sequencer.receive(make_message("c1", 100.0, true_time=100.0), arrival_time=loop.now)
+    loop.run(until=500.0)
+    # c2 never spoke: Q2 cannot be satisfied, so the sequencer must hold the batch
+    assert sequencer.emitted_batches == []
+    assert len(sequencer.pending_messages) == 1

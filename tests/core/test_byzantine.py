@@ -1,0 +1,122 @@
+"""Tests for Byzantine timestamp auditing and mitigation."""
+
+import pytest
+
+from repro.core.byzantine import ByzantineAuditor
+from repro.distributions.parametric import GaussianDistribution
+from tests.conftest import make_message
+
+
+def make_auditor(**kwargs):
+    defaults = dict(
+        client_distributions={
+            "honest": GaussianDistribution(0.0, 0.001),
+            "cheater": GaussianDistribution(0.0, 0.001),
+        },
+        min_network_delay=0.0005,
+        max_network_delay=0.01,
+        tail_probability=1e-4,
+        exclusion_threshold=3,
+    )
+    defaults.update(kwargs)
+    return ByzantineAuditor(**defaults)
+
+
+def test_honest_timestamp_is_plausible():
+    auditor = make_auditor()
+    message = make_message("honest", timestamp=10.0)
+    verdict = auditor.audit(message, arrival_time=10.002)
+    assert verdict.plausible
+    assert not verdict.suspicious
+    assert auditor.violation_count("honest") == 0
+
+
+def test_backdated_timestamp_is_flagged():
+    auditor = make_auditor()
+    # claims to have been generated 5 seconds before it arrived, impossible
+    # given a 10ms max delay and sub-millisecond clock error
+    message = make_message("cheater", timestamp=5.0)
+    verdict = auditor.audit(message, arrival_time=10.0)
+    assert not verdict.plausible
+    assert verdict.clamped_timestamp is not None
+    assert verdict.clamped_timestamp > message.timestamp
+    assert auditor.violation_count("cheater") == 1
+
+
+def test_future_dated_timestamp_is_flagged():
+    auditor = make_auditor()
+    message = make_message("cheater", timestamp=20.0)
+    verdict = auditor.audit(message, arrival_time=10.0)
+    assert not verdict.plausible
+    assert verdict.clamped_timestamp < message.timestamp
+
+
+def test_exclusion_after_repeated_violations():
+    auditor = make_auditor(exclusion_threshold=2)
+    for _ in range(2):
+        auditor.audit(make_message("cheater", timestamp=0.0), arrival_time=100.0)
+    assert auditor.is_excluded("cheater")
+    assert auditor.excluded_clients() == ["cheater"]
+    assert not auditor.is_excluded("honest")
+
+
+def test_sanitize_clamps_then_drops():
+    auditor = make_auditor(exclusion_threshold=2)
+    first = auditor.sanitize(make_message("cheater", timestamp=0.0), arrival_time=100.0)
+    assert first is not None
+    assert first.timestamp > 0.0  # clamped toward the plausible range
+    second = auditor.sanitize(make_message("cheater", timestamp=0.0), arrival_time=200.0)
+    assert second is None  # excluded now
+
+
+def test_sanitize_passes_honest_messages_through():
+    auditor = make_auditor()
+    message = make_message("honest", timestamp=10.0)
+    assert auditor.sanitize(message, arrival_time=10.001) is message
+
+
+def test_suspicion_score_tracks_violation_fraction():
+    auditor = make_auditor(exclusion_threshold=100)
+    auditor.audit(make_message("cheater", timestamp=10.0), arrival_time=10.001)
+    auditor.audit(make_message("cheater", timestamp=0.0), arrival_time=10.0)
+    assert auditor.suspicion_score("cheater") == pytest.approx(0.5)
+    assert auditor.suspicion_score("never-seen") == 0.0
+
+
+def test_plausible_bounds_widen_with_clock_uncertainty():
+    auditor = ByzantineAuditor(
+        client_distributions={
+            "tight": GaussianDistribution(0.0, 0.0001),
+            "loose": GaussianDistribution(0.0, 0.1),
+        },
+        max_network_delay=0.01,
+    )
+    tight_lo, tight_hi = auditor.plausible_bounds("tight")
+    loose_lo, loose_hi = auditor.plausible_bounds("loose")
+    assert loose_hi - loose_lo > tight_hi - tight_lo
+
+
+def test_unknown_client_raises():
+    auditor = make_auditor()
+    with pytest.raises(KeyError):
+        auditor.audit(make_message("stranger", timestamp=1.0), arrival_time=1.0)
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        make_auditor(max_network_delay=0.0001, min_network_delay=0.01)
+    with pytest.raises(ValueError):
+        make_auditor(min_network_delay=-1.0)
+    with pytest.raises(ValueError):
+        make_auditor(tail_probability=0.7)
+    with pytest.raises(ValueError):
+        make_auditor(exclusion_threshold=0)
+
+
+def test_verdict_history_is_kept():
+    auditor = make_auditor()
+    auditor.audit(make_message("honest", timestamp=10.0), arrival_time=10.001)
+    auditor.audit(make_message("cheater", timestamp=0.0), arrival_time=10.0)
+    verdicts = auditor.verdicts
+    assert len(verdicts) == 2
+    assert verdicts[0].plausible and not verdicts[1].plausible

@@ -1,0 +1,141 @@
+"""Property-based tests for Tommy's core invariants (hypothesis).
+
+The headline property is the paper's Appendix A result: for Gaussian clock
+errors the preference relation induced by the preceding probability is
+transitive, so the kept-edge tournament is acyclic and has a unique
+topological order.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batching import form_batches
+from repro.core.config import TommyConfig
+from repro.core.probability import PrecedenceModel, gaussian_preceding_probability
+from repro.core.relation import LikelyHappenedBefore
+from repro.core.sequencer import TommySequencer
+from repro.core.tournament import TournamentGraph
+from repro.distributions.parametric import GaussianDistribution
+from repro.network.message import TimestampedMessage
+
+timestamps = st.floats(min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False)
+means = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+stds = st.floats(min_value=0.01, max_value=30.0, allow_nan=False, allow_infinity=False)
+
+client_specs = st.lists(
+    st.tuples(timestamps, means, stds),
+    min_size=3,
+    max_size=7,
+)
+
+
+def build_messages_and_model(specs):
+    model = PrecedenceModel()
+    messages = []
+    for index, (timestamp, mean, std) in enumerate(specs):
+        client_id = f"client-{index}"
+        model.register_client(client_id, GaussianDistribution(mean, std))
+        messages.append(
+            TimestampedMessage(client_id=client_id, timestamp=timestamp, true_time=timestamp)
+        )
+    return messages, model
+
+
+@given(specs=client_specs)
+@settings(max_examples=60, deadline=None)
+def test_gaussian_relation_is_transitive_appendix_a(specs):
+    """Appendix A: Gaussian errors always yield a transitive tournament."""
+    messages, model = build_messages_and_model(specs)
+    relation = LikelyHappenedBefore.from_model(messages, model)
+    tournament = TournamentGraph.from_relation(relation)
+    assert tournament.is_acyclic()
+    assert tournament.is_transitive_tournament()
+
+
+@given(specs=client_specs)
+@settings(max_examples=40, deadline=None)
+def test_topological_order_sorts_by_bias_corrected_timestamp(specs):
+    """For Gaussian errors the unique linear order is by mean-corrected timestamp."""
+    messages, model = build_messages_and_model(specs)
+    relation = LikelyHappenedBefore.from_model(messages, model)
+    tournament = TournamentGraph.from_relation(relation)
+    order = tournament.topological_order()
+    corrected = {
+        message.key: message.timestamp - model.distribution_for(message.client_id).mean
+        for message in messages
+    }
+    values = [corrected[key] for key in order]
+    assert all(values[k] <= values[k + 1] + 1e-6 for k in range(len(values) - 1))
+
+
+@given(specs=client_specs, threshold=st.floats(min_value=0.5, max_value=0.99))
+@settings(max_examples=40, deadline=None)
+def test_batches_partition_messages(specs, threshold):
+    """Every message lands in exactly one batch and ranks are consecutive."""
+    messages, model = build_messages_and_model(specs)
+    relation = LikelyHappenedBefore.from_model(messages, model)
+    tournament = TournamentGraph.from_relation(relation)
+    outcome = form_batches(tournament.topological_order(), relation, threshold=min(threshold, 0.999))
+    seen = [message.key for batch in outcome.batches for message in batch.messages]
+    assert sorted(seen) == sorted(message.key for message in messages)
+    assert [batch.rank for batch in outcome.batches] == list(range(len(outcome.batches)))
+
+
+@given(specs=client_specs)
+@settings(max_examples=30, deadline=None)
+def test_strict_batches_never_finer_than_adjacent(specs):
+    messages, model = build_messages_and_model(specs)
+    relation = LikelyHappenedBefore.from_model(messages, model)
+    order = TournamentGraph.from_relation(relation).topological_order()
+    adjacent = form_batches(order, relation, threshold=0.75, mode="adjacent")
+    strict = form_batches(order, relation, threshold=0.75, mode="strict")
+    assert strict.batch_count <= adjacent.batch_count
+
+
+@given(
+    t_i=timestamps,
+    t_j=timestamps,
+    mean_i=means,
+    mean_j=means,
+    std_i=stds,
+    std_j=stds,
+)
+@settings(max_examples=80, deadline=None)
+def test_preceding_probability_complementarity(t_i, t_j, mean_i, mean_j, std_i, std_j):
+    dist_i = GaussianDistribution(mean_i, std_i)
+    dist_j = GaussianDistribution(mean_j, std_j)
+    forward = gaussian_preceding_probability(t_i, t_j, dist_i, dist_j)
+    backward = gaussian_preceding_probability(t_j, t_i, dist_j, dist_i)
+    assert 0.0 <= forward <= 1.0
+    assert abs(forward + backward - 1.0) < 1e-9
+
+
+@given(
+    t_i=timestamps,
+    shift=st.floats(min_value=0.1, max_value=100.0),
+    mean=means,
+    std=stds,
+)
+@settings(max_examples=60, deadline=None)
+def test_preceding_probability_monotone_in_gap(t_i, shift, mean, std):
+    dist = GaussianDistribution(mean, std)
+    close = gaussian_preceding_probability(t_i, t_i + shift, dist, dist)
+    far = gaussian_preceding_probability(t_i, t_i + 2 * shift, dist, dist)
+    assert far >= close - 1e-12
+    assert close >= 0.5 - 1e-12
+
+
+@given(specs=client_specs, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=30, deadline=None)
+def test_sequencer_is_deterministic_for_fixed_inputs(specs, seed):
+    messages, _model = build_messages_and_model(specs)
+    distributions = {
+        f"client-{index}": GaussianDistribution(mean, std)
+        for index, (_t, mean, std) in enumerate(specs)
+    }
+    config = TommyConfig(seed=seed)
+    first = TommySequencer(distributions, config).sequence(messages)
+    second = TommySequencer(distributions, config).sequence(messages)
+    assert first.rank_of() == second.rank_of()
+    assert first.batch_sizes == second.batch_sizes

@@ -1,0 +1,155 @@
+"""Tests for the preceding-probability model (paper §3.2, §3.3)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.probability import PrecedenceModel, gaussian_preceding_probability
+from repro.distributions.parametric import GaussianDistribution, UniformDistribution
+from repro.distributions.mixtures import MixtureDistribution
+from tests.conftest import make_message
+
+
+def test_closed_form_matches_phi_formula():
+    dist_i = GaussianDistribution(0.0, 3.0)
+    dist_j = GaussianDistribution(0.0, 4.0)
+    t_i, t_j = 10.0, 12.0
+    expected = stats.norm.cdf((t_j - t_i) / 5.0)
+    assert gaussian_preceding_probability(t_i, t_j, dist_i, dist_j) == pytest.approx(expected)
+
+
+def test_closed_form_accounts_for_mean_bias():
+    # client j's clock runs 5 ahead on average, so equal reported timestamps
+    # mean j's message was actually generated earlier -> P(i before j) < 0.5
+    dist_i = GaussianDistribution(0.0, 1.0)
+    dist_j = GaussianDistribution(5.0, 1.0)
+    p = gaussian_preceding_probability(10.0, 10.0, dist_i, dist_j)
+    assert p < 0.01
+
+
+def test_zero_variance_degenerates_to_deterministic_comparison():
+    exact = GaussianDistribution(0.0, 0.0)
+    assert gaussian_preceding_probability(1.0, 2.0, exact, exact) == 1.0
+    assert gaussian_preceding_probability(2.0, 1.0, exact, exact) == 0.0
+    assert gaussian_preceding_probability(1.0, 1.0, exact, exact) == 0.5
+
+
+def test_equal_timestamps_equal_clients_give_half():
+    model = PrecedenceModel()
+    model.register_client("a", GaussianDistribution(0.0, 1.0))
+    model.register_client("b", GaussianDistribution(0.0, 2.0))
+    p = model.preceding_probability(make_message("a", 5.0), make_message("b", 5.0))
+    assert p == pytest.approx(0.5)
+
+
+def test_probability_complementarity():
+    model = PrecedenceModel()
+    model.register_client("a", GaussianDistribution(0.0, 1.0))
+    model.register_client("b", GaussianDistribution(0.5, 2.0))
+    m_a, m_b = make_message("a", 3.0), make_message("b", 4.0)
+    forward = model.preceding_probability(m_a, m_b)
+    backward = model.preceding_probability(m_b, m_a)
+    assert forward + backward == pytest.approx(1.0, abs=1e-9)
+
+
+def test_larger_gap_increases_confidence():
+    model = PrecedenceModel()
+    model.register_client("a", GaussianDistribution(0.0, 1.0))
+    model.register_client("b", GaussianDistribution(0.0, 1.0))
+    small = model.preceding_probability(make_message("a", 0.0), make_message("b", 0.5))
+    large = model.preceding_probability(make_message("a", 0.0), make_message("b", 5.0))
+    assert 0.5 < small < large < 1.0 + 1e-12
+
+
+def test_fft_method_matches_gaussian_closed_form():
+    gaussian_model = PrecedenceModel(method="gaussian")
+    fft_model = PrecedenceModel(method="fft", convolution_points=4096)
+    for model in (gaussian_model, fft_model):
+        model.register_client("a", GaussianDistribution(0.0, 2.0))
+        model.register_client("b", GaussianDistribution(1.0, 1.5))
+    m_a, m_b = make_message("a", 0.0), make_message("b", 1.0)
+    assert fft_model.preceding_probability(m_a, m_b) == pytest.approx(
+        gaussian_model.preceding_probability(m_a, m_b), abs=5e-3
+    )
+
+
+def test_non_gaussian_distributions_supported():
+    model = PrecedenceModel()
+    model.register_client("uniform", UniformDistribution(-1.0, 1.0))
+    model.register_client(
+        "mixture",
+        MixtureDistribution([GaussianDistribution(-1, 0.5), GaussianDistribution(1, 0.5)], [0.5, 0.5]),
+    )
+    p = model.preceding_probability(make_message("uniform", 0.0), make_message("mixture", 3.0))
+    assert 0.5 < p <= 1.0
+
+
+def test_pair_difference_is_cached_per_client_pair():
+    model = PrecedenceModel(method="fft", convolution_points=512)
+    model.register_client("a", UniformDistribution(-1.0, 1.0))
+    model.register_client("b", UniformDistribution(-2.0, 2.0))
+    first = model.pair_difference("a", "b")
+    second = model.pair_difference("a", "b")
+    assert first is second
+
+
+def test_registering_a_client_invalidates_its_cache_entries():
+    model = PrecedenceModel(method="fft", convolution_points=512)
+    model.register_client("a", UniformDistribution(-1.0, 1.0))
+    model.register_client("b", UniformDistribution(-2.0, 2.0))
+    first = model.pair_difference("a", "b")
+    model.register_client("a", UniformDistribution(-3.0, 3.0))
+    second = model.pair_difference("a", "b")
+    assert first is not second
+
+
+def test_unknown_client_raises_keyerror():
+    model = PrecedenceModel()
+    model.register_client("a", GaussianDistribution(0.0, 1.0))
+    with pytest.raises(KeyError):
+        model.preceding_probability(make_message("a", 0.0), make_message("zzz", 1.0))
+
+
+def test_safe_emission_time_gaussian():
+    model = PrecedenceModel()
+    model.register_client("a", GaussianDistribution(0.0, 2.0))
+    message = make_message("a", 100.0)
+    p_safe = 0.999
+    t_f = model.safe_emission_time(message, p_safe)
+    # P(T* < T^F) = P(eps > T - T^F) must exceed p_safe
+    achieved = 1.0 - float(GaussianDistribution(0.0, 2.0).cdf(np.asarray(message.timestamp - t_f)))
+    assert achieved == pytest.approx(p_safe, abs=1e-6)
+    assert t_f > message.timestamp  # must wait beyond the reported timestamp
+
+
+def test_safe_emission_time_scales_with_uncertainty():
+    model = PrecedenceModel()
+    model.register_client("narrow", GaussianDistribution(0.0, 0.1))
+    model.register_client("wide", GaussianDistribution(0.0, 10.0))
+    narrow = model.safe_emission_time(make_message("narrow", 0.0), 0.999)
+    wide = model.safe_emission_time(make_message("wide", 0.0), 0.999)
+    assert wide > narrow
+
+
+def test_safe_emission_time_validates_p_safe():
+    model = PrecedenceModel()
+    model.register_client("a", GaussianDistribution(0.0, 1.0))
+    with pytest.raises(ValueError):
+        model.safe_emission_time(make_message("a", 0.0), 0.4)
+
+
+def test_probability_evaluation_counter_increments():
+    model = PrecedenceModel()
+    model.register_client("a", GaussianDistribution(0.0, 1.0))
+    model.register_client("b", GaussianDistribution(0.0, 1.0))
+    model.preceding_probability(make_message("a", 0.0), make_message("b", 1.0))
+    model.preceding_probability(make_message("b", 0.0), make_message("a", 1.0))
+    assert model.probability_evaluations == 2
+
+
+def test_invalid_method_and_empty_client_rejected():
+    with pytest.raises(ValueError):
+        PrecedenceModel(method="bogus")
+    model = PrecedenceModel()
+    with pytest.raises(ValueError):
+        model.register_client("", GaussianDistribution(0.0, 1.0))

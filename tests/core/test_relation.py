@@ -1,0 +1,77 @@
+"""Tests for the likely-happened-before relation."""
+
+import pytest
+
+from repro.core.probability import PrecedenceModel
+from repro.core.relation import LikelyHappenedBefore, PairProbability
+from repro.distributions.parametric import GaussianDistribution
+from tests.conftest import make_message
+
+
+def simple_model():
+    model = PrecedenceModel()
+    model.register_client("a", GaussianDistribution(0.0, 1.0))
+    model.register_client("b", GaussianDistribution(0.0, 1.0))
+    model.register_client("c", GaussianDistribution(0.0, 1.0))
+    return model
+
+
+def test_from_model_covers_all_ordered_pairs():
+    messages = [make_message("a", 0.0), make_message("b", 1.0), make_message("c", 2.0)]
+    relation = LikelyHappenedBefore.from_model(messages, simple_model())
+    assert len(relation) == 3
+    assert len(list(relation.pairs())) == 6  # both directions for each unordered pair
+
+
+def test_probabilities_are_complementary():
+    messages = [make_message("a", 0.0), make_message("b", 0.7)]
+    relation = LikelyHappenedBefore.from_model(messages, simple_model())
+    forward = relation.probability(messages[0].key, messages[1].key)
+    backward = relation.probability(messages[1].key, messages[0].key)
+    assert forward + backward == pytest.approx(1.0)
+    assert forward > 0.5
+
+
+def test_confident_pairs_filters_by_threshold():
+    messages = [make_message("a", 0.0), make_message("b", 10.0)]
+    relation = LikelyHappenedBefore.from_model(messages, simple_model())
+    assert len(relation.confident_pairs(0.99)) == 1
+    assert len(relation.confident_pairs(0.0)) == 2
+
+
+def test_from_matrix_round_trips_appendix_b_values():
+    messages = [make_message("a", 0.0), make_message("b", 1.0)]
+    relation = LikelyHappenedBefore.from_matrix(messages, [[0.0, 0.85], [0.15, 0.0]])
+    assert relation.probability(messages[0].key, messages[1].key) == 0.85
+    assert relation.probability(messages[1].key, messages[0].key) == 0.15
+
+
+def test_from_matrix_validates_shape_and_complementarity():
+    messages = [make_message("a", 0.0), make_message("b", 1.0)]
+    with pytest.raises(ValueError):
+        LikelyHappenedBefore.from_matrix(messages, [[0.0, 0.85]])
+    with pytest.raises(ValueError):
+        LikelyHappenedBefore.from_matrix(messages, [[0.0, 0.85], [0.3, 0.0]])
+    with pytest.raises(ValueError):
+        LikelyHappenedBefore.from_matrix(messages, [[0.0, 1.5], [-0.5, 0.0]])
+
+
+def test_message_lookup_by_key():
+    messages = [make_message("a", 0.0), make_message("b", 1.0)]
+    relation = LikelyHappenedBefore.from_model(messages, simple_model())
+    assert relation.message(messages[0].key) is messages[0]
+    assert set(relation.message_keys) == {messages[0].key, messages[1].key}
+    assert len(relation.messages()) == 2
+
+
+def test_duplicate_messages_rejected():
+    message = make_message("a", 0.0)
+    with pytest.raises(ValueError):
+        LikelyHappenedBefore([message, message], {})
+
+
+def test_pair_probability_validation():
+    with pytest.raises(ValueError):
+        PairProbability(source=("a", 1), target=("b", 2), probability=1.5)
+    pair = PairProbability(source=("a", 1), target=("b", 2), probability=0.8)
+    assert pair.reversed_probability == pytest.approx(0.2)

@@ -1,0 +1,67 @@
+"""Tests for the fair total-order extension (random tie-breaking)."""
+
+import numpy as np
+import pytest
+
+from repro.core.total_order import FairTotalOrder
+from repro.network.message import SequencedBatch
+from repro.sequencers.base import SequencingResult, batches_from_groups
+from tests.conftest import make_message
+
+
+def batch_of(clients, rank=0):
+    return SequencedBatch(rank=rank, messages=tuple(make_message(c, float(i)) for i, c in enumerate(clients)))
+
+
+def test_order_batch_returns_a_permutation():
+    total_order = FairTotalOrder(np.random.default_rng(0))
+    batch = batch_of(["a", "b", "c"])
+    ordered = total_order.order_batch(batch)
+    assert sorted(m.client_id for m in ordered) == ["a", "b", "c"]
+    assert len(total_order.records) == 1
+    assert total_order.records[0].batch_size == 3
+
+
+def test_totalize_flattens_batches_preserving_rank_order():
+    total_order = FairTotalOrder(np.random.default_rng(1))
+    messages_first = [make_message("a", 0.0), make_message("b", 1.0)]
+    messages_second = [make_message("c", 2.0)]
+    result = SequencingResult(batches=batches_from_groups([messages_first, messages_second]))
+    flattened = total_order.totalize(result)
+    assert len(flattened) == 3
+    assert flattened[-1].client_id == "c"
+    assert {m.client_id for m in flattened[:2]} == {"a", "b"}
+
+
+def test_long_run_first_position_share_is_uniform():
+    total_order = FairTotalOrder(np.random.default_rng(2))
+    for _ in range(3000):
+        total_order.order_batch(batch_of(["a", "b", "c"]))
+    shares = total_order.first_position_share()
+    for client in ("a", "b", "c"):
+        assert shares[client] == pytest.approx(1.0 / 3.0, abs=0.03)
+
+
+def test_no_client_systematically_preferred_against_another():
+    total_order = FairTotalOrder(np.random.default_rng(3))
+    for _ in range(2000):
+        total_order.order_batch(batch_of(["x", "y"]))
+    wins = total_order.win_counts()
+    assert abs(wins["x"] - wins["y"]) < 200
+
+
+def test_singleton_batches_always_win_first_position():
+    total_order = FairTotalOrder(np.random.default_rng(4))
+    for _ in range(10):
+        total_order.order_batch(batch_of(["solo"]))
+    assert total_order.first_position_share()["solo"] == 1.0
+
+
+def test_records_capture_the_emitted_order():
+    total_order = FairTotalOrder(np.random.default_rng(5))
+    batch = batch_of(["a", "b"], rank=7)
+    ordered = total_order.order_batch(batch)
+    record = total_order.records[0]
+    assert record.rank == 7
+    assert record.order == tuple(message.key for message in ordered)
+    assert record.winner_client == ordered[0].client_id

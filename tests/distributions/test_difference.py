@@ -1,0 +1,89 @@
+"""Tests for the difference-distribution wrapper used by the precedence model."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.distributions.base import DistributionError
+from repro.distributions.difference import (
+    difference_distribution,
+    gaussian_difference,
+)
+from repro.distributions.mixtures import MixtureDistribution
+from repro.distributions.parametric import GaussianDistribution, UniformDistribution
+
+
+def test_gaussian_difference_closed_form_moments():
+    a = GaussianDistribution(1.0, 3.0)
+    b = GaussianDistribution(4.0, 4.0)
+    diff = gaussian_difference(a, b)
+    assert diff.exact
+    assert diff.mean == pytest.approx(3.0)
+    assert diff.std == pytest.approx(5.0)
+
+
+def test_auto_method_uses_closed_form_for_gaussians():
+    a = GaussianDistribution(0.0, 1.0)
+    b = GaussianDistribution(0.0, 1.0)
+    diff = difference_distribution(a, b, method="auto")
+    assert diff.exact
+
+
+def test_auto_method_falls_back_to_fft_for_non_gaussian():
+    a = UniformDistribution(-1.0, 1.0)
+    b = GaussianDistribution(0.0, 1.0)
+    diff = difference_distribution(a, b, method="auto")
+    assert not diff.exact
+
+
+def test_tail_probability_matches_normal_sf():
+    a = GaussianDistribution(0.0, 1.0)
+    b = GaussianDistribution(0.0, 1.0)
+    diff = difference_distribution(a, b)
+    for threshold in (-2.0, 0.0, 1.5):
+        expected = stats.norm.sf(threshold, loc=0.0, scale=np.sqrt(2.0))
+        assert diff.tail_probability(threshold) == pytest.approx(expected, abs=1e-9)
+
+
+def test_fft_path_matches_closed_form_probabilities():
+    a = GaussianDistribution(0.5, 2.0)
+    b = GaussianDistribution(-0.5, 1.0)
+    exact = difference_distribution(a, b, method="gaussian")
+    numeric = difference_distribution(a, b, method="fft", num_points=4096)
+    for x in (-3.0, -1.0, 0.0, 0.5, 2.0):
+        assert numeric.cdf(x) == pytest.approx(exact.cdf(x), abs=5e-3)
+
+
+def test_direct_method_also_available():
+    a = GaussianDistribution(0.0, 1.0)
+    b = UniformDistribution(-1.0, 1.0)
+    numeric = difference_distribution(a, b, method="direct", num_points=512)
+    assert 0.4 < numeric.cdf(0.0) < 0.6
+
+
+def test_quantile_and_cdf_are_consistent():
+    a = MixtureDistribution(
+        [GaussianDistribution(-1.0, 0.5), GaussianDistribution(2.0, 0.5)], [0.5, 0.5]
+    )
+    b = GaussianDistribution(0.0, 1.0)
+    diff = difference_distribution(a, b, method="fft")
+    for q in (0.1, 0.5, 0.9):
+        assert diff.cdf(diff.quantile(q)) == pytest.approx(q, abs=0.02)
+
+
+def test_gaussian_method_requires_gaussian_inputs():
+    with pytest.raises(DistributionError):
+        difference_distribution(UniformDistribution(0, 1), GaussianDistribution(0, 1), method="gaussian")
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(DistributionError):
+        difference_distribution(GaussianDistribution(0, 1), GaussianDistribution(0, 1), method="magic")
+
+
+def test_cdf_clipped_to_unit_interval():
+    a = GaussianDistribution(0.0, 1.0)
+    diff = difference_distribution(a, a)
+    assert diff.cdf(1e9) == 1.0
+    assert diff.cdf(-1e9) == 0.0
+    assert diff.tail_probability(1e9) == 0.0

@@ -1,0 +1,68 @@
+"""Property-based tests for distribution invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions.difference import difference_distribution, gaussian_difference
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.parametric import GaussianDistribution, UniformDistribution
+
+means = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+stds = st.floats(min_value=1e-3, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+@given(mean=means, std=stds, x=means)
+@settings(max_examples=60, deadline=None)
+def test_gaussian_cdf_bounded_and_monotone(mean, std, x):
+    dist = GaussianDistribution(mean, std)
+    lower = float(dist.cdf(np.asarray(x)))
+    upper = float(dist.cdf(np.asarray(x + 1.0)))
+    assert 0.0 <= lower <= 1.0
+    assert upper >= lower - 1e-12
+
+
+@given(mean=means, std=stds, q=st.floats(min_value=0.01, max_value=0.99))
+@settings(max_examples=60, deadline=None)
+def test_gaussian_quantile_round_trips(mean, std, q):
+    dist = GaussianDistribution(mean, std)
+    assert float(dist.cdf(np.asarray(dist.quantile(q)))) == np.float64(np.clip(q, 0, 1)) or abs(
+        float(dist.cdf(np.asarray(dist.quantile(q)))) - q
+    ) < 1e-9
+
+
+@given(mean_i=means, std_i=stds, mean_j=means, std_j=stds)
+@settings(max_examples=60, deadline=None)
+def test_gaussian_difference_moments_compose(mean_i, std_i, mean_j, std_j):
+    diff = gaussian_difference(GaussianDistribution(mean_i, std_i), GaussianDistribution(mean_j, std_j))
+    assert np.isclose(diff.mean, mean_j - mean_i)
+    assert np.isclose(diff.std, np.hypot(std_i, std_j))
+
+
+@given(
+    low=st.floats(min_value=-10, max_value=0, allow_nan=False),
+    width=st.floats(min_value=0.1, max_value=10, allow_nan=False),
+    threshold=st.floats(min_value=-30, max_value=30, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_tail_probability_complementarity(low, width, threshold):
+    dist_i = UniformDistribution(low, low + width)
+    dist_j = GaussianDistribution(0.0, 1.0)
+    diff = difference_distribution(dist_i, dist_j, method="fft", num_points=512)
+    total = diff.tail_probability(threshold) + diff.cdf(threshold)
+    assert 0.99 <= total <= 1.01
+
+
+@given(samples=st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=8, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_empirical_from_samples_always_normalised(samples):
+    samples = np.asarray(samples, dtype=float)
+    if np.ptp(samples) == 0:
+        samples = samples + np.linspace(0, 1e-6, samples.size)
+    dist = EmpiricalDistribution.from_samples(samples, bins=32)
+    assert np.trapezoid(dist.density, dist.grid_x) == np.float64(1.0) or abs(
+        np.trapezoid(dist.density, dist.grid_x) - 1.0
+    ) < 1e-6
+    lo, hi = dist.support()
+    assert lo <= samples.min()
+    assert hi >= samples.max()

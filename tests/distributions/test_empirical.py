@@ -1,0 +1,89 @@
+"""Tests for empirical (sample- and grid-based) distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.base import DistributionError
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.parametric import GaussianDistribution
+
+
+def test_from_samples_recovers_gaussian_moments(rng):
+    truth = GaussianDistribution(3.0, 2.0)
+    samples = truth.sample(rng, size=20000)
+    empirical = EmpiricalDistribution.from_samples(samples, bins=100)
+    assert empirical.mean == pytest.approx(3.0, abs=0.1)
+    assert empirical.std == pytest.approx(2.0, abs=0.1)
+
+
+def test_from_kde_recovers_gaussian_moments(rng):
+    truth = GaussianDistribution(-1.0, 0.5)
+    samples = truth.sample(rng, size=4000)
+    empirical = EmpiricalDistribution.from_kde(samples)
+    assert empirical.mean == pytest.approx(-1.0, abs=0.1)
+    assert empirical.std == pytest.approx(0.5, abs=0.1)
+
+
+def test_from_density_normalises_input():
+    xs = np.linspace(-1.0, 1.0, 101)
+    density = np.ones_like(xs) * 5.0  # unnormalised uniform
+    empirical = EmpiricalDistribution.from_density(xs, density)
+    assert np.trapezoid(empirical.density, empirical.grid_x) == pytest.approx(1.0)
+    assert empirical.mean == pytest.approx(0.0, abs=1e-9)
+
+
+def test_cdf_monotone_and_quantile_consistent(rng):
+    samples = rng.normal(0.0, 1.0, size=5000)
+    empirical = EmpiricalDistribution.from_samples(samples)
+    xs = np.linspace(*empirical.support(), 256)
+    cdf = empirical.cdf(xs)
+    assert np.all(np.diff(cdf) >= -1e-12)
+    for q in (0.1, 0.5, 0.9):
+        assert float(empirical.cdf(np.asarray(empirical.quantile(q)))) == pytest.approx(q, abs=0.02)
+
+
+def test_pdf_is_zero_outside_grid():
+    xs = np.linspace(0.0, 1.0, 11)
+    empirical = EmpiricalDistribution.from_density(xs, np.ones_like(xs))
+    assert float(empirical.pdf(np.asarray(-1.0))) == 0.0
+    assert float(empirical.pdf(np.asarray(2.0))) == 0.0
+    assert float(empirical.cdf(np.asarray(-1.0))) == 0.0
+    assert float(empirical.cdf(np.asarray(2.0))) == 1.0
+
+
+def test_sampling_from_samples_bootstraps(rng):
+    source = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+    empirical = EmpiricalDistribution.from_samples(source, bins=8)
+    draws = np.asarray(empirical.sample(rng, size=100))
+    assert set(np.unique(draws)).issubset(set(source))
+
+
+def test_sampling_from_density_uses_inverse_cdf(rng):
+    xs = np.linspace(0.0, 1.0, 101)
+    empirical = EmpiricalDistribution.from_density(xs, np.ones_like(xs))
+    draws = np.asarray(empirical.sample(rng, size=2000))
+    assert draws.min() >= 0.0
+    assert draws.max() <= 1.0
+    assert draws.mean() == pytest.approx(0.5, abs=0.05)
+
+
+def test_samples_accessor_returns_original_or_grid(rng):
+    raw = rng.normal(size=50)
+    from_samples = EmpiricalDistribution.from_samples(raw)
+    assert np.allclose(np.sort(from_samples.samples()), np.sort(raw))
+    xs = np.linspace(0, 1, 20)
+    from_density = EmpiricalDistribution.from_density(xs, np.ones_like(xs))
+    assert np.allclose(from_density.samples(), xs)
+
+
+def test_invalid_construction_rejected():
+    with pytest.raises(DistributionError):
+        EmpiricalDistribution(np.array([0.0]), np.array([1.0]))
+    with pytest.raises(DistributionError):
+        EmpiricalDistribution(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+    with pytest.raises(DistributionError):
+        EmpiricalDistribution(np.array([0.0, 1.0]), np.array([-1.0, -1.0]))
+    with pytest.raises(DistributionError):
+        EmpiricalDistribution(np.array([0.0, 1.0]), np.array([0.0, 0.0]))
+    with pytest.raises(DistributionError):
+        EmpiricalDistribution.from_samples(np.array([1.0]))

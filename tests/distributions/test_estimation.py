@@ -1,0 +1,91 @@
+"""Tests for distribution estimation from probe samples."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.base import DistributionError
+from repro.distributions.estimation import (
+    estimate_empirical,
+    estimate_gaussian,
+    fit_best_distribution,
+)
+from repro.distributions.parametric import (
+    GaussianDistribution,
+    ShiftedLogNormalDistribution,
+    UniformDistribution,
+)
+
+
+def test_gaussian_estimate_recovers_parameters(rng):
+    truth = GaussianDistribution(5.0, 2.0)
+    samples = truth.sample(rng, size=5000)
+    estimate = estimate_gaussian(samples)
+    assert estimate.family == "gaussian"
+    assert estimate.mean == pytest.approx(5.0, abs=0.1)
+    assert estimate.std == pytest.approx(2.0, abs=0.1)
+    assert estimate.sample_count == 5000
+
+
+def test_gaussian_estimate_handles_constant_samples():
+    estimate = estimate_gaussian(np.full(10, 3.0))
+    assert estimate.mean == pytest.approx(3.0)
+    assert estimate.std > 0  # degenerate std replaced by a tiny positive value
+
+
+def test_empirical_estimate_matches_sample_moments(rng):
+    samples = rng.normal(1.0, 0.5, size=3000)
+    estimate = estimate_empirical(samples, bins=64)
+    assert estimate.family == "empirical"
+    assert estimate.mean == pytest.approx(1.0, abs=0.05)
+    assert estimate.std == pytest.approx(0.5, abs=0.05)
+
+
+def test_empirical_kde_variant(rng):
+    samples = rng.normal(0.0, 1.0, size=500)
+    estimate = estimate_empirical(samples, kde=True)
+    assert estimate.mean == pytest.approx(0.0, abs=0.15)
+
+
+def test_model_selection_prefers_gaussian_for_gaussian_data(rng):
+    samples = rng.normal(0.0, 1.0, size=3000)
+    best = fit_best_distribution(samples)
+    assert best.family == "gaussian"
+
+
+def test_model_selection_prefers_skewed_family_for_lognormal_data(rng):
+    truth = ShiftedLogNormalDistribution(0.0, 0.0, 0.9)
+    samples = truth.sample(rng, size=3000)
+    best = fit_best_distribution(samples)
+    assert best.family in {"shifted-lognormal", "laplace"}
+    assert best.family != "gaussian"
+
+
+def test_model_selection_prefers_uniform_for_uniform_data(rng):
+    truth = UniformDistribution(-1.0, 1.0)
+    samples = truth.sample(rng, size=4000)
+    best = fit_best_distribution(samples)
+    assert best.family == "uniform"
+
+
+def test_candidate_filtering_respected(rng):
+    samples = rng.normal(0.0, 1.0, size=500)
+    best = fit_best_distribution(samples, candidates={"gaussian": False})
+    assert best.family != "gaussian"
+
+
+def test_estimators_reject_insufficient_or_invalid_samples():
+    with pytest.raises(DistributionError):
+        estimate_gaussian(np.array([1.0]))
+    with pytest.raises(DistributionError):
+        fit_best_distribution(np.array([1.0, 2.0]))
+    with pytest.raises(DistributionError):
+        estimate_gaussian(np.array([np.nan, 1.0, 2.0]))
+    with pytest.raises(DistributionError):
+        estimate_gaussian(np.array([[1.0, 2.0], [3.0, 4.0]]))
+
+
+def test_aic_penalises_worse_fits(rng):
+    samples = rng.normal(0.0, 1.0, size=2000)
+    gaussian = estimate_gaussian(samples)
+    best = fit_best_distribution(samples)
+    assert best.aic <= gaussian.aic + 1e-9

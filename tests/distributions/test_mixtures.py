@@ -1,0 +1,76 @@
+"""Tests for mixture distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.base import DistributionError
+from repro.distributions.mixtures import MixtureDistribution
+from repro.distributions.parametric import GaussianDistribution, UniformDistribution
+
+
+def bimodal():
+    return MixtureDistribution(
+        [GaussianDistribution(-5.0, 1.0), GaussianDistribution(5.0, 1.0)], [0.5, 0.5]
+    )
+
+
+def test_mixture_mean_is_weighted_average():
+    mixture = MixtureDistribution(
+        [GaussianDistribution(0.0, 1.0), GaussianDistribution(10.0, 1.0)], [0.25, 0.75]
+    )
+    assert mixture.mean == pytest.approx(7.5)
+
+
+def test_mixture_variance_includes_between_component_spread():
+    mixture = bimodal()
+    # law of total variance: 1 + 25 = 26
+    assert mixture.variance == pytest.approx(26.0)
+
+
+def test_weights_are_normalised():
+    mixture = MixtureDistribution(
+        [GaussianDistribution(0.0, 1.0), GaussianDistribution(1.0, 1.0)], [2.0, 6.0]
+    )
+    assert np.allclose(mixture.weights, [0.25, 0.75])
+
+
+def test_pdf_integrates_to_one():
+    mixture = bimodal()
+    lo, hi = mixture.support()
+    xs = np.linspace(lo, hi, 10001)
+    assert np.trapezoid(mixture.pdf(xs), xs) == pytest.approx(1.0, abs=1e-3)
+
+
+def test_cdf_reaches_half_between_symmetric_modes():
+    mixture = bimodal()
+    assert float(mixture.cdf(np.asarray(0.0))) == pytest.approx(0.5, abs=1e-6)
+
+
+def test_sampling_visits_both_modes(rng):
+    mixture = bimodal()
+    samples = np.asarray(mixture.sample(rng, size=4000))
+    assert (samples < 0).mean() == pytest.approx(0.5, abs=0.05)
+
+
+def test_scalar_sampling(rng):
+    assert np.ndim(bimodal().sample(rng)) == 0
+
+
+def test_support_spans_all_components():
+    mixture = MixtureDistribution(
+        [UniformDistribution(-1.0, 0.0), UniformDistribution(5.0, 7.0)], [0.5, 0.5]
+    )
+    lo, hi = mixture.support()
+    assert lo <= -1.0
+    assert hi >= 7.0
+
+
+def test_invalid_mixtures_rejected():
+    with pytest.raises(DistributionError):
+        MixtureDistribution([], [])
+    with pytest.raises(DistributionError):
+        MixtureDistribution([GaussianDistribution(0, 1)], [0.5, 0.5])
+    with pytest.raises(DistributionError):
+        MixtureDistribution([GaussianDistribution(0, 1)], [-1.0])
+    with pytest.raises(DistributionError):
+        MixtureDistribution([GaussianDistribution(0, 1)], [0.0])

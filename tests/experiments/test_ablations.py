@@ -1,0 +1,53 @@
+"""Tests for the ablation sweeps (experiments ABL-*)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_baseline_comparison,
+    run_distribution_ablation,
+    run_learning_ablation,
+    run_scaling_sweep,
+    run_threshold_sweep,
+)
+
+
+def test_threshold_sweep_reports_batches_monotone_in_threshold():
+    rows = run_threshold_sweep(thresholds=(0.55, 0.75, 0.95), num_clients=25, seed=1)
+    assert [row["threshold"] for row in rows] == [0.55, 0.75, 0.95]
+    batch_counts = [row["batches"] for row in rows]
+    assert batch_counts[0] >= batch_counts[1] >= batch_counts[2]
+
+
+def test_distribution_ablation_covers_gaussian_and_non_gaussian():
+    rows = run_distribution_ablation(num_clients=12)
+    families = {row["family"] for row in rows}
+    assert "gaussian/closed-form" in families
+    assert any("fft" in family for family in families)
+    closed = next(row for row in rows if row["family"] == "gaussian/closed-form")
+    fft = next(row for row in rows if row["family"] == "gaussian/fft")
+    # identical workload, same statistical answer regardless of the numerical path
+    assert abs(closed["ras"] - fft["ras"]) <= 2
+
+
+def test_learning_ablation_includes_seeded_upper_bound():
+    rows = run_learning_ablation(probe_counts=(16, 128), num_clients=20)
+    assert rows[0]["probes"] == 0
+    assert [row["probes"] for row in rows[1:]] == [16, 128]
+    # seeded distributions are the upper bound the paper describes (allowing noise)
+    assert rows[0]["ras"] >= max(row["ras"] for row in rows[1:]) - 10
+
+
+def test_scaling_sweep_reports_runtime_and_clients():
+    rows = run_scaling_sweep(client_counts=(10, 20), seed=3)
+    assert [row["clients"] for row in rows] == [10, 20]
+    assert all(row["sequencing_seconds"] >= 0 for row in rows)
+
+
+def test_baseline_comparison_includes_all_four_sequencers():
+    rows = run_baseline_comparison(num_clients=20)
+    names = [row["sequencer"] for row in rows]
+    assert names == ["fifo", "wfo", "truetime", "tommy"]
+    tommy = rows[-1]
+    truetime = rows[-2]
+    # Tommy must never do worse than the conservative TrueTime baseline here
+    assert tommy["ras"] >= truetime["ras"]

@@ -1,0 +1,46 @@
+"""Tests for the command-line experiment harness."""
+
+import os
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["thresholds"])
+    assert args.experiment == "thresholds"
+    assert args.num_clients == 60
+    assert args.threshold == 0.75
+
+
+def test_every_registered_experiment_produces_rows():
+    args = build_parser().parse_args(["--num-clients", "10", "--seed", "2", "baselines"])
+    for name in ("baselines", "thresholds", "scaling"):
+        rows = run_experiment(name, args)
+        assert rows
+        assert isinstance(rows[0], dict)
+
+
+def test_unknown_experiment_rejected():
+    args = build_parser().parse_args(["baselines"])
+    with pytest.raises(ValueError):
+        run_experiment("nope", args)
+
+
+def test_main_prints_table_and_writes_csv(tmp_path, capsys):
+    exit_code = main(["--num-clients", "10", "--seed", "3", "--csv-dir", str(tmp_path), "baselines"])
+    assert exit_code == 0
+    captured = capsys.readouterr().out
+    assert "ABL-BASE" in captured
+    assert "tommy" in captured
+    csv_path = tmp_path / "baselines.csv"
+    assert csv_path.exists()
+    content = csv_path.read_text()
+    assert content.splitlines()[0].startswith("sequencer")
+
+
+def test_experiment_registry_matches_titles():
+    from repro.cli import TITLES
+
+    assert set(EXPERIMENTS) == set(TITLES)

@@ -1,0 +1,55 @@
+"""Tests for the Figure 5 reproduction harness (experiment FIG5)."""
+
+import pytest
+
+from repro.experiments.figure5 import Figure5Settings, figure5_rows, run_figure5, run_figure5_point
+
+
+SMALL = Figure5Settings(
+    num_clients=25,
+    sigma_values=(1.0, 60.0),
+    gap_values=(5.0, 40.0),
+    seed=9,
+)
+
+
+def test_sweep_produces_one_point_per_setting():
+    points = run_figure5(SMALL)
+    assert len(points) == 4
+    combos = {(point.clock_std, point.message_gap) for point in points}
+    assert combos == {(1.0, 5.0), (60.0, 5.0), (1.0, 40.0), (60.0, 40.0)}
+
+
+def test_low_clock_error_both_systems_comparable():
+    point = run_figure5_point(0.5, 40.0, SMALL)
+    max_pairs = point.message_count * (point.message_count - 1) // 2
+    assert point.tommy_ras >= 0.9 * max_pairs
+    assert point.truetime_ras >= 0.9 * max_pairs
+
+
+def test_tommy_wins_when_gap_small_relative_to_clock_error():
+    """The paper's headline claim: Tommy outperforms TrueTime when the
+    inter-message gap shrinks and/or clock errors grow."""
+    point = run_figure5_point(60.0, 5.0, SMALL)
+    assert point.tommy_ras > point.truetime_ras
+    assert point.tommy_batches >= point.truetime_batches
+
+
+def test_truetime_never_negative_tommy_may_be():
+    points = run_figure5(SMALL)
+    for point in points:
+        assert point.truetime_ras >= 0
+
+
+def test_rows_are_table_ready():
+    points = run_figure5(SMALL)
+    rows = figure5_rows(points)
+    assert len(rows) == len(points)
+    assert set(rows[0]) >= {"clock_std", "gap", "tommy_ras", "truetime_ras"}
+
+
+def test_invalid_settings_rejected():
+    with pytest.raises(ValueError):
+        Figure5Settings(num_clients=1)
+    with pytest.raises(ValueError):
+        Figure5Settings(sigma_heterogeneity=1.0)

@@ -1,0 +1,38 @@
+"""Tests for the end-to-end online experiment runner."""
+
+import pytest
+
+from repro.core.config import TommyConfig
+from repro.experiments.online_runner import OnlineExperimentSettings, run_online_experiment
+
+
+def test_online_experiment_sequences_every_message():
+    settings = OnlineExperimentSettings(num_clients=5, messages_per_client=2, run_duration=2.0, seed=3)
+    outcome = run_online_experiment(settings)
+    assert outcome.comparison.batches.message_count == 10
+    assert outcome.emitted_batches >= 1
+    assert outcome.latency.count == 10
+    assert outcome.latency.mean > 0
+
+
+def test_online_experiment_row_is_table_ready():
+    outcome = run_online_experiment(OnlineExperimentSettings(num_clients=4, run_duration=1.5, seed=5))
+    row = outcome.as_row()
+    assert {"mean_latency", "p95_latency", "emitted_batches", "ras"} <= set(row)
+
+
+def test_higher_p_safe_increases_latency():
+    low = run_online_experiment(
+        OnlineExperimentSettings(num_clients=4, config=TommyConfig(p_safe=0.9), run_duration=3.0, seed=7)
+    )
+    high = run_online_experiment(
+        OnlineExperimentSettings(num_clients=4, config=TommyConfig(p_safe=0.9999), run_duration=3.0, seed=7)
+    )
+    assert high.latency.mean >= low.latency.mean
+
+
+def test_invalid_settings_rejected():
+    with pytest.raises(ValueError):
+        OnlineExperimentSettings(num_clients=0)
+    with pytest.raises(ValueError):
+        OnlineExperimentSettings(run_duration=0.0)

@@ -1,0 +1,43 @@
+"""Tests for text/CSV reporting."""
+
+import pytest
+
+from repro.experiments.reporting import format_table, rows_to_csv
+
+
+def test_format_table_aligns_columns():
+    rows = [{"name": "tommy", "ras": 120}, {"name": "truetime", "ras": 0}]
+    table = format_table(rows, title="Comparison")
+    lines = table.splitlines()
+    assert lines[0] == "Comparison"
+    assert "name" in lines[1] and "ras" in lines[1]
+    assert len(lines) == 5
+    assert "tommy" in lines[3]
+
+
+def test_format_table_empty_rows():
+    assert "(no rows)" in format_table([])
+    assert format_table([], title="Empty").startswith("Empty")
+
+
+def test_format_table_rejects_mismatched_keys():
+    with pytest.raises(ValueError):
+        format_table([{"a": 1}, {"b": 2}])
+
+
+def test_rows_to_csv_round_trip():
+    rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+    csv_text = rows_to_csv(rows)
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "x,y"
+    assert lines[1] == "1,a"
+    assert lines[2] == "2,b"
+
+
+def test_rows_to_csv_empty():
+    assert rows_to_csv([]) == ""
+
+
+def test_rows_to_csv_rejects_mismatched_keys():
+    with pytest.raises(ValueError):
+        rows_to_csv([{"a": 1}, {"b": 2}])

@@ -1,0 +1,50 @@
+"""Tests for the scenario comparison runner."""
+
+from repro.core.config import TommyConfig
+from repro.core.sequencer import TommySequencer
+from repro.distributions.parametric import GaussianDistribution
+from repro.experiments.runner import evaluate_result, run_comparison
+from repro.sequencers.truetime import TrueTimeSequencer
+from repro.sequencers.wfo import WaitsForOneSequencer
+from repro.workloads.arrivals import UniformGapArrivals
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+def small_scenario():
+    return build_scenario(
+        ScenarioConfig(
+            num_clients=12,
+            arrivals=UniformGapArrivals(messages_per_client=1, gap=5.0),
+            distribution_factory=lambda i, rng: GaussianDistribution(0.0, 10.0),
+            seed=4,
+        )
+    )
+
+
+def test_run_comparison_scores_every_sequencer():
+    scenario = small_scenario()
+    sequencers = {
+        "tommy": TommySequencer(scenario.client_distributions, TommyConfig()),
+        "truetime": TrueTimeSequencer(scenario.client_distributions),
+        "wfo": WaitsForOneSequencer(),
+    }
+    comparisons = run_comparison(scenario, sequencers)
+    assert [c.sequencer_name for c in comparisons] == ["tommy", "truetime", "wfo"]
+    for comparison in comparisons:
+        assert comparison.ras.total_pairs == 12 * 11 // 2
+        row = comparison.as_row()
+        assert set(row) >= {"sequencer", "ras", "accuracy", "batches"}
+
+
+def test_evaluate_result_consistency_between_metrics():
+    scenario = small_scenario()
+    sequencer = WaitsForOneSequencer()
+    result = sequencer.sequence(list(scenario.messages))
+    comparison = evaluate_result("wfo", result, list(scenario.messages))
+    assert comparison.pairwise.comparable_pairs == comparison.ras.total_pairs
+    assert comparison.batches.message_count == len(scenario.messages)
+    # normalised RAS and accuracy - inversion rate describe the same quantity
+    assert abs(
+        comparison.ras.normalized_score
+        - (comparison.pairwise.accuracy - comparison.pairwise.inversion_rate)
+    ) < 1e-9

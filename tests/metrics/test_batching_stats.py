@@ -1,0 +1,37 @@
+"""Tests for batch-size statistics."""
+
+import pytest
+
+from repro.metrics.batching_stats import batch_statistics
+from repro.sequencers.base import SequencingResult, batches_from_groups
+from tests.conftest import make_message
+
+
+def test_statistics_for_mixed_batch_sizes():
+    messages = [make_message(f"c{k}", float(k)) for k in range(6)]
+    result = SequencingResult(
+        batches=batches_from_groups([messages[0:1], messages[1:4], messages[4:6]])
+    )
+    stats = batch_statistics(result)
+    assert stats.batch_count == 3
+    assert stats.message_count == 6
+    assert stats.mean_size == pytest.approx(2.0)
+    assert stats.max_size == 3
+    assert stats.singleton_fraction == pytest.approx(1 / 3)
+    assert stats.batches_per_message == pytest.approx(0.5)
+
+
+def test_statistics_for_total_order():
+    messages = [make_message(f"c{k}", float(k)) for k in range(4)]
+    result = SequencingResult(batches=batches_from_groups([[m] for m in messages]))
+    stats = batch_statistics(result)
+    assert stats.singleton_fraction == 1.0
+    assert stats.batches_per_message == 1.0
+    assert stats.size_p50 == 1.0
+
+
+def test_statistics_for_empty_result():
+    stats = batch_statistics(SequencingResult(batches=()))
+    assert stats.batch_count == 0
+    assert stats.message_count == 0
+    assert stats.batches_per_message == 0.0

@@ -1,0 +1,57 @@
+"""Tests for per-client fairness accounting."""
+
+import pytest
+
+from repro.metrics.fairness import per_client_fairness
+from repro.sequencers.base import SequencingResult, batches_from_groups
+from tests.conftest import make_message
+
+
+def test_disadvantaged_client_is_identified():
+    early = make_message("victim", timestamp=10.0, true_time=1.0)
+    late = make_message("lucky", timestamp=2.0, true_time=2.0)
+    # sequencer inverts the pair: lucky first
+    result = SequencingResult(batches=batches_from_groups([[late], [early]]))
+    fairness = per_client_fairness(result, [early, late])
+    assert fairness["victim"].disadvantaged_pairs == 1
+    assert fairness["lucky"].advantaged_pairs == 1
+    assert fairness["victim"].disadvantage_rate == 1.0
+    assert fairness["lucky"].advantage_rate == 1.0
+
+
+def test_correct_ordering_credits_both_clients():
+    a = make_message("a", 1.0)
+    b = make_message("b", 2.0)
+    result = SequencingResult(batches=batches_from_groups([[a], [b]]))
+    fairness = per_client_fairness(result, [a, b])
+    assert fairness["a"].correct_pairs == 1
+    assert fairness["b"].correct_pairs == 1
+    assert fairness["a"].disadvantage_rate == 0.0
+
+
+def test_shared_batch_counts_as_indifference_for_both():
+    a = make_message("a", 1.0)
+    b = make_message("b", 2.0)
+    result = SequencingResult(batches=batches_from_groups([[a, b]]))
+    fairness = per_client_fairness(result, [a, b])
+    assert fairness["a"].indifferent_pairs == 1
+    assert fairness["b"].indifferent_pairs == 1
+    assert fairness["a"].total_pairs == 1
+
+
+def test_missing_ground_truth_rejected():
+    a = make_message("a", 1.0)
+    b = make_message("b", 2.0)
+    broken = b.__class__(client_id="b", timestamp=2.0, true_time=None)
+    result = SequencingResult(batches=batches_from_groups([[a, broken]]))
+    with pytest.raises(ValueError):
+        per_client_fairness(result, [a, broken])
+
+
+def test_rates_default_to_zero_without_pairs():
+    a = make_message("a", 1.0)
+    result = SequencingResult(batches=batches_from_groups([[a]]))
+    fairness = per_client_fairness(result, [a])
+    assert fairness["a"].total_pairs == 0
+    assert fairness["a"].disadvantage_rate == 0.0
+    assert fairness["a"].advantage_rate == 0.0

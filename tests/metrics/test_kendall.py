@@ -1,0 +1,37 @@
+"""Tests for the Kendall-tau distance metric."""
+
+import pytest
+
+from repro.metrics.kendall import kendall_tau_distance, kendall_tau_from_result
+from repro.sequencers.base import SequencingResult, batches_from_groups
+from tests.conftest import make_message
+
+
+def test_identical_orders_have_zero_distance():
+    assert kendall_tau_distance([1, 2, 3, 4], [10, 20, 30, 40]) == 0.0
+
+
+def test_reversed_orders_have_distance_one():
+    assert kendall_tau_distance([1, 2, 3], [3, 2, 1]) == 1.0
+
+
+def test_ties_count_half():
+    # two comparable pairs; ranks tie on one of them
+    assert kendall_tau_distance([1, 2, 3], [0, 0, 1]) == pytest.approx((0.5 + 0 + 0) / 3)
+
+
+def test_equal_true_values_are_skipped():
+    assert kendall_tau_distance([1, 1, 2], [5, 6, 7]) == 0.0
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        kendall_tau_distance([1, 2], [1])
+
+
+def test_from_result_uses_batch_ranks():
+    messages = [make_message("a", 1.0), make_message("b", 2.0), make_message("c", 3.0)]
+    perfect = SequencingResult(batches=batches_from_groups([[m] for m in messages]))
+    assert kendall_tau_from_result(perfect, messages) == 0.0
+    one_batch = SequencingResult(batches=batches_from_groups([messages]))
+    assert kendall_tau_from_result(one_batch, messages) == pytest.approx(0.5)

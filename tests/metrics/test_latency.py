@@ -1,0 +1,29 @@
+"""Tests for latency summaries."""
+
+import pytest
+
+from repro.metrics.latency import summarize_latencies
+
+
+def test_summary_of_known_values():
+    summary = summarize_latencies([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.p50 == pytest.approx(2.5)
+    assert summary.maximum == 4.0
+    assert summary.p99 <= 4.0
+
+
+def test_empty_summary_is_all_zero():
+    summary = summarize_latencies([])
+    assert summary.count == 0
+    assert summary.mean == 0.0
+    assert summary.maximum == 0.0
+
+
+def test_as_dict_round_trip():
+    summary = summarize_latencies([1.0, 1.0])
+    d = summary.as_dict()
+    assert d["count"] == 2
+    assert d["mean"] == pytest.approx(1.0)
+    assert set(d) == {"count", "mean", "p50", "p95", "p99", "max"}

@@ -1,0 +1,24 @@
+"""Tests for pairwise accuracy statistics."""
+
+import pytest
+
+from repro.metrics.pairwise import pairwise_stats
+from repro.sequencers.base import SequencingResult, batches_from_groups
+from tests.conftest import make_message
+
+
+def test_rates_sum_to_one():
+    messages = [make_message("a", 1.0), make_message("b", 2.0), make_message("c", 3.0)]
+    result = SequencingResult(batches=batches_from_groups([[messages[0]], messages[1:]]))
+    stats = pairwise_stats(result, messages)
+    assert stats.accuracy + stats.inversion_rate + stats.indifference_rate == pytest.approx(1.0)
+    assert stats.comparable_pairs == 3
+    assert stats.accuracy == pytest.approx(2 / 3)
+    assert stats.indifference_rate == pytest.approx(1 / 3)
+
+
+def test_empty_message_set_gives_zero_stats():
+    result = SequencingResult(batches=())
+    stats = pairwise_stats(result, [])
+    assert stats.comparable_pairs == 0
+    assert stats.accuracy == 0.0

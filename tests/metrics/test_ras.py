@@ -1,0 +1,90 @@
+"""Tests for the Rank Agreement Score."""
+
+import pytest
+
+from repro.metrics.ras import rank_agreement_score
+from repro.network.message import TimestampedMessage
+from repro.sequencers.base import SequencingResult, batches_from_groups
+from tests.conftest import make_message
+
+
+def result_from_groups(groups):
+    return SequencingResult(batches=batches_from_groups(groups))
+
+
+def test_perfect_order_scores_plus_one_per_pair():
+    messages = [make_message("a", 1.0), make_message("b", 2.0), make_message("c", 3.0)]
+    result = result_from_groups([[m] for m in messages])
+    breakdown = rank_agreement_score(result, messages)
+    assert breakdown.correct_pairs == 3
+    assert breakdown.incorrect_pairs == 0
+    assert breakdown.indifferent_pairs == 0
+    assert breakdown.score == 3
+    assert breakdown.normalized_score == 1.0
+    assert breakdown.decisiveness == 1.0
+
+
+def test_reversed_order_scores_minus_one_per_pair():
+    messages = [make_message("a", 1.0), make_message("b", 2.0), make_message("c", 3.0)]
+    result = result_from_groups([[messages[2]], [messages[1]], [messages[0]]])
+    breakdown = rank_agreement_score(result, messages)
+    assert breakdown.score == -3
+    assert breakdown.normalized_score == -1.0
+
+
+def test_single_batch_is_all_indifference():
+    messages = [make_message("a", 1.0), make_message("b", 2.0), make_message("c", 3.0)]
+    result = result_from_groups([messages])
+    breakdown = rank_agreement_score(result, messages)
+    assert breakdown.score == 0
+    assert breakdown.indifferent_pairs == 3
+    assert breakdown.decisiveness == 0.0
+
+
+def test_mixed_outcome_counts_each_pair_once():
+    a = make_message("a", 1.0)
+    b = make_message("b", 2.0)
+    c = make_message("c", 3.0)
+    # ranks: a=0, c=1, b=1  -> pair (a,b) correct, (a,c) correct, (b,c) indifferent
+    result = result_from_groups([[a], [c, b]])
+    breakdown = rank_agreement_score(result, [a, b, c])
+    assert breakdown.correct_pairs == 2
+    assert breakdown.indifferent_pairs == 1
+    assert breakdown.incorrect_pairs == 0
+    assert breakdown.total_pairs == 3
+
+
+def test_equal_true_times_are_skipped():
+    a = make_message("a", timestamp=1.0, true_time=5.0)
+    b = make_message("b", timestamp=2.0, true_time=5.0)
+    result = result_from_groups([[a], [b]])
+    breakdown = rank_agreement_score(result, [a, b])
+    assert breakdown.total_pairs == 0
+    assert breakdown.normalized_score == 0.0
+
+
+def test_missing_ground_truth_rejected():
+    a = TimestampedMessage(client_id="a", timestamp=1.0, true_time=None)
+    result = result_from_groups([[a]])
+    with pytest.raises(ValueError):
+        rank_agreement_score(result, [a])
+
+
+def test_message_missing_from_result_rejected():
+    a = make_message("a", 1.0)
+    b = make_message("b", 2.0)
+    result = result_from_groups([[a]])
+    with pytest.raises(ValueError):
+        rank_agreement_score(result, [a, b])
+
+
+def test_score_matches_paper_sum_semantics():
+    """Figure 5's y-axis is the sum over all pairs of +1/-1/0."""
+    messages = [make_message(f"c{k}", float(k)) for k in range(5)]
+    # correct order except the last two messages swapped
+    order = [messages[0], messages[1], messages[2], messages[4], messages[3]]
+    result = result_from_groups([[m] for m in order])
+    breakdown = rank_agreement_score(result, messages)
+    assert breakdown.correct_pairs == 9
+    assert breakdown.incorrect_pairs == 1
+    assert breakdown.score == 8

@@ -1,0 +1,95 @@
+"""Tests for ordered and unordered channels."""
+
+import numpy as np
+import pytest
+
+from repro.network.channel import OrderedChannel, UnorderedChannel
+from repro.network.link import ConstantDelay, UniformJitterDelay
+from repro.simulation.event_loop import EventLoop
+from repro.simulation.trace import TraceRecorder
+
+
+def test_unordered_channel_delivers_after_delay():
+    loop = EventLoop()
+    received = []
+    channel = UnorderedChannel(
+        loop, "chan", ConstantDelay(0.5), np.random.default_rng(0), received.append
+    )
+    channel.send("hello")
+    loop.run()
+    assert received == ["hello"]
+    assert loop.now == pytest.approx(0.5)
+    assert channel.sent == 1
+    assert channel.delivered == 1
+
+
+def test_unordered_channel_can_reorder():
+    loop = EventLoop()
+    received = []
+    # large jitter relative to send spacing forces occasional reordering
+    channel = UnorderedChannel(
+        loop, "chan", UniformJitterDelay(0.0, 1.0), np.random.default_rng(2), received.append
+    )
+    for index in range(30):
+        loop.schedule_at(index * 0.01, channel.send, index)
+    loop.run()
+    assert sorted(received) == list(range(30))
+    assert received != list(range(30))
+
+
+def test_ordered_channel_preserves_fifo_despite_jitter():
+    loop = EventLoop()
+    received = []
+    channel = OrderedChannel(
+        loop, "chan", UniformJitterDelay(0.0, 1.0), np.random.default_rng(2), received.append
+    )
+    for index in range(30):
+        loop.schedule_at(index * 0.01, channel.send, index)
+    loop.run()
+    assert received == list(range(30))
+
+
+def test_drop_probability_drops_messages():
+    loop = EventLoop()
+    received = []
+    channel = UnorderedChannel(
+        loop,
+        "chan",
+        ConstantDelay(0.0),
+        np.random.default_rng(7),
+        received.append,
+        drop_probability=0.5,
+    )
+    for index in range(200):
+        channel.send(index)
+    loop.run()
+    assert channel.dropped > 0
+    assert channel.delivered + channel.dropped == 200
+    assert len(received) == channel.delivered
+
+
+def test_invalid_drop_probability_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        UnorderedChannel(
+            loop, "chan", ConstantDelay(0.0), np.random.default_rng(0), lambda item: None, drop_probability=1.0
+        )
+
+
+def test_trace_records_deliveries_and_drops():
+    loop = EventLoop()
+    trace = TraceRecorder()
+    channel = UnorderedChannel(
+        loop,
+        "chan",
+        ConstantDelay(0.0),
+        np.random.default_rng(3),
+        lambda item: None,
+        trace=trace,
+        drop_probability=0.3,
+    )
+    for index in range(50):
+        channel.send(index)
+    loop.run()
+    assert len(trace.events(kind="deliver")) == channel.delivered
+    assert len(trace.events(kind="drop")) == channel.dropped

@@ -1,0 +1,62 @@
+"""Tests for one-way delay models."""
+
+import numpy as np
+import pytest
+
+from repro.network.link import ConstantDelay, GammaDelay, LogNormalDelay, UniformJitterDelay
+
+
+def test_constant_delay_is_deterministic(rng):
+    model = ConstantDelay(0.003)
+    assert model.mean == 0.003
+    assert all(model.sample(rng) == 0.003 for _ in range(5))
+
+
+def test_constant_delay_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantDelay(-1.0)
+
+
+def test_uniform_jitter_bounds_and_mean(rng):
+    model = UniformJitterDelay(base=0.001, jitter=0.002)
+    samples = np.array([model.sample(rng) for _ in range(2000)])
+    assert samples.min() >= 0.001
+    assert samples.max() <= 0.003
+    assert samples.mean() == pytest.approx(model.mean, rel=0.05)
+
+
+def test_uniform_jitter_zero_jitter_is_constant(rng):
+    model = UniformJitterDelay(base=0.001, jitter=0.0)
+    assert model.sample(rng) == 0.001
+
+
+def test_lognormal_floor_is_respected(rng):
+    model = LogNormalDelay(median=0.001, sigma=0.5, floor=0.0005)
+    samples = np.array([model.sample(rng) for _ in range(2000)])
+    assert samples.min() >= 0.0005
+    assert samples.mean() == pytest.approx(model.mean, rel=0.1)
+
+
+def test_lognormal_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        LogNormalDelay(median=0.0, sigma=0.5)
+    with pytest.raises(ValueError):
+        LogNormalDelay(median=0.001, sigma=-1.0)
+    with pytest.raises(ValueError):
+        LogNormalDelay(median=0.001, sigma=0.5, floor=-0.1)
+
+
+def test_gamma_delay_mean(rng):
+    model = GammaDelay(shape=2.0, scale=0.0005, floor=0.001)
+    samples = np.array([model.sample(rng) for _ in range(4000)])
+    assert samples.min() >= 0.001
+    assert samples.mean() == pytest.approx(model.mean, rel=0.1)
+
+
+def test_gamma_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        GammaDelay(shape=0.0, scale=1.0)
+    with pytest.raises(ValueError):
+        GammaDelay(shape=1.0, scale=0.0)
+    with pytest.raises(ValueError):
+        GammaDelay(shape=1.0, scale=1.0, floor=-1.0)

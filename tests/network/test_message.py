@@ -1,0 +1,56 @@
+"""Tests for message, heartbeat and batch data types."""
+
+import pytest
+
+from repro.network.message import Heartbeat, SequencedBatch, TimestampedMessage
+
+
+def test_message_ids_are_unique():
+    a = TimestampedMessage(client_id="x", timestamp=1.0)
+    b = TimestampedMessage(client_id="x", timestamp=1.0)
+    assert a.message_id != b.message_id
+    assert a.key != b.key
+
+
+def test_message_key_includes_client():
+    message = TimestampedMessage(client_id="alice", timestamp=2.0)
+    assert message.key == ("alice", message.message_id)
+
+
+def test_empty_client_id_rejected():
+    with pytest.raises(ValueError):
+        TimestampedMessage(client_id="", timestamp=1.0)
+
+
+def test_with_timestamp_preserves_identity():
+    original = TimestampedMessage(client_id="a", timestamp=5.0, true_time=4.9, payload={"x": 1})
+    tampered = original.with_timestamp(1.0)
+    assert tampered.timestamp == 1.0
+    assert tampered.message_id == original.message_id
+    assert tampered.true_time == original.true_time
+    assert tampered.payload == original.payload
+
+
+def test_heartbeat_carries_client_and_timestamp():
+    hb = Heartbeat(client_id="a", timestamp=3.0, sequence_number=7)
+    assert hb.client_id == "a"
+    assert hb.sequence_number == 7
+
+
+def test_batch_requires_messages_and_valid_rank():
+    message = TimestampedMessage(client_id="a", timestamp=1.0)
+    with pytest.raises(ValueError):
+        SequencedBatch(rank=-1, messages=(message,))
+    with pytest.raises(ValueError):
+        SequencedBatch(rank=0, messages=())
+
+
+def test_batch_size_and_clients():
+    messages = (
+        TimestampedMessage(client_id="b", timestamp=1.0),
+        TimestampedMessage(client_id="a", timestamp=2.0),
+        TimestampedMessage(client_id="a", timestamp=3.0),
+    )
+    batch = SequencedBatch(rank=0, messages=messages)
+    assert batch.size == 3
+    assert batch.clients == ("a", "b")

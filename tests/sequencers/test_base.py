@@ -1,0 +1,38 @@
+"""Tests for the sequencer result type and helpers."""
+
+import pytest
+
+from repro.network.message import SequencedBatch, TimestampedMessage
+from repro.sequencers.base import SequencingResult, batches_from_groups
+from tests.conftest import make_message
+
+
+def test_result_requires_consecutive_ranks():
+    message = TimestampedMessage(client_id="a", timestamp=1.0)
+    with pytest.raises(ValueError):
+        SequencingResult(batches=(SequencedBatch(rank=1, messages=(message,)),))
+
+
+def test_rank_of_maps_every_message():
+    messages = [make_message("a", 1.0), make_message("b", 2.0), make_message("a", 3.0)]
+    result = SequencingResult(batches=batches_from_groups([[messages[0]], messages[1:]]))
+    ranks = result.rank_of()
+    assert ranks[messages[0].key] == 0
+    assert ranks[messages[1].key] == 1
+    assert ranks[messages[2].key] == 1
+
+
+def test_counts_and_sizes():
+    messages = [make_message("a", 1.0), make_message("b", 2.0), make_message("c", 3.0)]
+    result = SequencingResult(batches=batches_from_groups([messages[:2], messages[2:]]))
+    assert result.message_count == 3
+    assert result.batch_count == 2
+    assert result.batch_sizes == (2, 1)
+    assert len(result.messages_in_rank_order()) == 3
+
+
+def test_empty_result_is_valid():
+    result = SequencingResult(batches=())
+    assert result.message_count == 0
+    assert result.batch_count == 0
+    assert result.rank_of() == {}

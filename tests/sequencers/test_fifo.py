@@ -1,0 +1,50 @@
+"""Tests for the FIFO sequencer."""
+
+import pytest
+
+from repro.sequencers.fifo import FifoSequencer
+from tests.conftest import make_message
+
+
+def test_ranks_follow_input_order_by_default():
+    messages = [make_message("a", 3.0), make_message("b", 1.0), make_message("c", 2.0)]
+    result = FifoSequencer().sequence(messages)
+    ranks = result.rank_of()
+    assert ranks[messages[0].key] == 0
+    assert ranks[messages[1].key] == 1
+    assert ranks[messages[2].key] == 2
+
+
+def test_explicit_arrival_order_overrides_input_order():
+    messages = [make_message("a", 3.0), make_message("b", 1.0)]
+    result = FifoSequencer().sequence(messages, arrival_order=[messages[1], messages[0]])
+    ranks = result.rank_of()
+    assert ranks[messages[1].key] == 0
+    assert ranks[messages[0].key] == 1
+
+
+def test_arrival_order_must_match_message_set():
+    messages = [make_message("a", 1.0), make_message("b", 2.0)]
+    with pytest.raises(ValueError):
+        FifoSequencer().sequence(messages, arrival_order=[messages[0]])
+
+
+def test_batch_size_groups_consecutive_arrivals():
+    messages = [make_message("a", float(k)) for k in range(5)]
+    result = FifoSequencer(batch_size=2).sequence(messages)
+    assert result.batch_sizes == (2, 2, 1)
+
+
+def test_duplicate_messages_rejected():
+    message = make_message("a", 1.0)
+    with pytest.raises(ValueError):
+        FifoSequencer().sequence([message, message])
+
+
+def test_invalid_batch_size_rejected():
+    with pytest.raises(ValueError):
+        FifoSequencer(batch_size=0)
+
+
+def test_empty_input_gives_empty_result():
+    assert FifoSequencer().sequence([]).batch_count == 0

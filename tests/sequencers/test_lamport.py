@@ -1,0 +1,88 @@
+"""Tests for Lamport clocks, vector clocks and happened-before."""
+
+from repro.sequencers.lamport import (
+    LamportClock,
+    VectorClock,
+    causal_order,
+    concurrent,
+    happened_before,
+)
+
+
+def test_local_events_on_one_process_are_ordered():
+    clock = LamportClock("p1")
+    first = clock.tick("a")
+    second = clock.tick("b")
+    assert happened_before(first, second)
+    assert not happened_before(second, first)
+
+
+def test_send_receive_creates_cross_process_ordering():
+    p1, p2 = LamportClock("p1"), LamportClock("p2")
+    sent = p1.send("m")
+    received = p2.receive(sent)
+    later = p2.tick()
+    assert happened_before(sent, received)
+    assert happened_before(sent, later)
+    assert received.lamport_time > sent.lamport_time
+
+
+def test_independent_events_are_concurrent():
+    p1, p2 = LamportClock("p1"), LamportClock("p2")
+    a = p1.tick()
+    b = p2.tick()
+    assert concurrent(a, b)
+    assert not happened_before(a, b)
+    assert not happened_before(b, a)
+
+
+def test_concurrency_is_exactly_the_gap_tommy_targets():
+    """Messages from different clients with no communication are concurrent."""
+    clients = [LamportClock(f"client-{k}") for k in range(5)]
+    events = [client.tick("submit-order") for client in clients]
+    for i, a in enumerate(events):
+        for j, b in enumerate(events):
+            if i != j:
+                assert concurrent(a, b)
+
+
+def test_vector_clock_dominance():
+    assert VectorClock.dominates({"a": 2, "b": 1}, {"a": 1, "b": 1})
+    assert not VectorClock.dominates({"a": 1, "b": 1}, {"a": 2, "b": 1})
+    assert not VectorClock.dominates({"a": 1}, {"a": 1})
+
+
+def test_vector_clock_concurrency():
+    assert VectorClock.concurrent({"a": 2, "b": 0}, {"a": 0, "b": 2})
+    assert not VectorClock.concurrent({"a": 1}, {"a": 1})
+
+
+def test_receive_merges_vector_entries():
+    p1, p2 = LamportClock("p1"), LamportClock("p2")
+    p1.tick()
+    message = p1.send()
+    received = p2.receive(message)
+    vector = received.vector_clock()
+    assert vector["p1"] == 2
+    assert vector["p2"] == 1
+
+
+def test_causal_order_linearisation_respects_happened_before():
+    p1, p2 = LamportClock("p1"), LamportClock("p2")
+    a = p1.tick()
+    m = p1.send()
+    r = p2.receive(m)
+    b = p2.tick()
+    linearised, pairs = causal_order([a, m, r, b])
+    position = {event.event_id: index for index, event in enumerate(linearised)}
+    for before_id, after_id in pairs:
+        assert position[before_id] < position[after_id]
+    assert (a.event_id, b.event_id) in pairs  # transitivity through the message
+
+
+def test_happened_before_is_irreflexive_and_antisymmetric():
+    clock = LamportClock("p")
+    event = clock.tick()
+    later = clock.tick()
+    assert not happened_before(event, event)
+    assert not (happened_before(event, later) and happened_before(later, event))

@@ -1,0 +1,29 @@
+"""Tests for the omniscient oracle sequencer."""
+
+import pytest
+
+from repro.network.message import TimestampedMessage
+from repro.sequencers.oracle import OracleSequencer
+from tests.conftest import make_message
+
+
+def test_oracle_orders_by_true_time_ignoring_timestamps():
+    messages = [
+        make_message("a", timestamp=10.0, true_time=3.0),
+        make_message("b", timestamp=1.0, true_time=5.0),
+        make_message("c", timestamp=5.0, true_time=1.0),
+    ]
+    result = OracleSequencer().sequence(messages)
+    ordered = result.messages_in_rank_order()
+    assert [m.true_time for m in ordered] == [1.0, 3.0, 5.0]
+    assert result.batch_sizes == (1, 1, 1)
+
+
+def test_oracle_requires_ground_truth():
+    message = TimestampedMessage(client_id="a", timestamp=1.0, true_time=None)
+    with pytest.raises(ValueError):
+        OracleSequencer().sequence([message])
+
+
+def test_oracle_empty_input():
+    assert OracleSequencer().sequence([]).batch_count == 0

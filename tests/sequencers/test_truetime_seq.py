@@ -1,0 +1,76 @@
+"""Tests for the TrueTime baseline sequencer."""
+
+import pytest
+
+from repro.distributions.parametric import GaussianDistribution
+from repro.sequencers.truetime import TrueTimeSequencer
+from tests.conftest import make_message
+
+
+def sequencer_for(sigmas, multiplier=3.0):
+    return TrueTimeSequencer(
+        {client: GaussianDistribution(0.0, sigma) for client, sigma in sigmas.items()},
+        sigma_multiplier=multiplier,
+    )
+
+
+def test_disjoint_intervals_get_distinct_ranks():
+    sequencer = sequencer_for({"a": 0.1, "b": 0.1})
+    messages = [make_message("a", 0.0), make_message("b", 10.0)]
+    result = sequencer.sequence(messages)
+    assert result.batch_sizes == (1, 1)
+    ranks = result.rank_of()
+    assert ranks[messages[0].key] == 0
+    assert ranks[messages[1].key] == 1
+
+
+def test_overlapping_intervals_share_a_rank():
+    sequencer = sequencer_for({"a": 5.0, "b": 5.0})
+    messages = [make_message("a", 0.0), make_message("b", 1.0)]
+    result = sequencer.sequence(messages)
+    assert result.batch_count == 1
+    assert result.batch_sizes == (3 - 1,)
+
+
+def test_transitive_overlap_clusters_chain_into_one_batch():
+    # a overlaps b, b overlaps c, but a does not overlap c: all share a batch
+    sequencer = sequencer_for({"a": 1.0, "b": 1.0, "c": 1.0}, multiplier=1.0)
+    messages = [make_message("a", 0.0), make_message("b", 1.5), make_message("c", 3.0)]
+    result = sequencer.sequence(messages)
+    assert result.batch_count == 1
+
+
+def test_interval_uses_client_specific_sigma():
+    sequencer = sequencer_for({"wide": 10.0, "narrow": 0.01})
+    wide = sequencer.interval_for(make_message("wide", 0.0))
+    narrow = sequencer.interval_for(make_message("narrow", 0.0))
+    assert wide.width == pytest.approx(60.0)
+    assert narrow.width == pytest.approx(0.06)
+
+
+def test_interval_centers_on_mean_corrected_timestamp():
+    sequencer = TrueTimeSequencer({"biased": GaussianDistribution(2.0, 1.0)})
+    interval = sequencer.interval_for(make_message("biased", 10.0))
+    assert interval.midpoint == pytest.approx(8.0)
+
+
+def test_unknown_client_rejected():
+    sequencer = sequencer_for({"a": 1.0})
+    with pytest.raises(KeyError):
+        sequencer.sequence([make_message("mystery", 1.0)])
+
+
+def test_register_client_adds_distribution():
+    sequencer = sequencer_for({"a": 1.0})
+    sequencer.register_client("b", GaussianDistribution(0.0, 1.0))
+    result = sequencer.sequence([make_message("a", 0.0), make_message("b", 100.0)])
+    assert result.batch_count == 2
+
+
+def test_invalid_multiplier_rejected():
+    with pytest.raises(ValueError):
+        sequencer_for({"a": 1.0}, multiplier=0.0)
+
+
+def test_empty_input_gives_empty_result():
+    assert sequencer_for({"a": 1.0}).sequence([]).batch_count == 0

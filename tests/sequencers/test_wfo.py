@@ -1,0 +1,59 @@
+"""Tests for the WaitsForOne sequencer."""
+
+import pytest
+
+from repro.sequencers.wfo import WaitsForOneSequencer
+from tests.conftest import make_message
+
+
+def test_offline_wfo_sorts_by_reported_timestamp():
+    messages = [make_message("a", 3.0), make_message("b", 1.0), make_message("c", 2.0)]
+    result = WaitsForOneSequencer().sequence(messages)
+    ordered = result.messages_in_rank_order()
+    assert [m.timestamp for m in ordered] == [1.0, 2.0, 3.0]
+    assert result.batch_sizes == (1, 1, 1)
+
+
+def test_wfo_is_fair_when_clocks_are_perfect():
+    # reported timestamps equal true times -> WFO recovers the true order
+    messages = [make_message("a", 1.0), make_message("b", 1.5), make_message("a", 2.0)]
+    result = WaitsForOneSequencer().sequence(messages)
+    ranks = result.rank_of()
+    ordered_true = sorted(messages, key=lambda m: m.true_time)
+    assert [ranks[m.key] for m in ordered_true] == [0, 1, 2]
+
+
+def test_wfo_misorders_when_clock_error_dominates():
+    early_but_late_clock = make_message("a", timestamp=5.0, true_time=1.0)
+    late_but_early_clock = make_message("b", timestamp=2.0, true_time=3.0)
+    result = WaitsForOneSequencer().sequence([early_but_late_clock, late_but_early_clock])
+    ranks = result.rank_of()
+    assert ranks[late_but_early_clock.key] < ranks[early_but_late_clock.key]
+
+
+def test_release_order_replays_online_algorithm():
+    streams = {
+        "a": [make_message("a", 1.0), make_message("a", 4.0)],
+        "b": [make_message("b", 2.0), make_message("b", 3.0)],
+    }
+    released = WaitsForOneSequencer().release_order(streams)
+    assert [m.timestamp for m in released] == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_release_order_requires_per_client_timestamp_order():
+    streams = {"a": [make_message("a", 2.0), make_message("a", 1.0)]}
+    with pytest.raises(ValueError):
+        WaitsForOneSequencer().release_order(streams)
+
+
+def test_release_order_handles_exhausted_clients():
+    streams = {
+        "a": [make_message("a", 1.0)],
+        "b": [make_message("b", 2.0), make_message("b", 3.0), make_message("b", 4.0)],
+    }
+    released = WaitsForOneSequencer().release_order(streams)
+    assert [m.timestamp for m in released] == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_empty_input_gives_empty_result():
+    assert WaitsForOneSequencer().sequence([]).batch_count == 0

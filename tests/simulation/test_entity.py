@@ -1,0 +1,48 @@
+"""Tests for the Entity scheduling helpers."""
+
+from repro.simulation.entity import Entity
+from repro.simulation.event_loop import EventLoop
+
+
+def test_entity_exposes_loop_time():
+    loop = EventLoop(start_time=4.0)
+    entity = Entity(loop, "node")
+    assert entity.now == 4.0
+    assert entity.name == "node"
+    assert entity.loop is loop
+
+
+def test_call_after_schedules_relative_to_now():
+    loop = EventLoop()
+    entity = Entity(loop, "node")
+    fired = []
+    entity.call_after(2.0, fired.append, "x")
+    loop.run()
+    assert fired == ["x"]
+    assert loop.now == 2.0
+
+
+def test_call_at_schedules_absolute():
+    loop = EventLoop()
+    entity = Entity(loop, "node")
+    fired = []
+    entity.call_at(3.5, fired.append, "y")
+    loop.run()
+    assert loop.now == 3.5
+    assert fired == ["y"]
+
+
+def test_cancel_none_is_noop():
+    loop = EventLoop()
+    entity = Entity(loop, "node")
+    entity.cancel(None)  # must not raise
+
+
+def test_cancel_pending_event():
+    loop = EventLoop()
+    entity = Entity(loop, "node")
+    fired = []
+    event = entity.call_after(1.0, fired.append, "x")
+    entity.cancel(event)
+    loop.run()
+    assert fired == []

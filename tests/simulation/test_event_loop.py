@@ -1,0 +1,157 @@
+"""Tests for the discrete-event simulation loop."""
+
+import pytest
+
+from repro.simulation.event_loop import EventLoop, SimulationError
+
+
+def test_events_run_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(3.0, fired.append, "c")
+    loop.schedule_at(1.0, fired.append, "a")
+    loop.schedule_at(2.0, fired.append, "b")
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_scheduling_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(1.0, fired.append, "first")
+    loop.schedule_at(1.0, fired.append, "second")
+    loop.schedule_at(1.0, fired.append, "third")
+    loop.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_priority_breaks_ties_before_sequence():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(1.0, fired.append, "low", priority=5)
+    loop.schedule_at(1.0, fired.append, "high", priority=-5)
+    loop.run()
+    assert fired == ["high", "low"]
+
+
+def test_now_advances_to_executed_event_time():
+    loop = EventLoop()
+    loop.schedule_at(2.5, lambda: None)
+    loop.run()
+    assert loop.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(1.0, fired.append, "early")
+    loop.schedule_at(5.0, fired.append, "late")
+    executed = loop.run(until=2.0)
+    assert executed == 1
+    assert fired == ["early"]
+    assert loop.now == 2.0
+    loop.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_time_even_with_empty_queue():
+    loop = EventLoop()
+    loop.run(until=7.0)
+    assert loop.now == 7.0
+
+
+def test_schedule_after_uses_relative_delay():
+    loop = EventLoop(start_time=10.0)
+    times = []
+    loop.schedule_after(1.5, lambda: times.append(loop.now))
+    loop.run()
+    assert times == [11.5]
+
+
+def test_scheduling_in_the_past_raises():
+    loop = EventLoop(start_time=5.0)
+    with pytest.raises(SimulationError):
+        loop.schedule_at(4.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.schedule_after(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule_at(1.0, fired.append, "x")
+    loop.cancel(event)
+    loop.run()
+    assert fired == []
+    assert loop.stats()["cancelled"] == 1
+
+
+def test_events_can_schedule_more_events():
+    loop = EventLoop()
+    fired = []
+
+    def first():
+        fired.append("first")
+        loop.schedule_after(1.0, second)
+
+    def second():
+        fired.append("second")
+
+    loop.schedule_at(1.0, first)
+    loop.run()
+    assert fired == ["first", "second"]
+    assert loop.now == 2.0
+
+
+def test_stop_halts_run():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(1.0, lambda: (fired.append("a"), loop.stop()))
+    loop.schedule_at(2.0, fired.append, "b")
+    loop.run()
+    assert fired == ["a"]
+
+
+def test_max_events_limits_execution():
+    loop = EventLoop()
+    fired = []
+    for k in range(5):
+        loop.schedule_at(float(k + 1), fired.append, k)
+    executed = loop.run(max_events=3)
+    assert executed == 3
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_none_when_idle():
+    loop = EventLoop()
+    assert loop.step() is None
+
+
+def test_next_event_time_skips_cancelled():
+    loop = EventLoop()
+    event = loop.schedule_at(1.0, lambda: None)
+    loop.schedule_at(2.0, lambda: None)
+    loop.cancel(event)
+    assert loop.next_event_time() == 2.0
+
+
+def test_callback_args_and_kwargs_are_passed():
+    loop = EventLoop()
+    seen = {}
+    loop.schedule_at(1.0, lambda a, b=None: seen.update({"a": a, "b": b}), 1, b=2)
+    loop.run()
+    assert seen == {"a": 1, "b": 2}
+
+
+def test_stats_track_scheduled_and_executed():
+    loop = EventLoop()
+    loop.schedule_at(1.0, lambda: None)
+    loop.schedule_at(2.0, lambda: None)
+    loop.run()
+    stats = loop.stats()
+    assert stats["scheduled"] == 2
+    assert stats["executed"] == 2

@@ -1,0 +1,48 @@
+"""Tests for the trace recorder."""
+
+from repro.simulation.trace import TraceRecorder
+
+
+def test_record_and_filter_by_kind_and_source():
+    trace = TraceRecorder()
+    trace.record(1.0, "client-a", "send", size=10)
+    trace.record(2.0, "client-b", "send", size=20)
+    trace.record(3.0, "client-a", "deliver")
+    assert len(trace) == 3
+    assert len(trace.events(kind="send")) == 2
+    assert len(trace.events(source="client-a")) == 2
+    assert len(trace.events(kind="send", source="client-a")) == 1
+
+
+def test_disabled_recorder_ignores_events():
+    trace = TraceRecorder(enabled=False)
+    trace.record(1.0, "x", "y")
+    assert len(trace) == 0
+    trace.enable()
+    trace.record(2.0, "x", "y")
+    assert len(trace) == 1
+    trace.disable()
+    trace.record(3.0, "x", "y")
+    assert len(trace) == 1
+
+
+def test_details_are_stored_per_event():
+    trace = TraceRecorder()
+    trace.record(1.0, "node", "kind", value=42)
+    event = trace.events()[0]
+    assert event.details["value"] == 42
+    assert event.time == 1.0
+
+
+def test_clear_removes_events():
+    trace = TraceRecorder()
+    trace.record(1.0, "x", "y")
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_iteration_yields_events_in_order():
+    trace = TraceRecorder()
+    for t in (1.0, 2.0, 3.0):
+        trace.record(t, "s", "k")
+    assert [event.time for event in trace] == [1.0, 2.0, 3.0]

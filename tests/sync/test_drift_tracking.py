@@ -1,0 +1,118 @@
+"""Tests for drift tracking and regime-shift detection."""
+
+import numpy as np
+import pytest
+
+from repro.sync.drift import (
+    AdaptiveOffsetLearner,
+    DriftTracker,
+    RegimeShiftDetector,
+)
+
+
+def test_drift_fit_recovers_linear_trend(rng):
+    tracker = DriftTracker()
+    rate = 5e-6  # 5 ppm
+    for t in np.linspace(0.0, 100.0, 200):
+        tracker.observe(t, 0.001 + rate * t + rng.normal(0.0, 1e-7))
+    fit = tracker.fit()
+    assert fit.rate == pytest.approx(rate, rel=0.05)
+    assert fit.intercept == pytest.approx(0.001, abs=1e-5)
+    assert fit.rate_ppm == pytest.approx(5.0, rel=0.05)
+    assert fit.offset_at(50.0) == pytest.approx(0.001 + rate * 50.0, abs=1e-5)
+
+
+def test_detrended_offsets_remove_the_trend(rng):
+    tracker = DriftTracker()
+    for t in np.linspace(0.0, 50.0, 100):
+        tracker.observe(t, 1e-5 * t + rng.normal(0.0, 1e-6))
+    detrended = tracker.detrended_offsets()
+    # residuals should carry no correlation with time
+    times = np.linspace(0.0, 50.0, 100)
+    correlation = np.corrcoef(times, detrended)[0, 1]
+    assert abs(correlation) < 0.2
+    assert np.std(detrended) < 5e-6
+
+
+def test_drift_tracker_window_and_validation():
+    tracker = DriftTracker(window=16)
+    with pytest.raises(ValueError):
+        tracker.fit()
+    for t in range(32):
+        tracker.observe(float(t), 0.0)
+    assert tracker.observation_count == 16
+    with pytest.raises(ValueError):
+        DriftTracker(window=2)
+
+
+def test_regime_detector_flags_mean_jump(rng):
+    detector = RegimeShiftDetector(baseline_window=256, recent_window=16, z_threshold=4.0)
+    for _ in range(300):
+        detector.observe(float(rng.normal(0.0, 1e-4)))
+    assert detector.shifts_detected == 0
+    shifted = False
+    for _ in range(32):
+        report = detector.observe(float(rng.normal(5e-3, 1e-4)))
+        shifted = shifted or report.shifted
+    assert shifted
+    assert detector.shifts_detected >= 1
+
+
+def test_regime_detector_flags_spread_blowup(rng):
+    detector = RegimeShiftDetector(baseline_window=256, recent_window=16, spread_ratio_threshold=3.0)
+    for _ in range(300):
+        detector.observe(float(rng.normal(0.0, 1e-4)))
+    shifted = False
+    for _ in range(32):
+        report = detector.observe(float(rng.normal(0.0, 5e-3)))
+        shifted = shifted or report.shifted
+    assert shifted
+
+
+def test_regime_detector_quiet_under_stationary_noise(rng):
+    detector = RegimeShiftDetector(z_threshold=5.0)
+    for _ in range(800):
+        detector.observe(float(rng.normal(0.0, 1e-4)))
+    assert detector.shifts_detected == 0
+
+
+def test_regime_detector_validation():
+    with pytest.raises(ValueError):
+        RegimeShiftDetector(baseline_window=8)
+    with pytest.raises(ValueError):
+        RegimeShiftDetector(recent_window=2)
+    with pytest.raises(ValueError):
+        RegimeShiftDetector(baseline_window=32, recent_window=32)
+    with pytest.raises(ValueError):
+        RegimeShiftDetector(z_threshold=0.0)
+    with pytest.raises(ValueError):
+        RegimeShiftDetector(spread_ratio_threshold=1.0)
+
+
+def test_adaptive_learner_relearns_after_shift(rng):
+    adaptive = AdaptiveOffsetLearner(
+        detector=RegimeShiftDetector(baseline_window=128, recent_window=16, z_threshold=4.0)
+    )
+    for _ in range(200):
+        adaptive.observe_offset(float(rng.normal(0.0, 1e-4)))
+    before = adaptive.estimate()
+    assert before.mean == pytest.approx(0.0, abs=5e-5)
+
+    # abrupt temperature event: offsets jump to +5 ms
+    for _ in range(200):
+        adaptive.observe_offset(float(rng.normal(5e-3, 1e-4)))
+    assert adaptive.relearn_count >= 1
+    after = adaptive.estimate()
+    # the estimate reflects the new regime, not a smeared mixture of both
+    assert after.mean == pytest.approx(5e-3, abs=5e-4)
+    assert after.std < 1e-3
+
+
+def test_adaptive_learner_without_shift_behaves_like_plain_learner(rng):
+    adaptive = AdaptiveOffsetLearner()
+    for _ in range(100):
+        adaptive.observe_offset(float(rng.normal(1e-3, 2e-4)))
+    assert adaptive.relearn_count == 0
+    assert adaptive.can_estimate()
+    estimate = adaptive.estimate()
+    assert estimate.mean == pytest.approx(1e-3, abs=1e-4)

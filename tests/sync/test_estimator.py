@@ -1,0 +1,60 @@
+"""Tests for probe-based offset estimators."""
+
+import numpy as np
+import pytest
+
+from repro.sync.estimator import OffsetEstimator, offset_from_probe
+from repro.sync.probe import SyncProbe
+
+
+def make_probe(t1, t2, t3, t4, client="c"):
+    return SyncProbe(client_id=client, t1=t1, t2=t2, t3=t3, t4=t4, true_offset_forward=0.0, true_offset_backward=0.0)
+
+
+def test_offset_from_probe_matches_ntp_formula():
+    # client ahead by 5: t1 = 105 when true 100; server replies at 100.001
+    probe = make_probe(t1=105.0, t2=100.001, t3=100.001, t4=105.002)
+    assert offset_from_probe(probe) == pytest.approx(5.0, abs=1e-6)
+
+
+def test_estimator_median_is_robust_to_outliers():
+    # nine symmetric probes (offset estimate 0) plus one gross outlier
+    probes = [make_probe(10.0, 10.001, 10.001, 10.002) for _ in range(9)]
+    probes.append(make_probe(10.0, 30.0, 30.0, 10.002))
+    estimator = OffsetEstimator()
+    assert estimator.estimate_offset(probes) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_best_fraction_keeps_lowest_rtt_probes():
+    clean = make_probe(0.0, 0.001, 0.001, 0.002)          # rtt 2ms
+    noisy = make_probe(0.0, 0.050, 0.050, 0.100)           # rtt 100ms
+    estimator = OffsetEstimator(best_fraction=0.5)
+    offsets = estimator.offsets([clean, noisy])
+    assert offsets.size == 1
+    assert offsets[0] == pytest.approx(offset_from_probe(clean))
+
+
+def test_uncertainty_is_zero_for_single_probe():
+    estimator = OffsetEstimator()
+    assert estimator.estimate_uncertainty([make_probe(0.0, 0.001, 0.001, 0.002)]) == 0.0
+
+
+def test_uncertainty_positive_for_spread_probes():
+    probes = [make_probe(0.0, 0.001 * k, 0.001 * k, 0.002) for k in range(1, 6)]
+    assert OffsetEstimator().estimate_uncertainty(probes) > 0
+
+
+def test_empty_probe_list_rejected_for_point_estimate():
+    with pytest.raises(ValueError):
+        OffsetEstimator().estimate_offset([])
+
+
+def test_empty_probe_list_gives_empty_offsets():
+    assert OffsetEstimator().offsets([]).size == 0
+
+
+def test_invalid_best_fraction_rejected():
+    with pytest.raises(ValueError):
+        OffsetEstimator(best_fraction=0.0)
+    with pytest.raises(ValueError):
+        OffsetEstimator(best_fraction=1.5)

@@ -1,0 +1,80 @@
+"""Tests for the per-client offset-distribution learner."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.parametric import GaussianDistribution
+from repro.sync.learner import OffsetDistributionLearner
+from repro.sync.probe import SyncProbe
+
+
+def offset_probe(offset):
+    """A probe whose NTP offset estimate equals ``offset`` exactly."""
+    return SyncProbe(
+        client_id="c",
+        t1=100.0 + offset,
+        t2=100.0005,
+        t3=100.0005,
+        t4=100.001 + offset,
+        true_offset_forward=offset,
+        true_offset_backward=offset,
+    )
+
+
+def test_learner_recovers_gaussian_parameters(rng):
+    truth = GaussianDistribution(0.002, 0.0005)
+    learner = OffsetDistributionLearner(window=4096, method="gaussian")
+    for value in truth.sample(rng, size=3000):
+        learner.observe_offset(float(value))
+    estimate = learner.estimate()
+    assert estimate.mean == pytest.approx(0.002, abs=1e-4)
+    assert estimate.std == pytest.approx(0.0005, abs=1e-4)
+
+
+def test_learner_consumes_probes():
+    learner = OffsetDistributionLearner(window=64, method="gaussian")
+    for offset in np.linspace(-0.001, 0.001, 32):
+        learner.observe_probe(offset_probe(float(offset)))
+    assert learner.observation_count == 32
+    assert learner.probe_count == 32
+    estimate = learner.estimate()
+    assert estimate.mean == pytest.approx(0.0, abs=1e-4)
+
+
+def test_window_discards_old_observations():
+    learner = OffsetDistributionLearner(window=10, method="gaussian")
+    for _ in range(10):
+        learner.observe_offset(100.0)
+    for _ in range(10):
+        learner.observe_offset(0.0)
+    assert learner.observation_count == 10
+    assert learner.estimate().mean == pytest.approx(0.0, abs=1e-9)
+
+
+def test_can_estimate_threshold():
+    learner = OffsetDistributionLearner()
+    assert not learner.can_estimate()
+    for k in range(8):
+        learner.observe_offset(float(k))
+    assert learner.can_estimate()
+
+
+def test_empirical_and_auto_methods_produce_estimates(rng):
+    for method in ("empirical", "auto"):
+        learner = OffsetDistributionLearner(window=256, method=method)
+        for value in rng.normal(0.0, 1.0, size=200):
+            learner.observe_offset(float(value))
+        estimate = learner.estimate()
+        assert estimate.mean == pytest.approx(0.0, abs=0.3)
+
+
+def test_estimate_requires_observations():
+    with pytest.raises(ValueError):
+        OffsetDistributionLearner().estimate()
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        OffsetDistributionLearner(window=1)
+    with pytest.raises(ValueError):
+        OffsetDistributionLearner(method="bogus")

@@ -1,0 +1,74 @@
+"""Tests for the four-timestamp synchronization probe exchange."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.local import LocalClock
+from repro.distributions.parametric import GaussianDistribution
+from repro.network.link import ConstantDelay, UniformJitterDelay
+from repro.simulation.event_loop import EventLoop
+from repro.sync.probe import ProbeExchange
+
+
+def make_exchange(offset_mean=0.0, offset_std=0.0, delay=0.001, jitter=0.0, seed=0, processing=0.0):
+    loop = EventLoop()
+    clock = LocalClock(loop, GaussianDistribution(offset_mean, offset_std), np.random.default_rng(seed))
+    delay_model = UniformJitterDelay(delay, jitter) if jitter > 0 else ConstantDelay(delay)
+    return ProbeExchange(
+        loop,
+        "client",
+        clock,
+        forward_delay=delay_model,
+        backward_delay=delay_model,
+        rng=np.random.default_rng(seed + 1),
+        server_processing_time=processing,
+    )
+
+
+def test_probe_offset_exact_for_symmetric_delays_and_fixed_offset():
+    exchange = make_exchange(offset_mean=0.005, offset_std=0.0, delay=0.001)
+    probe = exchange.run_probe()
+    # client clock runs 5ms ahead; theta (client - sequencer) estimate should be +5ms
+    assert probe.client_offset_estimate == pytest.approx(0.005, abs=1e-9)
+
+
+def test_round_trip_delay_estimate_matches_true_delays():
+    exchange = make_exchange(delay=0.002, processing=0.0005)
+    probe = exchange.run_probe()
+    assert probe.round_trip_delay == pytest.approx(0.004, abs=1e-9)
+
+
+def test_processing_time_does_not_bias_offset():
+    exchange = make_exchange(offset_mean=0.003, delay=0.001, processing=0.01)
+    probe = exchange.run_probe()
+    assert probe.client_offset_estimate == pytest.approx(0.003, abs=1e-9)
+
+
+def test_asymmetric_jitter_spreads_offset_estimates():
+    exchange = make_exchange(offset_mean=0.0, offset_std=0.0, delay=0.001, jitter=0.002, seed=3)
+    offsets = [probe.client_offset_estimate for probe in exchange.run_probes(200)]
+    assert np.std(offsets) > 0
+
+
+def test_probe_offset_estimates_track_true_offset_distribution():
+    exchange = make_exchange(offset_mean=0.01, offset_std=0.002, delay=0.0005, seed=5)
+    offsets = np.array([probe.client_offset_estimate for probe in exchange.run_probes(2000)])
+    assert offsets.mean() == pytest.approx(0.01, abs=5e-4)
+
+
+def test_run_probes_accumulates_history():
+    exchange = make_exchange()
+    exchange.run_probes(5)
+    exchange.run_probe()
+    assert len(exchange.probes) == 6
+
+
+def test_negative_count_rejected():
+    exchange = make_exchange()
+    with pytest.raises(ValueError):
+        exchange.run_probes(-1)
+
+
+def test_negative_processing_time_rejected():
+    with pytest.raises(ValueError):
+        make_exchange(processing=-1.0)

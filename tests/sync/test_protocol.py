@@ -1,0 +1,85 @@
+"""Tests for the round-based synchronization protocol."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.local import LocalClock
+from repro.distributions.parametric import GaussianDistribution
+from repro.network.link import ConstantDelay
+from repro.simulation.event_loop import EventLoop
+from repro.sync.protocol import SyncProtocol
+
+
+def build_protocol(loop, num_clients=3, publish=None, round_interval=1.0):
+    protocol = SyncProtocol(loop, probes_per_round=8, round_interval=round_interval, publish=publish)
+    for index in range(num_clients):
+        client_id = f"c{index}"
+        clock = LocalClock(
+            loop, GaussianDistribution(0.001 * index, 0.0002), np.random.default_rng(index)
+        )
+        protocol.add_client(
+            client_id,
+            clock,
+            forward_delay=ConstantDelay(0.0005),
+            backward_delay=ConstantDelay(0.0005),
+            rng=np.random.default_rng(100 + index),
+        )
+    return protocol
+
+
+def test_rounds_accumulate_probes_for_every_client():
+    loop = EventLoop()
+    protocol = build_protocol(loop)
+    protocol.run_rounds(3)
+    assert protocol.rounds_completed == 3
+    for session in protocol.sessions.values():
+        assert session.learner.probe_count == 24
+
+
+def test_estimates_converge_to_seeded_means():
+    loop = EventLoop()
+    protocol = build_protocol(loop)
+    protocol.run_rounds(20)
+    estimates = protocol.estimates()
+    assert set(estimates) == {"c0", "c1", "c2"}
+    for index, client_id in enumerate(["c0", "c1", "c2"]):
+        assert estimates[client_id].mean == pytest.approx(0.001 * index, abs=3e-4)
+
+
+def test_publish_callback_receives_estimates():
+    loop = EventLoop()
+    published = []
+    protocol = build_protocol(loop, publish=lambda cid, est: published.append((cid, est)))
+    protocol.run_rounds(2)
+    assert {cid for cid, _ in published} == {"c0", "c1", "c2"}
+
+
+def test_periodic_rounds_run_on_event_loop():
+    loop = EventLoop()
+    protocol = build_protocol(loop, round_interval=0.5)
+    protocol.start()
+    loop.run(until=2.6)
+    assert protocol.rounds_completed >= 4
+    protocol.stop()
+    completed = protocol.rounds_completed
+    loop.schedule_at(10.0, lambda: None)
+    loop.run()
+    assert protocol.rounds_completed == completed
+
+
+def test_duplicate_client_rejected():
+    loop = EventLoop()
+    protocol = build_protocol(loop, num_clients=1)
+    clock = LocalClock(loop, GaussianDistribution(0, 1e-3), np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        protocol.add_client(
+            "c0", clock, ConstantDelay(0.001), ConstantDelay(0.001), np.random.default_rng(1)
+        )
+
+
+def test_invalid_configuration_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        SyncProtocol(loop, probes_per_round=0)
+    with pytest.raises(ValueError):
+        SyncProtocol(loop, round_interval=0.0)

@@ -1,0 +1,83 @@
+"""Tests for offline scenario generation."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.parametric import GaussianDistribution
+from repro.workloads.arrivals import UniformGapArrivals
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        num_clients=10,
+        arrivals=UniformGapArrivals(messages_per_client=2, gap=1.0),
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+def test_scenario_produces_expected_message_count():
+    scenario = build_scenario(small_config())
+    assert len(scenario.messages) == 20
+    assert len(scenario.clients) == 10
+    assert set(scenario.client_distributions) == set(scenario.client_ids)
+
+
+def test_messages_carry_ground_truth_and_noisy_timestamp():
+    scenario = build_scenario(
+        small_config(distribution_factory=lambda i, rng: GaussianDistribution(0.0, 5.0))
+    )
+    errors = [message.timestamp - message.true_time for message in scenario.messages]
+    assert any(abs(error) > 0.01 for error in errors)
+    assert np.std(errors) == pytest.approx(5.0, rel=0.5)
+
+
+def test_zero_noise_scenario_has_exact_timestamps():
+    scenario = build_scenario(
+        small_config(distribution_factory=lambda i, rng: GaussianDistribution(0.0, 1e-12))
+    )
+    for message in scenario.messages:
+        assert message.timestamp == pytest.approx(message.true_time, abs=1e-9)
+
+
+def test_scenario_is_deterministic_for_a_seed():
+    a = build_scenario(small_config(seed=42))
+    b = build_scenario(small_config(seed=42))
+    assert [m.timestamp for m in a.messages] == [m.timestamp for m in b.messages]
+    assert [m.true_time for m in a.messages] == [m.true_time for m in b.messages]
+
+
+def test_different_seeds_differ():
+    a = build_scenario(small_config(seed=1))
+    b = build_scenario(small_config(seed=2))
+    assert [m.timestamp for m in a.messages] != [m.timestamp for m in b.messages]
+
+
+def test_messages_by_client_groups_in_true_time_order():
+    scenario = build_scenario(small_config())
+    grouped = scenario.messages_by_client()
+    assert set(grouped) == set(scenario.client_ids)
+    for client_messages in grouped.values():
+        true_times = [message.true_time for message in client_messages]
+        assert true_times == sorted(true_times)
+
+
+def test_messages_by_true_time_is_sorted():
+    scenario = build_scenario(small_config())
+    ordered = scenario.messages_by_true_time()
+    assert [m.true_time for m in ordered] == sorted(m.true_time for m in ordered)
+
+
+def test_default_factory_assigns_positive_sigmas():
+    scenario = build_scenario(small_config(default_sigma=10.0))
+    for distribution in scenario.client_distributions.values():
+        assert distribution.std > 0
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        ScenarioConfig(num_clients=0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(default_sigma=-1.0)
