@@ -1,0 +1,69 @@
+"""CLUSTER — shard-count scaling of the sharded fair-sequencing cluster.
+
+The single online sequencer re-runs tentative batching over its whole
+pending set on every arrival, so its cost grows super-linearly with the
+client count.  Sharding splits the client population over independent
+sequencers; this benchmark replays one >=64-client multi-region scenario
+through 1, 2 and 4 shards and checks that cluster throughput scales while
+the merged cross-shard order keeps its fairness.
+
+The scenario seed and size are shared with the client-count scaling
+benchmark via ``_bench_utils`` so the curves stay comparable across PRs.
+"""
+
+import time
+
+from _bench_utils import BENCH_CLUSTER_CLIENTS, BENCH_SEED, emit, record_result
+
+from repro.experiments.cluster_sweep import run_cluster_sweep
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def test_cluster_shard_scaling(benchmark):
+    start = time.perf_counter()
+    rows = benchmark.pedantic(
+        lambda: run_cluster_sweep(
+            shard_counts=SHARD_COUNTS,
+            client_counts=(BENCH_CLUSTER_CLIENTS,),
+            seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    wall = time.perf_counter() - start
+    emit(
+        f"Cluster shard-count scaling ({BENCH_CLUSTER_CLIENTS} clients)",
+        rows,
+        benchmark="bench_cluster_shard_scaling",
+        wall_time=wall,
+    )
+    by_shards = {row["shards"]: row for row in rows}
+    assert set(by_shards) == set(SHARD_COUNTS)
+    # scale-out pays: 4 shards beat 1 by a wide margin (~8x when quiet, so
+    # this holds even on a noisy shared runner); 2 shards get a noise margin
+    assert by_shards[4]["total_throughput"] > by_shards[1]["total_throughput"]
+    assert by_shards[2]["total_throughput"] > 0.7 * by_shards[1]["total_throughput"]
+    # and the merged cross-shard order stays fair (no worse than ~2% of the
+    # single-sequencer pair agreement)
+    assert by_shards[4]["ras_normalized"] >= by_shards[1]["ras_normalized"] - 0.02
+    # every shard count sequenced the whole message set
+    assert all(row["clients"] == BENCH_CLUSTER_CLIENTS for row in rows)
+
+
+def test_bench_results_json_records(tmp_path, monkeypatch):
+    path = tmp_path / "bench.jsonl"
+    monkeypatch.setenv("BENCH_RESULTS_JSON", str(path))
+    rows = [{"shards": 1, "ras": 10}, {"shards": 2, "ras": 11}]
+    record_result("bench_smoke", rows, wall_time=1.25)
+    record_result("bench_smoke_again", rows)
+
+    import json
+
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["benchmark"] == "bench_smoke"
+    assert first["rows"] == rows
+    assert first["wall_time"] == 1.25
+    assert json.loads(lines[1])["wall_time"] is None

@@ -6,7 +6,7 @@ sequencing time at several client counts and prints the fairness row for
 each, confirming quality does not degrade with scale.
 """
 
-from _bench_utils import emit
+from _bench_utils import BENCH_SCALING_CLIENT_COUNTS, BENCH_SEED, emit
 
 from repro.core.config import TommyConfig
 from repro.core.sequencer import TommySequencer
@@ -22,7 +22,7 @@ def _scenario(num_clients):
             num_clients=num_clients,
             arrivals=UniformGapArrivals(messages_per_client=1, gap=10.0, jitter_fraction=0.2),
             distribution_factory=lambda i, rng: GaussianDistribution(0.0, 30.0),
-            seed=13,
+            seed=BENCH_SEED,
         )
     )
 
@@ -43,9 +43,11 @@ def test_sequencing_150_clients(benchmark):
 
 def test_scaling_sweep_rows(benchmark):
     rows = benchmark.pedantic(
-        lambda: run_scaling_sweep(client_counts=(10, 25, 50, 100), seed=13), rounds=1, iterations=1
+        lambda: run_scaling_sweep(client_counts=BENCH_SCALING_CLIENT_COUNTS, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
     )
-    emit("Client-count scaling", rows)
+    emit("Client-count scaling", rows, benchmark="bench_scaling_sweep")
     # ordering quality holds up while cost grows with n
     assert all(row["correct_pairs"] >= row["incorrect_pairs"] for row in rows)
     assert rows[-1]["sequencing_seconds"] >= rows[0]["sequencing_seconds"]

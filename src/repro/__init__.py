@@ -7,8 +7,10 @@ clock-synchronization probe protocol, a network substrate with ordered and
 unordered channels, baseline sequencers (FIFO, WaitsForOne, TrueTime,
 Lamport, oracle), auction-app workloads, downstream applications (limit
 order book, sealed-bid auction, replicated log), fairness metrics (Rank
-Agreement Score and friends) and the experiment harness that regenerates the
-paper's evaluation.
+Agreement Score and friends), the experiment harness that regenerates the
+paper's evaluation, and a sharded fair-sequencing cluster
+(:mod:`repro.cluster`) that scales the online sequencer out over many shards
+with a probabilistic cross-shard merge.
 
 Quickstart
 ----------
@@ -35,6 +37,14 @@ from repro.core import (
     PrecedenceModel,
     TommyConfig,
     TommySequencer,
+)
+from repro.cluster import (
+    CrossShardMerger,
+    HashSharding,
+    LoadAwareSharding,
+    RegionAffineSharding,
+    ShardedSequencer,
+    ShardRouter,
 )
 from repro.distributions import GaussianDistribution, OffsetDistribution
 from repro.metrics import rank_agreement_score
@@ -70,6 +80,12 @@ __all__ = [
     "OracleSequencer",
     "rank_agreement_score",
     "quick_sequence",
+    "ShardRouter",
+    "ShardedSequencer",
+    "CrossShardMerger",
+    "HashSharding",
+    "RegionAffineSharding",
+    "LoadAwareSharding",
 ]
 
 

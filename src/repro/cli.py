@@ -8,6 +8,7 @@ Every paper artifact and ablation can be regenerated from the shell::
     python -m repro.cli baselines
     python -m repro.cli learning
     python -m repro.cli scaling
+    python -m repro.cli cluster --shards 4 --num-clients 64
     python -m repro.cli all --csv-dir results/
 
 Each subcommand prints the same rows the corresponding benchmark target
@@ -28,6 +29,7 @@ from repro.experiments.ablations import (
     run_scaling_sweep,
     run_threshold_sweep,
 )
+from repro.experiments.cluster_sweep import run_cluster_sweep
 from repro.experiments.figure5 import Figure5Settings, figure5_rows, run_figure5
 from repro.experiments.reporting import format_table, rows_to_csv
 
@@ -41,8 +43,21 @@ def _threshold_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
     return run_threshold_sweep(num_clients=args.num_clients, seed=args.seed)
 
 
+#: The online p_safe sweep re-runs tentative batching on every arrival, so
+#: its cost grows roughly cubically with the client count; it is capped to
+#: keep the CLI responsive.
+PSAFE_MAX_CLIENTS = 12
+
+
 def _psafe_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
-    return run_psafe_sweep(num_clients=min(args.num_clients, 12), seed=args.seed)
+    effective = min(args.num_clients, PSAFE_MAX_CLIENTS)
+    if effective != args.num_clients:
+        print(
+            f"warning: psafe runs the online sequencer and caps --num-clients at "
+            f"{PSAFE_MAX_CLIENTS} (requested {args.num_clients}, using {effective})",
+            file=sys.stderr,
+        )
+    return run_psafe_sweep(num_clients=effective, seed=args.seed)
 
 
 def _baseline_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
@@ -57,6 +72,25 @@ def _scaling_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
     return run_scaling_sweep(seed=args.seed)
 
 
+def _shard_counts_up_to(max_shards: int) -> List[int]:
+    """Doubling shard counts from 1 up to (and always including) the max."""
+    counts = []
+    count = 1
+    while count < max_shards:
+        counts.append(count)
+        count *= 2
+    counts.append(max_shards)
+    return counts
+
+
+def _cluster_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
+    return run_cluster_sweep(
+        shard_counts=_shard_counts_up_to(args.shards),
+        client_counts=(args.num_clients,),
+        seed=args.seed,
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], List[Dict[str, object]]]] = {
     "figure5": _figure5_rows,
     "thresholds": _threshold_rows,
@@ -64,6 +98,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], List[Dict[str, object]]]] 
     "baselines": _baseline_rows,
     "learning": _learning_rows,
     "scaling": _scaling_rows,
+    "cluster": _cluster_rows,
 }
 
 TITLES = {
@@ -73,7 +108,15 @@ TITLES = {
     "baselines": "ABL-BASE: FIFO / WFO / TrueTime / Tommy on a burst",
     "learning": "ABL-LEARN: seeded vs probe-learned distributions",
     "scaling": "ABL-SCALE: client-count scaling",
+    "cluster": "CLUSTER: sharded fair sequencing, shard-count scaling",
 }
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--num-clients", type=int, default=60, help="clients per scenario (default 60)")
     parser.add_argument("--threshold", type=float, default=0.75, help="batching threshold (default 0.75)")
     parser.add_argument("--seed", type=int, default=7, help="root random seed")
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=4,
+        help="max shard count for the cluster sweep (swept 1, 2, ... up to this; default 4)",
+    )
     parser.add_argument("--csv-dir", default=None, help="also write one CSV per experiment into this directory")
     parser.add_argument(
         "experiment",

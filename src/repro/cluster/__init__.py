@@ -1,0 +1,38 @@
+"""Sharded fair-sequencing cluster.
+
+Scales the single :class:`~repro.core.online.OnlineTommySequencer` out to a
+cluster: a :class:`ShardRouter` partitions clients over shards (hash,
+region-affine, or load-aware), a :class:`ShardedSequencer` runs one online
+sequencer per shard on a shared event loop with heartbeat-driven failover,
+and a :class:`CrossShardMerger` recovers one cluster-wide fair order by
+applying the paper's probabilistic machinery at batch granularity across
+shard boundaries.
+"""
+
+from repro.cluster.harness import ClusterTransport, replay_scenario
+from repro.cluster.merge import CrossShardMerger, MergeOutcome
+from repro.cluster.router import (
+    HashSharding,
+    LoadAwareSharding,
+    RegionAffineSharding,
+    ShardRouter,
+    ShardingPolicy,
+    stable_shard_hash,
+)
+from repro.cluster.sharded import FailoverEvent, ShardedSequencer, ShardState
+
+__all__ = [
+    "ShardingPolicy",
+    "HashSharding",
+    "RegionAffineSharding",
+    "LoadAwareSharding",
+    "ShardRouter",
+    "stable_shard_hash",
+    "CrossShardMerger",
+    "MergeOutcome",
+    "ShardedSequencer",
+    "ShardState",
+    "FailoverEvent",
+    "ClusterTransport",
+    "replay_scenario",
+]

@@ -1,0 +1,133 @@
+"""Cluster wiring: per-shard transport fan-in and scenario replay.
+
+Two ways to drive a :class:`~repro.cluster.sharded.ShardedSequencer`:
+
+* :class:`ClusterTransport` — the live path: one
+  :class:`~repro.network.transport.Transport` per shard on the shared loop;
+  every client endpoint (clock, channel, heartbeats) is created on its owner
+  shard's transport, and each shard's sequencer endpoint fans arrivals into
+  that shard via :meth:`ShardedSequencer.receive_at` (so failover rerouting
+  still applies).
+* :func:`replay_scenario` — the evaluation path: schedule an offline
+  :class:`~repro.workloads.scenario.Scenario`'s messages as arrival events
+  at their ground-truth generation times.  The target only needs a
+  ``receive(item, arrival_time)`` method, so the same replay drives a bare
+  :class:`~repro.core.online.OnlineTommySequencer` and a cluster identically
+  — which is what makes the 1-shard equivalence property testable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Union
+
+import numpy as np
+
+from repro.clocks.local import LocalClock
+from repro.cluster.sharded import ShardedSequencer
+from repro.network.link import DelayModel
+from repro.network.message import Heartbeat, TimestampedMessage
+from repro.network.transport import ClientEndpoint, Transport
+from repro.simulation.event_loop import EventLoop
+from repro.simulation.trace import TraceRecorder
+from repro.workloads.scenario import Scenario
+
+
+class Receiver(Protocol):
+    """Anything message arrivals can be fanned into."""
+
+    def receive(
+        self, item: Union[TimestampedMessage, Heartbeat], arrival_time: Optional[float] = None
+    ) -> None: ...
+
+
+class ClusterTransport:
+    """One Transport per shard, each fanning into its shard's sequencer."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        cluster: ShardedSequencer,
+        rng_factory: Callable[[str], np.random.Generator],
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self._loop = loop
+        self._cluster = cluster
+        self._transports: List[Transport] = []
+        for shard_index in range(cluster.num_shards):
+            transport = Transport(loop, rng_factory, trace)
+            transport.sequencer.on_arrival(self._fan_in(shard_index))
+            self._transports.append(transport)
+
+    def _fan_in(self, shard_index: int):
+        def deliver(item: Union[TimestampedMessage, Heartbeat], arrival_time: float) -> None:
+            self._cluster.receive_at(shard_index, item, arrival_time)
+
+        return deliver
+
+    @property
+    def cluster(self) -> ShardedSequencer:
+        """The cluster being fed."""
+        return self._cluster
+
+    def transport_of(self, shard_index: int) -> Transport:
+        """The per-shard transport carrying that shard's client traffic."""
+        return self._transports[shard_index]
+
+    def add_client(
+        self,
+        client_id: str,
+        clock: LocalClock,
+        delay_model: Optional[DelayModel] = None,
+        ordered: bool = True,
+        heartbeat_interval: Optional[float] = None,
+        drop_probability: float = 0.0,
+    ) -> ClientEndpoint:
+        """Create a client endpoint on its owner shard's transport."""
+        shard = self._cluster.router.shard_of(client_id)
+        return self._transports[shard].add_client(
+            client_id,
+            clock,
+            delay_model=delay_model,
+            ordered=ordered,
+            heartbeat_interval=heartbeat_interval,
+            drop_probability=drop_probability,
+        )
+
+    def clients(self) -> Dict[str, ClientEndpoint]:
+        """All client endpoints across every shard transport."""
+        merged: Dict[str, ClientEndpoint] = {}
+        for transport in self._transports:
+            merged.update(transport.clients)
+        return merged
+
+
+def replay_scenario(
+    loop: EventLoop,
+    target: Receiver,
+    scenario: Scenario,
+    delay: float = 0.0,
+    final_heartbeats: bool = True,
+    heartbeat_slack: float = 1e-3,
+) -> List[TimestampedMessage]:
+    """Schedule ``scenario``'s messages as arrivals on ``loop``.
+
+    Each message arrives at ``true_time + delay``.  When
+    ``final_heartbeats`` is set, every client additionally sends one closing
+    heartbeat timestamped past the latest reported timestamp, so the
+    heartbeat completeness rule (Q2) lets the sequencer emit everything it
+    can before the caller's final flush.
+
+    Returns the replayed messages in arrival order.
+    """
+    if delay < 0:
+        raise ValueError("delay must be non-negative")
+    messages = scenario.messages_by_true_time()
+    for message in messages:
+        loop.schedule_at(max(message.true_time + delay, loop.now), target.receive, message)
+    if final_heartbeats and messages:
+        end_time = max(message.true_time for message in messages) + delay + heartbeat_slack
+        beacon = max(message.timestamp for message in messages) + heartbeat_slack
+        for client_id in sorted(scenario.client_ids):
+            heartbeat = Heartbeat(client_id=client_id, timestamp=beacon, true_time=end_time)
+            loop.schedule_at(end_time, target.receive, heartbeat)
+    return messages

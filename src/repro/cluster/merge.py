@@ -1,0 +1,214 @@
+"""Probabilistic cross-shard merge of per-shard batch streams.
+
+Each shard emits a totally ordered stream of fair batches over *its own*
+clients.  The cluster-wide order is recovered by a batch-level instance of
+the same probabilistic machinery the sequencer itself uses:
+
+* every emitted shard batch becomes a node of a directed graph;
+* within a shard, consecutive batches keep their emission order with
+  probability 1 (the shard already separated them confidently);
+* across shards, the likely-happened-before probability of two batches is
+  the mean pairwise :class:`~repro.core.probability.PrecedenceModel`
+  probability over their message cross pairs — the batch-level analogue of
+  :class:`~repro.core.relation.LikelyHappenedBefore` (the mean preserves
+  complementarity: ``P(A<B) + P(B<A) = 1``);
+* the kept-direction graph is made acyclic with the existing
+  :func:`~repro.core.cycles.resolve_cycles` policies and linearised with the
+  same deterministic topological tie-break as
+  :class:`~repro.core.tournament.TournamentGraph`;
+* finally, adjacent batches from *different* shards whose precedence
+  probability does not exceed the threshold are coalesced into one
+  cluster-wide rank — the probabilistic merge: the cluster refuses to
+  invent an order between shard batches it cannot justify.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.core.cycles import resolve_cycles
+from repro.core.probability import PrecedenceModel
+from repro.network.message import SequencedBatch
+from repro.sequencers.base import SequencingResult
+
+#: A batch node: (shard index, position of the batch in that shard's stream).
+BatchNode = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MergeOutcome:
+    """Result of one cross-shard merge pass."""
+
+    result: SequencingResult
+    merged_cross_shard: int
+    cross_pairs_evaluated: int
+    cycles_broken: int
+    wall_seconds: float
+
+    @property
+    def batch_count(self) -> int:
+        """Number of cluster-wide batches after merging."""
+        return self.result.batch_count
+
+
+class CrossShardMerger:
+    """Merges per-shard emitted batches into one cluster-wide fair order."""
+
+    def __init__(
+        self,
+        model: PrecedenceModel,
+        threshold: float = 0.75,
+        cycle_policy: str = "greedy",
+        seed: int = 0,
+    ) -> None:
+        if not 0.5 <= threshold < 1.0:
+            raise ValueError(f"threshold must be in [0.5, 1), got {threshold!r}")
+        self._model = model
+        self._threshold = float(threshold)
+        self._cycle_policy = cycle_policy
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def threshold(self) -> float:
+        """Cross-shard boundary confidence threshold."""
+        return self._threshold
+
+    @property
+    def model(self) -> PrecedenceModel:
+        """The cluster-wide precedence model (all clients registered)."""
+        return self._model
+
+    # ---------------------------------------------------------- probabilities
+    def batch_precedence(self, batch_a: SequencedBatch, batch_b: SequencedBatch) -> float:
+        """``P(batch_a generated before batch_b)`` at batch granularity.
+
+        The mean over message cross pairs of the pairwise preceding
+        probability.  The mean (rather than min or max) keeps the batch-level
+        relation complementary, which the tournament construction requires.
+        """
+        total = 0.0
+        count = 0
+        for message_a in batch_a.messages:
+            for message_b in batch_b.messages:
+                total += self._model.preceding_probability(message_a, message_b)
+                count += 1
+        if count == 0:
+            return 0.5
+        return total / count
+
+    # ----------------------------------------------------------------- merge
+    def merge(self, shard_batches: Sequence[Sequence[SequencedBatch]]) -> MergeOutcome:
+        """Merge per-shard batch streams into one cluster-wide order.
+
+        ``shard_batches[s]`` is shard ``s``'s emitted batches in rank order.
+        Deterministic for fixed inputs and seed.
+        """
+        start = time.perf_counter()
+        streams = [list(batches) for batches in shard_batches]
+        nodes: List[BatchNode] = [
+            (shard, index) for shard, stream in enumerate(streams) for index in range(len(stream))
+        ]
+        if not nodes:
+            empty = SequencingResult(batches=(), metadata={"sequencer": "cluster-merge"})
+            return MergeOutcome(
+                result=empty,
+                merged_cross_shard=0,
+                cross_pairs_evaluated=0,
+                cycles_broken=0,
+                wall_seconds=time.perf_counter() - start,
+            )
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(nodes)
+        probabilities: Dict[Tuple[BatchNode, BatchNode], float] = {}
+
+        # within-shard emission order is certain
+        for shard, stream in enumerate(streams):
+            for index in range(len(stream) - 1):
+                graph.add_edge((shard, index), (shard, index + 1), probability=1.0)
+
+        # cross-shard pairs: batch-level likely-happened-before
+        cross_pairs = 0
+        for shard_a in range(len(streams)):
+            for shard_b in range(shard_a + 1, len(streams)):
+                for index_a, batch_a in enumerate(streams[shard_a]):
+                    for index_b, batch_b in enumerate(streams[shard_b]):
+                        node_a: BatchNode = (shard_a, index_a)
+                        node_b: BatchNode = (shard_b, index_b)
+                        forward = self.batch_precedence(batch_a, batch_b)
+                        cross_pairs += 1
+                        probabilities[(node_a, node_b)] = forward
+                        probabilities[(node_b, node_a)] = 1.0 - forward
+                        if forward >= 0.5:
+                            graph.add_edge(node_a, node_b, probability=float(forward))
+                        else:
+                            graph.add_edge(node_b, node_a, probability=float(1.0 - forward))
+
+        resolution = resolve_cycles(graph, self._cycle_policy, rng=self._rng)
+        out_degree = dict(graph.out_degree())
+        order: List[BatchNode] = list(
+            nx.lexicographical_topological_sort(
+                graph, key=lambda node: (-out_degree.get(node, 0), node)
+            )
+        )
+
+        # probabilistic coalescing: a cross-shard boundary needs confidence
+        groups: List[List[BatchNode]] = []
+        merged_cross_shard = 0
+        for node in order:
+            if groups:
+                previous = groups[-1][-1]
+                cross = previous[0] != node[0]
+                confident = probabilities.get((previous, node), 1.0) > self._threshold
+                if cross and not confident:
+                    groups[-1].append(node)
+                    merged_cross_shard += 1
+                    continue
+            groups.append([node])
+
+        batches: List[SequencedBatch] = []
+        for rank, group in enumerate(groups):
+            messages = tuple(
+                message
+                for shard, index in group
+                for message in streams[shard][index].messages
+            )
+            emitted = [
+                streams[shard][index].emitted_at
+                for shard, index in group
+                if streams[shard][index].emitted_at is not None
+            ]
+            batches.append(
+                SequencedBatch(
+                    rank=rank,
+                    messages=messages,
+                    emitted_at=max(emitted) if emitted else None,
+                )
+            )
+
+        wall = time.perf_counter() - start
+        result = SequencingResult(
+            batches=tuple(batches),
+            metadata={
+                "sequencer": "cluster-merge",
+                "shards": len(streams),
+                "threshold": self._threshold,
+                "cycle_policy": self._cycle_policy,
+                "merged_cross_shard": merged_cross_shard,
+                "cross_pairs_evaluated": cross_pairs,
+                "cycles_broken": len(resolution.removed_edges),
+                "merge_wall_seconds": wall,
+            },
+        )
+        return MergeOutcome(
+            result=result,
+            merged_cross_shard=merged_cross_shard,
+            cross_pairs_evaluated=cross_pairs,
+            cycles_broken=len(resolution.removed_edges),
+            wall_seconds=wall,
+        )

@@ -1,0 +1,379 @@
+"""The sharded fair-sequencing cluster.
+
+:class:`ShardedSequencer` runs one
+:class:`~repro.core.online.OnlineTommySequencer` per shard on a shared
+:class:`~repro.simulation.EventLoop`.  Clients are routed to shards by a
+:class:`~repro.cluster.router.ShardRouter`; each shard sequences only its own
+clients, so per-arrival cost drops from O(n^2) over the whole pending set to
+O((n/S)^2) per shard.  The cluster-wide order is recovered afterwards by the
+probabilistic :class:`~repro.cluster.merge.CrossShardMerger`.
+
+Failover: when a shard-heartbeat interval is configured, every live shard
+ticks a heartbeat on the loop and a monitor watches for silence.  A shard
+whose heartbeat goes stale is declared dead; its clients are drained onto the
+least-loaded survivors and its pending (unemitted) messages — plus anything
+that arrived for it while it was silently down — are replayed into the new
+owners.  Batches the dead shard emitted before crashing remain part of the
+cluster history and participate in the final merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cluster.merge import CrossShardMerger, MergeOutcome
+from repro.cluster.router import ShardingPolicy, ShardRouter
+from repro.core.config import TommyConfig
+from repro.core.online import EmittedBatch, OnlineTommySequencer
+from repro.core.probability import PrecedenceModel
+from repro.distributions.base import OffsetDistribution
+from repro.network.message import Heartbeat, SequencedBatch, TimestampedMessage
+from repro.sequencers.base import SequencingResult
+from repro.simulation.entity import Entity
+from repro.simulation.event_loop import EventLoop
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """Record of one shard failover."""
+
+    shard: int
+    detected_at: float
+    clients_moved: int
+    messages_replayed: int
+
+
+@dataclass
+class ShardState:
+    """Mutable per-shard bookkeeping."""
+
+    index: int
+    sequencer: OnlineTommySequencer
+    alive: bool = True
+    crashed: bool = False
+    last_heartbeat: float = 0.0
+    backlog: List[Union[TimestampedMessage, Heartbeat]] = field(default_factory=list)
+
+
+class ShardedSequencer(Entity):
+    """A cluster of per-shard online Tommy sequencers with cross-shard merge."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        client_distributions: Dict[str, OffsetDistribution],
+        num_shards: int,
+        config: Optional[TommyConfig] = None,
+        policy: Optional[ShardingPolicy] = None,
+        router: Optional[ShardRouter] = None,
+        merge_threshold: Optional[float] = None,
+        heartbeat_interval: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
+        name: str = "cluster",
+    ) -> None:
+        super().__init__(loop, name)
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive when given")
+        self._config = config if config is not None else TommyConfig()
+        self._distributions = dict(client_distributions)
+        if router is not None:
+            if router.num_shards != num_shards:
+                raise ValueError(
+                    f"router has {router.num_shards} shards, cluster expects {num_shards}"
+                )
+            self._router = router
+        else:
+            self._router = ShardRouter(num_shards, policy)
+        for client_id in sorted(self._distributions):
+            self._router.assign(client_id)
+
+        self._shards: List[ShardState] = []
+        for index in range(num_shards):
+            shard_clients = self._router.clients_of(index)
+            sequencer = OnlineTommySequencer(
+                loop,
+                {client: self._distributions[client] for client in shard_clients},
+                config=self._config,
+                known_clients=shard_clients,
+                name=f"{name}-shard-{index}",
+            )
+            self._shards.append(ShardState(index=index, sequencer=sequencer, last_heartbeat=loop.now))
+
+        merge_model = PrecedenceModel(
+            method=self._config.probability_method,
+            convolution_points=self._config.convolution_points,
+        )
+        for client_id, distribution in self._distributions.items():
+            merge_model.register_client(client_id, distribution)
+        self._merger = CrossShardMerger(
+            merge_model,
+            threshold=self._config.threshold if merge_threshold is None else merge_threshold,
+            cycle_policy=self._config.cycle_policy,
+            seed=self._config.seed if self._config.seed is not None else 0,
+        )
+
+        self._failover_events: List[FailoverEvent] = []
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_timeout = (
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else (3.0 * heartbeat_interval if heartbeat_interval is not None else None)
+        )
+        if heartbeat_interval is not None:
+            for shard in self._shards:
+                self.call_after(heartbeat_interval, self._shard_heartbeat_tick, shard.index)
+            self.call_after(heartbeat_interval, self._monitor_tick)
+
+    # ------------------------------------------------------------- properties
+    @property
+    def num_shards(self) -> int:
+        """Number of shards (including failed ones)."""
+        return len(self._shards)
+
+    @property
+    def router(self) -> ShardRouter:
+        """The client-to-shard routing table."""
+        return self._router
+
+    @property
+    def config(self) -> TommyConfig:
+        """Per-shard sequencer configuration."""
+        return self._config
+
+    @property
+    def merger(self) -> CrossShardMerger:
+        """The cross-shard merger (cluster-wide precedence model)."""
+        return self._merger
+
+    @property
+    def shards(self) -> List[ShardState]:
+        """Per-shard states (live view, do not mutate)."""
+        return list(self._shards)
+
+    @property
+    def alive_shards(self) -> List[int]:
+        """Indices of shards currently considered alive."""
+        return [shard.index for shard in self._shards if shard.alive]
+
+    @property
+    def failover_events(self) -> List[FailoverEvent]:
+        """Failovers performed so far."""
+        return list(self._failover_events)
+
+    def sequencer_of(self, shard: int) -> OnlineTommySequencer:
+        """The online sequencer backing ``shard``."""
+        return self._shards[shard].sequencer
+
+    def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
+        """Register a new client cluster-wide and route it to a shard.
+
+        Sharding policies are unaware of failovers, so an assignment landing
+        on a dead shard is immediately redirected to a live one.
+        """
+        self._distributions[client_id] = distribution
+        self._merger.model.register_client(client_id, distribution)
+        shard = self._live_owner(client_id)
+        self._shards[shard].sequencer.register_client(client_id, distribution)
+
+    def _live_owner(self, client_id: str) -> int:
+        """The client's owner shard, rerouted off dead shards if needed.
+
+        Crashed-but-undetected shards still count as owners (their inbox is
+        the backlog, replayed at detection); only drained shards are dead.
+        """
+        owner = self._router.assign(client_id)
+        if self._shards[owner].alive:
+            return owner
+        alive = [shard.index for shard in self._shards if shard.alive]
+        if not alive:
+            raise ValueError(f"no alive shard left to own client {client_id!r}")
+        loads = self._router.loads
+        target = min(alive, key=lambda index: (loads[index], index))
+        self._router.reassign(client_id, target)
+        self._shards[target].sequencer.register_client(
+            client_id, self._distributions[client_id]
+        )
+        return target
+
+    # ----------------------------------------------------------------- intake
+    def receive(
+        self, item: Union[TimestampedMessage, Heartbeat], arrival_time: Optional[float] = None
+    ) -> None:
+        """Route an arriving message or heartbeat to its owner shard.
+
+        Signature-compatible with
+        :meth:`repro.core.online.OnlineTommySequencer.receive`, so a cluster
+        can replace a single sequencer wherever one is wired in.
+        """
+        self.receive_at(self._live_owner(item.client_id), item, arrival_time)
+
+    def receive_at(
+        self,
+        shard_index: int,
+        item: Union[TimestampedMessage, Heartbeat],
+        arrival_time: Optional[float] = None,
+    ) -> None:
+        """Deliver ``item`` to a specific shard's fan-in endpoint.
+
+        This is the hook per-shard :class:`~repro.network.transport.Transport`
+        endpoints are wired to.  A crashed-but-undetected shard buffers the
+        item (replayed at failover); a drained shard forwards through the
+        router to the client's new owner.
+        """
+        shard = self._shards[shard_index]
+        if shard.crashed and shard.alive:
+            # down but not yet detected: the item is in the dead shard's inbox
+            shard.backlog.append(item)
+            return
+        if not shard.alive:
+            # already failed over: reroute to the client's live owner (which
+            # may itself be crashed-but-undetected, in which case it backlogs)
+            self.receive_at(self._live_owner(item.client_id), item, arrival_time)
+            return
+        shard.sequencer.receive(item, arrival_time)
+
+    # --------------------------------------------------------------- failover
+    def fail_shard(self, shard_index: int) -> None:
+        """Simulate a crash of ``shard_index`` (stops heartbeats and emission).
+
+        Detection and client reassignment happen via the heartbeat monitor
+        when one is configured, or immediately via :meth:`force_failover`.
+        """
+        shard = self._shards[shard_index]
+        if shard.crashed:
+            return
+        shard.crashed = True
+        shard.sequencer.halt()
+
+    def force_failover(self, shard_index: int) -> FailoverEvent:
+        """Declare ``shard_index`` dead right now and reassign its clients."""
+        self.fail_shard(shard_index)
+        return self._failover(shard_index)
+
+    def _shard_heartbeat_tick(self, shard_index: int) -> None:
+        shard = self._shards[shard_index]
+        if shard.crashed or not shard.alive:
+            return
+        shard.last_heartbeat = self.now
+        self.call_after(self._heartbeat_interval, self._shard_heartbeat_tick, shard_index)
+
+    def _monitor_tick(self) -> None:
+        for shard in self._shards:
+            if shard.alive and self.now - shard.last_heartbeat > self._heartbeat_timeout:
+                # a stale shard with nobody to take its clients (total cluster
+                # failure) stays degraded rather than aborting the run
+                has_survivor = any(
+                    other.alive and other.index != shard.index for other in self._shards
+                )
+                if has_survivor:
+                    self._failover(shard.index)
+        if any(shard.alive for shard in self._shards):
+            self.call_after(self._heartbeat_interval, self._monitor_tick)
+
+    def _failover(self, shard_index: int) -> FailoverEvent:
+        shard = self._shards[shard_index]
+        if not shard.alive:
+            raise ValueError(f"shard {shard_index} already failed over")
+        # prefer healthy shards; crashed-but-undetected ones are a last
+        # resort (their backlog carries the replay until their own failover)
+        survivors = [
+            other.index
+            for other in self._shards
+            if other.alive and not other.crashed and other.index != shard_index
+        ]
+        if not survivors:
+            survivors = [
+                other.index for other in self._shards if other.alive and other.index != shard_index
+            ]
+        if not survivors:
+            raise ValueError("cannot fail over the last alive shard")
+        shard.crashed = True
+        shard.alive = False
+        shard.sequencer.halt()
+
+        moved = self._router.drain(shard_index, survivors)
+        for client_id, target in moved.items():
+            self._shards[target].sequencer.register_client(
+                client_id, self._distributions[client_id]
+            )
+
+        # the dead shard is never flushed again, so replaying its pending and
+        # backlogged items into the survivors cannot double-count them;
+        # routing through receive() respects a crashed target's backlog
+        replayed = 0
+        backlog = shard.backlog
+        shard.backlog = []
+        for item in list(shard.sequencer.pending_messages) + backlog:
+            replayed += int(isinstance(item, TimestampedMessage))
+            self.receive(item, self.now)
+
+        event = FailoverEvent(
+            shard=shard_index,
+            detected_at=self.now,
+            clients_moved=len(moved),
+            messages_replayed=replayed,
+        )
+        self._failover_events.append(event)
+        return event
+
+    # ---------------------------------------------------------------- results
+    def pending_messages(self) -> List[TimestampedMessage]:
+        """Messages received by live shards but not yet emitted."""
+        pending: List[TimestampedMessage] = []
+        for shard in self._shards:
+            if shard.alive:
+                pending.extend(shard.sequencer.pending_messages)
+        return pending
+
+    def flush(self) -> None:
+        """Force-emit everything still pending on live shards."""
+        for shard in self._shards:
+            if shard.alive:
+                shard.sequencer.flush()
+
+    def shard_batches(self) -> List[List[SequencedBatch]]:
+        """Per-shard emitted batch streams (inputs to the merge)."""
+        return [
+            [emitted.batch for emitted in shard.sequencer.emitted_batches]
+            for shard in self._shards
+        ]
+
+    def emitted_counts(self) -> List[int]:
+        """Number of messages emitted by each shard."""
+        return [
+            sum(emitted.batch.size for emitted in shard.sequencer.emitted_batches)
+            for shard in self._shards
+        ]
+
+    def merge(self) -> MergeOutcome:
+        """Merge every shard's emitted batches into the cluster-wide order."""
+        return self._merger.merge(self.shard_batches())
+
+    def result(self) -> SequencingResult:
+        """The merged cluster-wide order as a :class:`SequencingResult`."""
+        outcome = self.merge()
+        metadata = dict(outcome.result.metadata)
+        metadata.update(
+            {
+                "sequencer": "tommy-cluster",
+                "num_shards": self.num_shards,
+                "policy": self._router.policy.name,
+                "failovers": len(self._failover_events),
+            }
+        )
+        return SequencingResult(batches=outcome.result.batches, metadata=metadata)
+
+    def emission_latencies(self) -> List[float]:
+        """Generation-to-emission latencies across every shard."""
+        latencies: List[float] = []
+        for shard in self._shards:
+            latencies.extend(shard.sequencer.emission_latencies())
+        return latencies
+
+    def emitted_batches(self) -> List[EmittedBatch]:
+        """All per-shard emitted batches (unmerged), shard-major order."""
+        batches: List[EmittedBatch] = []
+        for shard in self._shards:
+            batches.extend(shard.sequencer.emitted_batches)
+        return batches

@@ -271,6 +271,17 @@ class OnlineTommySequencer(Entity):
         emitted_keys = {message.key for message in candidate}
         self._pending = [message for message in self._pending if message.key not in emitted_keys]
 
+    def halt(self) -> None:
+        """Stop processing: cancel any scheduled emission check.
+
+        Models a crashed sequencer process (used by cluster shard failover);
+        pending messages stay readable so a failover controller can replay
+        them elsewhere, but no further batches are emitted.
+        """
+        if self._check_event is not None:
+            self.cancel(self._check_event)
+            self._check_event = None
+
     def flush(self) -> List[EmittedBatch]:
         """Force-emit everything still pending (end of an experiment run).
 

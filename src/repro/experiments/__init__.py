@@ -7,6 +7,9 @@
   discussion motivates: batching threshold, p_safe, non-Gaussian
   distributions, learned vs seeded distributions, client-count scaling, and
   the FIFO/WFO baselines.
+* :mod:`repro.experiments.cluster_sweep` sweeps shard count × client count
+  through the sharded fair-sequencing cluster and reports cross-shard RAS,
+  merge latency and per-shard throughput.
 * :mod:`repro.experiments.runner` runs one scenario through any set of
   sequencers and collects the metric bundle.
 * :mod:`repro.experiments.reporting` renders result rows as aligned text
@@ -23,9 +26,17 @@ from repro.experiments.ablations import (
     run_scaling_sweep,
     run_threshold_sweep,
 )
+from repro.experiments.cluster_sweep import (
+    ClusterRunOutcome,
+    run_cluster_scenario,
+    run_cluster_sweep,
+)
 from repro.experiments.reporting import format_table, rows_to_csv
 
 __all__ = [
+    "ClusterRunOutcome",
+    "run_cluster_scenario",
+    "run_cluster_sweep",
     "SequencerComparison",
     "run_comparison",
     "Figure5Point",

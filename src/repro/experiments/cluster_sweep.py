@@ -1,0 +1,144 @@
+"""Cluster scaling experiment: shard count × client count sweep.
+
+For every combination the sweep builds a multi-region cluster scenario,
+replays it through a :class:`~repro.cluster.sharded.ShardedSequencer` with
+region-affine placement, merges the per-shard streams, and reports:
+
+* cross-shard fairness — the Rank Agreement Score of the *merged* order
+  against ground truth (and the single-sequencer delta a 1-shard row gives);
+* merge latency — wall-clock cost of the probabilistic cross-shard merge;
+* per-shard throughput — messages sequenced per wall-clock second of
+  simulation divided by the shard count (the scale-out payoff: each shard's
+  O(pending^2) tentative batching shrinks as clients spread out).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.harness import replay_scenario
+from repro.cluster.merge import MergeOutcome
+from repro.cluster.router import HashSharding, ShardingPolicy
+from repro.cluster.sharded import ShardedSequencer
+from repro.core.config import TommyConfig
+from repro.experiments.runner import SequencerComparison, evaluate_result
+from repro.simulation.event_loop import EventLoop
+from repro.workloads.cluster import build_cluster_scenario, region_affine_policy
+
+
+@dataclass(frozen=True)
+class ClusterRunOutcome:
+    """One cluster run: merged-order metrics plus runtime accounting."""
+
+    comparison: SequencerComparison
+    merge: MergeOutcome
+    num_shards: int
+    num_clients: int
+    policy_name: str
+    run_wall_seconds: float
+    message_count: int
+    per_shard_emitted: List[int]
+    failovers: int
+
+    @property
+    def per_shard_throughput(self) -> float:
+        """Messages per wall second per shard during the sequencing run."""
+        if self.run_wall_seconds <= 0:
+            return 0.0
+        return self.message_count / self.run_wall_seconds / self.num_shards
+
+    @property
+    def total_throughput(self) -> float:
+        """Messages per wall second across the whole cluster."""
+        if self.run_wall_seconds <= 0:
+            return 0.0
+        return self.message_count / self.run_wall_seconds
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary for report tables."""
+        return {
+            "shards": self.num_shards,
+            "clients": self.num_clients,
+            "policy": self.policy_name,
+            "ras": self.comparison.ras.score,
+            "ras_normalized": round(self.comparison.ras.normalized_score, 4),
+            "incorrect_pairs": self.comparison.ras.incorrect_pairs,
+            "batches": self.comparison.batches.batch_count,
+            "merged_cross_shard": self.merge.merged_cross_shard,
+            "merge_latency_ms": round(self.merge.wall_seconds * 1e3, 3),
+            "shard_throughput": round(self.per_shard_throughput, 1),
+            "total_throughput": round(self.total_throughput, 1),
+            "wall_seconds": round(self.run_wall_seconds, 4),
+        }
+
+
+def run_cluster_scenario(
+    num_clients: int,
+    num_shards: int,
+    seed: int = 21,
+    config: Optional[TommyConfig] = None,
+    policy: Optional[ShardingPolicy] = None,
+    num_regions: int = 4,
+) -> ClusterRunOutcome:
+    """Replay one multi-region scenario through an N-shard cluster.
+
+    ``policy`` defaults to region-affine placement derived from the
+    generated scenario (pass e.g. :class:`HashSharding` to ablate it).
+    """
+    placement = build_cluster_scenario(num_clients, num_regions=num_regions, seed=seed)
+    scenario = placement.scenario
+    if policy is None:
+        policy = region_affine_policy(placement) if num_shards > 1 else HashSharding()
+    config = config if config is not None else TommyConfig()
+
+    loop = EventLoop()
+    cluster = ShardedSequencer(
+        loop,
+        scenario.client_distributions,
+        num_shards=num_shards,
+        config=config,
+        policy=policy,
+    )
+    replay_scenario(loop, cluster, scenario)
+
+    start = time.perf_counter()
+    loop.run()
+    cluster.flush()
+    run_wall = time.perf_counter() - start
+
+    merge = cluster.merge()
+    messages = list(scenario.messages)
+    comparison = evaluate_result(f"cluster@{num_shards}", merge.result, messages)
+    return ClusterRunOutcome(
+        comparison=comparison,
+        merge=merge,
+        num_shards=num_shards,
+        num_clients=num_clients,
+        policy_name=policy.name,
+        run_wall_seconds=run_wall,
+        message_count=len(messages),
+        per_shard_emitted=cluster.emitted_counts(),
+        failovers=len(cluster.failover_events),
+    )
+
+
+def run_cluster_sweep(
+    shard_counts: Sequence[int] = (1, 2, 4),
+    client_counts: Sequence[int] = (32, 64),
+    seed: int = 21,
+    config: Optional[TommyConfig] = None,
+) -> List[Dict[str, object]]:
+    """Sweep shard count × client count and return one row per combination."""
+    rows: List[Dict[str, object]] = []
+    for num_clients in client_counts:
+        for num_shards in shard_counts:
+            outcome = run_cluster_scenario(
+                num_clients=num_clients,
+                num_shards=num_shards,
+                seed=seed,
+                config=config,
+            )
+            rows.append(outcome.as_row())
+    return rows

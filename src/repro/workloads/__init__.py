@@ -23,6 +23,11 @@ from repro.workloads.multiregion import (
     RegionProfile,
     build_multiregion_scenario,
 )
+from repro.workloads.cluster import (
+    build_cluster_scenario,
+    cluster_region_profiles,
+    region_affine_policy,
+)
 
 __all__ = [
     "ArrivalProcess",
@@ -37,4 +42,7 @@ __all__ = [
     "DEFAULT_REGIONS",
     "MultiRegionScenario",
     "build_multiregion_scenario",
+    "build_cluster_scenario",
+    "cluster_region_profiles",
+    "region_affine_policy",
 ]

@@ -1,0 +1,183 @@
+"""Heartbeat-driven shard failover: detection, reassignment, replay."""
+
+import pytest
+
+from repro.cluster import ClusterTransport, LoadAwareSharding, ShardedSequencer
+from repro.clocks.local import LocalClock
+from repro.core.config import TommyConfig
+from repro.distributions.parametric import GaussianDistribution
+from repro.network.link import UniformJitterDelay
+from repro.network.message import TimestampedMessage
+from repro.simulation.event_loop import EventLoop
+from repro.simulation.random_source import RandomSource
+
+
+def build_cluster(loop, num_clients=8, num_shards=2, heartbeat_interval=0.05):
+    distributions = {f"c{i:02d}": GaussianDistribution(0.0, 0.0005) for i in range(num_clients)}
+    cluster = ShardedSequencer(
+        loop,
+        distributions,
+        num_shards=num_shards,
+        policy=LoadAwareSharding(),
+        config=TommyConfig(completeness_mode="bounded_delay", max_network_delay=0.01),
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=0.12,
+    )
+    return cluster, distributions
+
+
+def test_monitor_detects_silent_shard_and_drains_it():
+    loop = EventLoop()
+    cluster, _ = build_cluster(loop)
+    assert cluster.alive_shards == [0, 1]
+    loop.schedule_at(0.3, cluster.fail_shard, 0)
+    loop.run(until=1.0)
+    assert cluster.alive_shards == [1]
+    assert len(cluster.failover_events) == 1
+    event = cluster.failover_events[0]
+    assert event.shard == 0
+    assert event.clients_moved == 4
+    # detection happens within heartbeat_timeout + one monitor period
+    assert 0.3 < event.detected_at <= 0.3 + 0.12 + 0.05 + 1e-9
+    assert cluster.router.clients_of(0) == []
+
+
+def test_pending_messages_are_replayed_to_survivors():
+    loop = EventLoop()
+    # large max_network_delay keeps arrivals pending until after the crash
+    distributions = {f"c{i}": GaussianDistribution(0.0, 0.0005) for i in range(4)}
+    cluster = ShardedSequencer(
+        loop,
+        distributions,
+        num_shards=2,
+        policy=LoadAwareSharding(),
+        config=TommyConfig(completeness_mode="bounded_delay", max_network_delay=10.0),
+        heartbeat_interval=0.05,
+        heartbeat_timeout=0.12,
+    )
+    victims = cluster.router.clients_of(0)
+    for index, client_id in enumerate(victims):
+        message = TimestampedMessage(client_id=client_id, timestamp=0.01 * (index + 1), true_time=0.01 * (index + 1))
+        loop.schedule_at(0.01 * (index + 1), cluster.receive, message)
+    loop.schedule_at(0.1, cluster.fail_shard, 0)
+    loop.run(until=1.0)
+
+    event = cluster.failover_events[0]
+    assert event.messages_replayed == len(victims)
+    survivor = cluster.sequencer_of(1)
+    pending_clients = {message.client_id for message in survivor.pending_messages}
+    assert set(victims) <= pending_clients
+    # the dead shard emits nothing more and its pending is not double-counted
+    cluster.flush()
+    result = cluster.result()
+    keys = [message.key for batch in result.batches for message in batch.messages]
+    assert len(keys) == len(set(keys)) == len(victims)
+
+
+def test_messages_arriving_during_outage_are_backlogged_then_replayed():
+    loop = EventLoop()
+    cluster, _ = build_cluster(loop)
+    victims = cluster.router.clients_of(0)
+    cluster.fail_shard(0)  # crashed but not yet detected (monitor hasn't run)
+    message = TimestampedMessage(client_id=victims[0], timestamp=0.001, true_time=0.001)
+    cluster.receive(message, arrival_time=0.0)
+    assert cluster.shards[0].backlog == [message]
+    assert cluster.sequencer_of(0).pending_messages == []
+    loop.run(until=1.0)  # monitor fires, failover replays the backlog
+    assert cluster.shards[0].backlog == []
+    assert cluster.failover_events[0].messages_replayed == 1
+    cluster.flush()
+    assert cluster.result().message_count == 1
+
+
+def test_post_failover_traffic_routes_to_new_owner():
+    loop = EventLoop()
+    cluster, _ = build_cluster(loop)
+    victims = cluster.router.clients_of(0)
+    cluster.force_failover(0)
+    message = TimestampedMessage(client_id=victims[0], timestamp=0.5, true_time=0.5)
+    # delivered at the dead shard's endpoint (stale channel): must reroute
+    cluster.receive_at(0, message, arrival_time=0.0)
+    assert message.key in {m.key for m in cluster.sequencer_of(1).pending_messages}
+
+
+def test_new_client_assigned_to_dead_shard_is_rerouted():
+    loop = EventLoop()
+    cluster, _ = build_cluster(loop)
+    cluster.force_failover(0)
+    # LoadAwareSharding would pick the drained (now empty) shard 0
+    cluster.register_client("late", GaussianDistribution(0.0, 0.0005))
+    assert cluster.router.shard_of("late") == 1
+    message = TimestampedMessage(client_id="late", timestamp=0.001, true_time=0.001)
+    cluster.receive(message, arrival_time=0.0)
+    loop.run(until=1.0)
+    cluster.flush()
+    assert message.key in {m.key for b in cluster.result().batches for m in b.messages}
+
+
+def test_double_crash_before_detection_keeps_crashed_shard_silent():
+    loop = EventLoop()
+    cluster, _ = build_cluster(loop)
+    victims = cluster.router.clients_of(0)
+    message = TimestampedMessage(client_id=victims[0], timestamp=0.001, true_time=0.001)
+    cluster.fail_shard(0)
+    cluster.fail_shard(1)
+    cluster.receive(message, arrival_time=0.0)  # lands in shard 0's backlog
+    emitted_before = cluster.emitted_counts()
+    loop.run(until=1.0)  # monitor fires; must not raise, must not wake shard 1
+    # both crashed shards stayed silent: nothing was emitted after the crash
+    assert cluster.emitted_counts() == emitted_before
+    # the message cascaded into a backlog instead of a halted sequencer
+    assert all(shard.sequencer.pending_messages == [] for shard in cluster.shards)
+
+
+def test_last_alive_shard_going_stale_degrades_without_crashing():
+    loop = EventLoop()
+    cluster, _ = build_cluster(loop)
+    cluster.force_failover(0)
+    cluster.fail_shard(1)  # the only alive shard goes silent
+    loop.run(until=1.0)  # monitor keeps ticking; must not raise
+    assert cluster.alive_shards == [1]  # degraded, never drained
+
+
+def test_cannot_fail_over_last_shard():
+    loop = EventLoop()
+    cluster, _ = build_cluster(loop)
+    cluster.force_failover(0)
+    with pytest.raises(ValueError):
+        cluster.force_failover(1)
+
+
+def test_end_to_end_failover_with_live_transport_loses_nothing():
+    loop = EventLoop()
+    source = RandomSource(3)
+    distributions = {f"c{i:02d}": GaussianDistribution(0.0, 0.0005) for i in range(8)}
+    cluster = ShardedSequencer(
+        loop,
+        distributions,
+        num_shards=2,
+        policy=LoadAwareSharding(),
+        config=TommyConfig(completeness_mode="bounded_delay", max_network_delay=0.01),
+        heartbeat_interval=0.05,
+        heartbeat_timeout=0.12,
+    )
+    net = ClusterTransport(loop, cluster, source.stream)
+    clients = []
+    for client_id, distribution in distributions.items():
+        clock = LocalClock(loop, distribution, source.stream(f"clock:{client_id}"))
+        clients.append(net.add_client(client_id, clock, delay_model=UniformJitterDelay(0.001, 0.0005)))
+    for index, endpoint in enumerate(clients):
+        for round_index in range(3):
+            loop.schedule_at(0.01 + 0.2 * round_index + 0.001 * index, endpoint.send, {"round": round_index})
+    loop.schedule_at(0.3, cluster.fail_shard, 0)
+    loop.run(until=2.0)
+    cluster.flush()
+
+    assert cluster.alive_shards == [1]
+    assert len(cluster.failover_events) == 1
+    result = cluster.result()
+    sent = sum(len(endpoint.sent_messages) for endpoint in clients)
+    keys = [message.key for batch in result.batches for message in batch.messages]
+    assert len(keys) == sent
+    assert len(set(keys)) == sent
+    assert result.metadata["failovers"] == 1

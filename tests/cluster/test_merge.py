@@ -1,0 +1,147 @@
+"""Tests for the probabilistic cross-shard merger."""
+
+import pytest
+
+from repro.cluster.merge import CrossShardMerger
+from repro.core.probability import PrecedenceModel
+from repro.distributions.parametric import GaussianDistribution
+from repro.network.message import SequencedBatch, TimestampedMessage
+
+
+def make_message(client, timestamp, true_time=None):
+    return TimestampedMessage(
+        client_id=client, timestamp=timestamp, true_time=timestamp if true_time is None else true_time
+    )
+
+
+def model_for(clients, sigma=1.0):
+    model = PrecedenceModel()
+    for client in clients:
+        model.register_client(client, GaussianDistribution(0.0, sigma))
+    return model
+
+
+def batch(rank, *messages, emitted_at=None):
+    return SequencedBatch(rank=rank, messages=tuple(messages), emitted_at=emitted_at)
+
+
+def test_single_shard_stream_passes_through_unchanged():
+    model = model_for(["a"])
+    merger = CrossShardMerger(model)
+    stream = [batch(0, make_message("a", 0.0)), batch(1, make_message("a", 10.0))]
+    outcome = merger.merge([stream])
+    assert outcome.merged_cross_shard == 0
+    assert outcome.cross_pairs_evaluated == 0
+    assert outcome.result.batch_count == 2
+    assert [b.messages for b in outcome.result.batches] == [s.messages for s in stream]
+
+
+def test_confident_cross_shard_batches_interleave_correctly():
+    model = model_for(["a", "b"], sigma=0.5)
+    merger = CrossShardMerger(model, threshold=0.75)
+    shard0 = [batch(0, make_message("a", 0.0)), batch(1, make_message("a", 100.0))]
+    shard1 = [batch(0, make_message("b", 50.0))]
+    outcome = merger.merge([shard0, shard1])
+    assert outcome.result.batch_count == 3
+    timestamps = [b.messages[0].timestamp for b in outcome.result.batches]
+    assert timestamps == [0.0, 50.0, 100.0]
+    assert outcome.merged_cross_shard == 0
+
+
+def test_uncertain_cross_shard_batches_coalesce():
+    # timestamps 0 and 0.1 with sigma 10 clocks: far below any confidence
+    model = model_for(["a", "b"], sigma=10.0)
+    merger = CrossShardMerger(model, threshold=0.75)
+    shard0 = [batch(0, make_message("a", 0.0))]
+    shard1 = [batch(0, make_message("b", 0.1))]
+    outcome = merger.merge([shard0, shard1])
+    assert outcome.result.batch_count == 1
+    assert outcome.merged_cross_shard == 1
+    assert outcome.result.batches[0].size == 2
+
+
+def test_same_shard_batches_never_coalesce():
+    # the shard separated them; the merger must respect that even when the
+    # batch-level probability is far from confident
+    model = model_for(["a"], sigma=10.0)
+    merger = CrossShardMerger(model, threshold=0.75)
+    stream = [batch(0, make_message("a", 0.0)), batch(1, make_message("a", 0.1))]
+    outcome = merger.merge([stream])
+    assert outcome.result.batch_count == 2
+
+
+def test_batch_precedence_is_complementary_and_mean_pooled():
+    model = model_for(["a", "b"], sigma=1.0)
+    merger = CrossShardMerger(model)
+    batch_a = batch(0, make_message("a", 0.0), make_message("a", 1.0))
+    batch_b = batch(0, make_message("b", 2.0))
+    forward = merger.batch_precedence(batch_a, batch_b)
+    backward = merger.batch_precedence(batch_b, batch_a)
+    assert forward == pytest.approx(1.0 - backward)
+    expected = (
+        model.preceding_probability_for("a", 0.0, "b", 2.0)
+        + model.preceding_probability_for("a", 1.0, "b", 2.0)
+    ) / 2.0
+    assert forward == pytest.approx(expected)
+
+
+def test_within_shard_order_survives_adversarial_timestamps():
+    # shard 0 confidently emitted a@10 before a@0 from its own evidence; a
+    # third-party b@5 then forms a cycle (a@10 -> a@0 -> b@5 -> a@10) that
+    # cycle-breaking must resolve without ever inverting the shard's order
+    model = model_for(["a", "b"], sigma=0.5)
+    merger = CrossShardMerger(model, threshold=0.75)
+    shard0 = [batch(0, make_message("a", 10.0)), batch(1, make_message("a", 0.0))]
+    shard1 = [batch(0, make_message("b", 5.0))]
+    outcome = merger.merge([shard0, shard1])
+    ranks = outcome.result.rank_of()
+    key_first = shard0[0].messages[0].key
+    key_second = shard0[1].messages[0].key
+    assert ranks[key_first] < ranks[key_second]
+    assert outcome.cycles_broken >= 1  # the adversarial pair forced a cycle
+
+
+def test_empty_input_yields_empty_result():
+    merger = CrossShardMerger(model_for([]))
+    outcome = merger.merge([])
+    assert outcome.result.batch_count == 0
+    assert outcome.merged_cross_shard == 0
+    outcome = merger.merge([[], []])
+    assert outcome.result.batch_count == 0
+
+
+def test_merge_is_deterministic():
+    model = model_for(["a", "b", "c"], sigma=3.0)
+    shard0 = [batch(0, make_message("a", 0.0)), batch(1, make_message("a", 4.0))]
+    shard1 = [batch(0, make_message("b", 1.0)), batch(1, make_message("b", 5.0))]
+    shard2 = [batch(0, make_message("c", 2.0))]
+    first = CrossShardMerger(model_for(["a", "b", "c"], sigma=3.0), seed=5).merge(
+        [shard0, shard1, shard2]
+    )
+    second = CrossShardMerger(model_for(["a", "b", "c"], sigma=3.0), seed=5).merge(
+        [shard0, shard1, shard2]
+    )
+    fingerprint = lambda outcome: [
+        (b.rank, tuple(m.key for m in b.messages)) for b in outcome.result.batches
+    ]
+    assert fingerprint(first) == fingerprint(second)
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        CrossShardMerger(model_for(["a"]), threshold=0.4)
+    with pytest.raises(ValueError):
+        CrossShardMerger(model_for(["a"]), threshold=1.0)
+
+
+def test_ranks_are_contiguous_and_metadata_populated():
+    model = model_for(["a", "b"], sigma=2.0)
+    merger = CrossShardMerger(model, threshold=0.75)
+    shard0 = [batch(0, make_message("a", t)) for t in (0.0, 10.0, 20.0)]
+    shard1 = [batch(0, make_message("b", t)) for t in (5.0, 15.0)]
+    outcome = merger.merge([shard0, shard1])
+    assert [b.rank for b in outcome.result.batches] == list(range(outcome.result.batch_count))
+    meta = outcome.result.metadata
+    assert meta["shards"] == 2
+    assert meta["cross_pairs_evaluated"] == 6
+    assert meta["merge_wall_seconds"] >= 0

@@ -1,0 +1,97 @@
+"""Tests for sharding policies and the shard router."""
+
+import pytest
+
+from repro.cluster.router import (
+    HashSharding,
+    LoadAwareSharding,
+    RegionAffineSharding,
+    ShardRouter,
+    stable_shard_hash,
+)
+
+
+def test_stable_hash_is_process_independent():
+    # frozen values: routing must not change across runs or Python versions
+    assert stable_shard_hash("client-0000") == stable_shard_hash("client-0000")
+    assert stable_shard_hash("client-0000") != stable_shard_hash("client-0001")
+
+
+def test_hash_sharding_is_sticky_and_in_range():
+    router = ShardRouter(4, HashSharding())
+    clients = [f"client-{index:04d}" for index in range(100)]
+    first = {client: router.assign(client) for client in clients}
+    assert all(0 <= shard < 4 for shard in first.values())
+    # idempotent
+    assert {client: router.assign(client) for client in clients} == first
+    # roughly uniform: every shard gets someone
+    assert all(load > 0 for load in router.loads)
+    assert sum(router.loads) == 100
+
+
+def test_region_affine_sharding_colocates_regions():
+    region_of = {f"c{i}": ("us-east" if i % 2 else "eu-west") for i in range(10)}
+    router = ShardRouter(2, RegionAffineSharding(region_of))
+    shards_by_region = {}
+    for client, region in region_of.items():
+        shards_by_region.setdefault(region, set()).add(router.assign(client))
+    assert all(len(shards) == 1 for shards in shards_by_region.values())
+    assert shards_by_region["us-east"] != shards_by_region["eu-west"]
+
+
+def test_region_affine_unknown_client_falls_back_to_hash():
+    policy = RegionAffineSharding({"a": "r0"})
+    assert policy.assign("stranger", 4, [0, 0, 0, 0]) == stable_shard_hash("stranger") % 4
+
+
+def test_load_aware_sharding_balances_exactly():
+    router = ShardRouter(3, LoadAwareSharding())
+    for index in range(9):
+        router.assign(f"client-{index}")
+    assert router.loads == [3, 3, 3]
+
+
+def test_reassign_updates_loads_and_counts():
+    router = ShardRouter(2, LoadAwareSharding())
+    router.assign("a")
+    router.assign("b")
+    assert router.loads == [1, 1]
+    router.reassign("a", 1)
+    assert router.loads == [0, 2]
+    assert router.shard_of("a") == 1
+    assert router.reassignments == 1
+    # no-op reassign does not count
+    router.reassign("a", 1)
+    assert router.reassignments == 1
+
+
+def test_drain_moves_everyone_to_least_loaded_survivors():
+    router = ShardRouter(3, LoadAwareSharding())
+    for index in range(6):
+        router.assign(f"client-{index}")
+    before = router.clients_of(0)
+    moved = router.drain(0)
+    assert sorted(moved) == before
+    assert router.clients_of(0) == []
+    assert sorted(router.loads) == [0, 3, 3]
+    assert all(shard in (1, 2) for shard in moved.values())
+
+
+def test_drain_requires_a_survivor():
+    router = ShardRouter(1)
+    router.assign("a")
+    with pytest.raises(ValueError):
+        router.drain(0)
+
+
+def test_router_rejects_bad_shard_indices():
+    router = ShardRouter(2)
+    router.assign("a")
+    with pytest.raises(ValueError):
+        router.clients_of(5)
+    with pytest.raises(ValueError):
+        router.reassign("a", -1)
+    with pytest.raises(KeyError):
+        router.reassign("unrouted", 0)
+    with pytest.raises(ValueError):
+        ShardRouter(0)

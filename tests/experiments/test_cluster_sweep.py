@@ -1,0 +1,53 @@
+"""Tests for the cluster shard-count x client-count sweep."""
+
+from repro.experiments.cluster_sweep import (
+    ClusterRunOutcome,
+    run_cluster_scenario,
+    run_cluster_sweep,
+)
+
+
+def test_single_run_reports_complete_outcome():
+    outcome = run_cluster_scenario(num_clients=16, num_shards=2, seed=2)
+    assert isinstance(outcome, ClusterRunOutcome)
+    assert outcome.num_shards == 2
+    assert outcome.message_count == 32
+    assert sum(outcome.per_shard_emitted) == 32
+    assert outcome.comparison.result.message_count == 32
+    assert outcome.failovers == 0
+    assert outcome.per_shard_throughput > 0
+    assert outcome.total_throughput == outcome.per_shard_throughput * 2
+
+
+def test_sweep_rows_have_report_schema():
+    rows = run_cluster_sweep(shard_counts=(1, 2), client_counts=(12,), seed=2)
+    assert len(rows) == 2
+    expected_keys = {
+        "shards",
+        "clients",
+        "policy",
+        "ras",
+        "ras_normalized",
+        "incorrect_pairs",
+        "batches",
+        "merged_cross_shard",
+        "merge_latency_ms",
+        "shard_throughput",
+        "total_throughput",
+        "wall_seconds",
+    }
+    for row in rows:
+        assert set(row) == expected_keys
+    assert [row["shards"] for row in rows] == [1, 2]
+    # single shard needs no cross-shard merging, multi-shard uses region placement
+    assert rows[0]["merged_cross_shard"] == 0
+    assert rows[0]["policy"] == "hash"
+    assert rows[1]["policy"] == "region"
+
+
+def test_sweep_quality_holds_across_shard_counts():
+    rows = run_cluster_sweep(shard_counts=(1, 4), client_counts=(24,), seed=6)
+    by_shards = {row["shards"]: row for row in rows}
+    # merged cross-shard order stays within a small margin of single-shard fairness
+    assert by_shards[4]["ras_normalized"] >= by_shards[1]["ras_normalized"] - 0.05
+    assert by_shards[4]["ras"] > 0

@@ -1,0 +1,11 @@
+"""The package-docstring quickstart must keep working as advertised."""
+
+import doctest
+
+import repro
+
+
+def test_quickstart_docstring_examples_pass():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted >= 1, "the quickstart example disappeared from the docstring"
+    assert results.failed == 0

@@ -1,0 +1,50 @@
+"""Tests for the cluster-scale multi-region workload builders."""
+
+import pytest
+
+from repro.cluster.router import RegionAffineSharding
+from repro.workloads.cluster import (
+    build_cluster_scenario,
+    cluster_region_profiles,
+    region_affine_policy,
+)
+
+
+def test_profiles_scale_with_region_index():
+    profiles = cluster_region_profiles(num_regions=4)
+    assert len(profiles) == 4
+    assert [profile.name for profile in profiles] == [f"region-{i}" for i in range(4)]
+    stds = [profile.clock_std for profile in profiles]
+    delays = [profile.delay_median for profile in profiles]
+    assert stds == sorted(stds) and stds[0] < stds[-1]
+    assert delays == sorted(delays) and delays[0] < delays[-1]
+    assert profiles[0].clock_bias == 0.0
+
+
+def test_profiles_validation():
+    with pytest.raises(ValueError):
+        cluster_region_profiles(num_regions=0)
+
+
+def test_build_cluster_scenario_is_deterministic_and_placed():
+    first = build_cluster_scenario(24, seed=11)
+    second = build_cluster_scenario(24, seed=11)
+    assert first.region_of == second.region_of
+    assert [m.key[0] for m in first.scenario.messages] == [m.key[0] for m in second.scenario.messages]
+    assert [m.timestamp for m in first.scenario.messages] == [
+        m.timestamp for m in second.scenario.messages
+    ]
+    assert len(first.scenario.messages) == 48  # messages_per_client defaults to 2
+    assert set(first.region_of.values()) <= {f"region-{i}" for i in range(4)}
+
+
+def test_region_affine_policy_matches_placement():
+    placement = build_cluster_scenario(30, seed=4)
+    policy = region_affine_policy(placement)
+    assert isinstance(policy, RegionAffineSharding)
+    loads = [0, 0]
+    shard_of_region = {}
+    for client_id, region in placement.region_of.items():
+        shard = policy.assign(client_id, 2, loads)
+        shard_of_region.setdefault(region, set()).add(shard)
+    assert all(len(shards) == 1 for shards in shard_of_region.values())
