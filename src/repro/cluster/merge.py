@@ -32,6 +32,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core.cycles import resolve_cycles
+from repro.core.engine import EngineStats, cross_probability_matrix
 from repro.core.probability import PrecedenceModel
 from repro.network.message import SequencedBatch
 from repro.sequencers.base import SequencingResult
@@ -72,6 +73,7 @@ class CrossShardMerger:
         self._threshold = float(threshold)
         self._cycle_policy = cycle_policy
         self._rng = np.random.default_rng(seed)
+        self._engine_stats = EngineStats()
 
     @property
     def threshold(self) -> float:
@@ -84,22 +86,25 @@ class CrossShardMerger:
         return self._model
 
     # ---------------------------------------------------------- probabilities
+    @property
+    def engine_stats(self) -> EngineStats:
+        """Counters for the vectorized cross-pair computations performed."""
+        return self._engine_stats
+
     def batch_precedence(self, batch_a: SequencedBatch, batch_b: SequencedBatch) -> float:
         """``P(batch_a generated before batch_b)`` at batch granularity.
 
         The mean over message cross pairs of the pairwise preceding
-        probability.  The mean (rather than min or max) keeps the batch-level
-        relation complementary, which the tournament construction requires.
+        probability (one vectorized engine evaluation of the cross matrix).
+        The mean (rather than min or max) keeps the batch-level relation
+        complementary, which the tournament construction requires.
         """
-        total = 0.0
-        count = 0
-        for message_a in batch_a.messages:
-            for message_b in batch_b.messages:
-                total += self._model.preceding_probability(message_a, message_b)
-                count += 1
-        if count == 0:
+        matrix = cross_probability_matrix(
+            batch_a.messages, batch_b.messages, self._model, stats=self._engine_stats
+        )
+        if matrix.size == 0:
             return 0.5
-        return total / count
+        return float(matrix.mean())
 
     # ----------------------------------------------------------------- merge
     def merge(self, shard_batches: Sequence[Sequence[SequencedBatch]]) -> MergeOutcome:

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.cluster.merge import CrossShardMerger, MergeOutcome
 from repro.cluster.router import ShardingPolicy, ShardRouter
 from repro.core.config import TommyConfig
+from repro.core.engine import EngineStats
 from repro.core.online import EmittedBatch, OnlineTommySequencer
 from repro.core.probability import PrecedenceModel
 from repro.distributions.base import OffsetDistribution
@@ -71,11 +72,13 @@ class ShardedSequencer(Entity):
         heartbeat_interval: Optional[float] = None,
         heartbeat_timeout: Optional[float] = None,
         name: str = "cluster",
+        use_engine: bool = True,
     ) -> None:
         super().__init__(loop, name)
         if heartbeat_interval is not None and heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive when given")
         self._config = config if config is not None else TommyConfig()
+        self._use_engine = use_engine
         self._distributions = dict(client_distributions)
         if router is not None:
             if router.num_shards != num_shards:
@@ -97,6 +100,7 @@ class ShardedSequencer(Entity):
                 config=self._config,
                 known_clients=shard_clients,
                 name=f"{name}-shard-{index}",
+                use_engine=use_engine,
             )
             self._shards.append(ShardState(index=index, sequencer=sequencer, last_heartbeat=loop.now))
 
@@ -346,6 +350,13 @@ class ShardedSequencer(Entity):
             for shard in self._shards
         ]
 
+    def engine_stats(self) -> EngineStats:
+        """Cluster-wide engine counters: every shard plus the merger."""
+        combined = EngineStats()
+        for shard in self._shards:
+            combined = combined.merge(shard.sequencer.engine_stats())
+        return combined.merge(self._merger.engine_stats)
+
     def merge(self) -> MergeOutcome:
         """Merge every shard's emitted batches into the cluster-wide order."""
         return self._merger.merge(self.shard_batches())
@@ -360,6 +371,7 @@ class ShardedSequencer(Entity):
                 "num_shards": self.num_shards,
                 "policy": self._router.policy.name,
                 "failovers": len(self._failover_events),
+                "engine": self.engine_stats().as_dict(),
             }
         )
         return SequencingResult(batches=outcome.result.batches, metadata=metadata)

@@ -43,6 +43,13 @@ from repro.core.cycles import (
     eades_linear_arrangement,
 )
 from repro.core.batching import BatchingOutcome, form_batches
+from repro.core.engine import (
+    EngineStats,
+    IncrementalPrecedenceEngine,
+    build_relation,
+    cross_probability_matrix,
+    strict_boundary_strengths_matrix,
+)
 from repro.core.sequencer import TommySequencer
 from repro.core.online import EmittedBatch, OnlineTommySequencer
 from repro.core.total_order import FairTotalOrder, TieBreakRecord
@@ -61,6 +68,11 @@ __all__ = [
     "eades_linear_arrangement",
     "BatchingOutcome",
     "form_batches",
+    "EngineStats",
+    "IncrementalPrecedenceEngine",
+    "build_relation",
+    "cross_probability_matrix",
+    "strict_boundary_strengths_matrix",
     "TommySequencer",
     "OnlineTommySequencer",
     "EmittedBatch",

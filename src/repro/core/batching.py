@@ -52,21 +52,25 @@ def _strict_boundary_strengths(order: Sequence[MessageKey], relation: LikelyHapp
 
     The strength of the boundary after position ``k`` is
     ``min_{i <= k < j} P(order[i] precedes order[j])`` — the least confident
-    pair straddling the boundary.  Computed in O(n^2) with a running
-    column-minimum.
+    pair straddling the boundary.  Each row ``i`` is folded right-to-left so
+    that ``suffix_min`` equals ``min_{j' >= j} P(order[i], order[j'])`` when
+    visiting column ``j``; that value is row ``i``'s exact contribution to
+    the boundary after ``j - 1``.  One O(1) update per pair — the previous
+    implementation re-scanned an O(n) slice per boundary on top of the pair
+    loop (src of the hot-path regression this replaced).
     """
     n = len(order)
     if n < 2:
         return []
     strengths = [float("inf")] * (n - 1)
-    # column_min[j] = min over i <= k of P(order[i] -> order[j]); updated as k grows
-    column_min = [float("inf")] * n
-    for k in range(n - 1):
-        for j in range(k + 1, n):
-            probability = relation.probability(order[k], order[j])
-            if probability < column_min[j]:
-                column_min[j] = probability
-        strengths[k] = min(column_min[k + 1 :])
+    for i in range(n - 1):
+        suffix_min = float("inf")
+        for j in range(n - 1, i, -1):
+            probability = relation.probability(order[i], order[j])
+            if probability < suffix_min:
+                suffix_min = probability
+            if suffix_min < strengths[j - 1]:
+                strengths[j - 1] = suffix_min
     return strengths
 
 

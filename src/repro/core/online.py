@@ -17,6 +17,11 @@ arrival belongs in it or deserves a lower rank.  Two mechanisms interact:
 Every new arrival re-runs tentative batching over the pending set, so a
 high-uncertainty message automatically merges with (and thereby delays)
 messages it cannot be confidently ordered against — the Appendix C scenario.
+By default the re-run is served by the
+:class:`~repro.core.engine.IncrementalPrecedenceEngine` (one vectorized
+row/column append per arrival instead of an O(n^2) scalar recompute);
+``use_engine=False`` selects the original recompute-everything path, kept as
+the parity oracle for tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ import numpy as np
 from repro.core.batching import form_batches
 from repro.core.config import TommyConfig
 from repro.core.cycles import resolve_cycles
+from repro.core.engine import EngineStats, IncrementalPrecedenceEngine
 from repro.core.probability import PrecedenceModel
 from repro.core.relation import LikelyHappenedBefore
 from repro.core.tournament import TournamentGraph
@@ -76,6 +82,7 @@ class OnlineTommySequencer(Entity):
         config: Optional[TommyConfig] = None,
         known_clients: Optional[Sequence[str]] = None,
         name: str = "tommy-online",
+        use_engine: bool = True,
     ) -> None:
         super().__init__(loop, name)
         self._config = config if config is not None else TommyConfig()
@@ -86,6 +93,17 @@ class OnlineTommySequencer(Entity):
         for client_id, distribution in client_distributions.items():
             self._model.register_client(client_id, distribution)
         self._rng = np.random.default_rng(self._config.seed if self._config.seed is not None else 0)
+        self._engine: Optional[IncrementalPrecedenceEngine] = (
+            IncrementalPrecedenceEngine(
+                self._model,
+                threshold=self._config.threshold,
+                tie_epsilon=self._config.tie_epsilon,
+                cycle_policy=self._config.cycle_policy,
+                rng=self._rng,
+            )
+            if use_engine
+            else None
+        )
         self._known_clients = set(known_clients) if known_clients is not None else set(client_distributions)
         self._pending: List[TimestampedMessage] = []
         self._arrival_times: Dict[Tuple[str, int], float] = {}
@@ -106,6 +124,15 @@ class OnlineTommySequencer(Entity):
     def model(self) -> PrecedenceModel:
         """Preceding-probability model."""
         return self._model
+
+    @property
+    def engine(self) -> Optional[IncrementalPrecedenceEngine]:
+        """The incremental precedence engine (``None`` on the reference path)."""
+        return self._engine
+
+    def engine_stats(self) -> EngineStats:
+        """Engine counters (all-zero when running the reference path)."""
+        return self._engine.stats if self._engine is not None else EngineStats()
 
     @property
     def pending_messages(self) -> List[TimestampedMessage]:
@@ -130,6 +157,8 @@ class OnlineTommySequencer(Entity):
     def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
         """Register a (new) client's clock-error distribution."""
         self._model.register_client(client_id, distribution)
+        if self._engine is not None:
+            self._engine.invalidate_client(client_id)
         self._known_clients.add(client_id)
 
     # ---------------------------------------------------------------- intake
@@ -146,6 +175,8 @@ class OnlineTommySequencer(Entity):
             if not self._model.has_client(item.client_id):
                 raise KeyError(f"client {item.client_id!r} has no registered clock-error distribution")
             self._pending.append(item)
+            if self._engine is not None:
+                self._engine.add_message(item)
             self._arrival_times[item.key] = arrival
             self._note_client_progress(item.client_id, item.timestamp)
         else:
@@ -169,6 +200,12 @@ class OnlineTommySequencer(Entity):
         """
         if not self._pending:
             return []
+        if self._engine is not None:
+            return self._engine.tentative_groups()
+        return self._reference_tentative_groups()
+
+    def _reference_tentative_groups(self) -> List[List[TimestampedMessage]]:
+        """The original recompute-everything path (parity oracle for the engine)."""
         relation = LikelyHappenedBefore.from_model(self._pending, self._model)
         tournament = TournamentGraph.from_relation(relation, tie_epsilon=self._config.tie_epsilon)
         resolve_cycles(tournament.graph, self._config.cycle_policy, rng=self._rng)
@@ -180,6 +217,11 @@ class OnlineTommySequencer(Entity):
         """``T_b = max_k T^F_k`` over the batch (paper §3.5)."""
         if not batch:
             raise ValueError("cannot compute a safe emission time for an empty batch")
+        if self._engine is not None:
+            return max(
+                self._engine.safe_emission_time(message, self._config.p_safe)
+                for message in batch
+            )
         return max(self._model.safe_emission_time(message, self._config.p_safe) for message in batch)
 
     def _completeness_satisfied(self, batch: Sequence[TimestampedMessage]) -> bool:
@@ -229,7 +271,11 @@ class OnlineTommySequencer(Entity):
             candidate = groups[0]
             safe_time = self.safe_emission_time(candidate)
             max_age = self._config.max_batch_age
-            if max_age is not None and self._batch_age(candidate) >= max_age:
+            # the guard must use the same float expression as the deadline it
+            # schedules: ``now - oldest >= max_age`` can be false while
+            # ``oldest + max_age <= now`` holds, and that disagreement used to
+            # respin the check at the same instant forever (livelock)
+            if max_age is not None and self.now >= self._forced_deadline(candidate, float("inf")):
                 # liveness guard: a failed client or adverse arrival pattern must
                 # not block the sequencer forever (paper §3.5 liveness caveat)
                 self._forced_emissions += 1
@@ -270,6 +316,12 @@ class OnlineTommySequencer(Entity):
         self._next_rank += 1
         emitted_keys = {message.key for message in candidate}
         self._pending = [message for message in self._pending if message.key not in emitted_keys]
+        # release per-message bookkeeping: without this the arrival-time dict
+        # (and the engine's matrix row) would grow for the sequencer's lifetime
+        for key in emitted_keys:
+            self._arrival_times.pop(key, None)
+        if self._engine is not None:
+            self._engine.remove_messages(emitted_keys)
 
     def halt(self) -> None:
         """Stop processing: cancel any scheduled emission check.
@@ -294,7 +346,11 @@ class OnlineTommySequencer(Entity):
 
     # ------------------------------------------------------------------ views
     def arrival_time_of(self, message: TimestampedMessage) -> Optional[float]:
-        """True arrival time of ``message`` at the sequencer, if it arrived."""
+        """Arrival time of a still-pending ``message`` at the sequencer.
+
+        Bookkeeping is released on emission, so emitted messages return
+        ``None``.
+        """
         return self._arrival_times.get(message.key)
 
     def result(self) -> SequencingResult:
@@ -309,6 +365,8 @@ class OnlineTommySequencer(Entity):
             "forced_emissions": self._forced_emissions,
             "pending": len(self._pending),
         }
+        if self._engine is not None:
+            metadata["engine"] = self._engine.stats.as_dict()
         return SequencingResult(batches=batches, metadata=metadata)
 
     def emission_latencies(self) -> List[float]:

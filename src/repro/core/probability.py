@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Tuple
 
+from scipy import special
+
 from repro.distributions.base import OffsetDistribution
 from repro.distributions.difference import DifferenceDistribution, difference_distribution
 from repro.distributions.parametric import GaussianDistribution
@@ -27,7 +29,9 @@ from repro.network.message import TimestampedMessage
 
 
 def _standard_normal_cdf(x: float) -> float:
-    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+    # scipy's erf kernel (not math.erf, which can differ by 1 ulp) so that the
+    # scalar path and the vectorized engine path agree bit-for-bit
+    return 0.5 * (1.0 + float(special.erf(x / math.sqrt(2.0))))
 
 
 def gaussian_preceding_probability(
@@ -147,7 +151,7 @@ class PrecedenceModel:
         if use_closed_form:
             return gaussian_preceding_probability(timestamp_i, timestamp_j, dist_i, dist_j)
         difference = self.pair_difference(client_i, client_j)
-        return difference.cdf(timestamp_j - timestamp_i)
+        return difference.preceding_probability(timestamp_i, timestamp_j)
 
     # ------------------------------------------------------ safe-emission T^F
     def safe_emission_time(self, message: TimestampedMessage, p_safe: float) -> float:

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.batching import form_batches
 from repro.core.config import TommyConfig
 from repro.core.cycles import resolve_cycles
+from repro.core.engine import EngineStats, build_relation
 from repro.core.probability import PrecedenceModel
 from repro.core.relation import LikelyHappenedBefore
 from repro.core.tournament import TournamentGraph
@@ -41,6 +42,7 @@ class TommySequencer(OfflineSequencer):
             convolution_points=self._config.convolution_points,
         )
         self._rng = np.random.default_rng(self._config.seed if self._config.seed is not None else 0)
+        self._engine_stats = EngineStats()
         for client_id, distribution in (client_distributions or {}).items():
             self._model.register_client(client_id, distribution)
 
@@ -55,14 +57,25 @@ class TommySequencer(OfflineSequencer):
         """The underlying preceding-probability model."""
         return self._model
 
+    @property
+    def engine_stats(self) -> EngineStats:
+        """Counters for the vectorized relation computations performed."""
+        return self._engine_stats
+
     def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
         """Register or update a client's clock-error distribution."""
         self._model.register_client(client_id, distribution)
 
     # ------------------------------------------------------------- sequencing
     def relation_for(self, messages: Sequence[TimestampedMessage]) -> LikelyHappenedBefore:
-        """Likely-happened-before relation over ``messages``."""
-        return LikelyHappenedBefore.from_model(list(messages), self._model)
+        """Likely-happened-before relation over ``messages``.
+
+        Computed through the vectorized engine path
+        (:func:`repro.core.engine.build_relation`): same probabilities as
+        :meth:`LikelyHappenedBefore.from_model`, but Gaussian client pairs
+        are evaluated in one numpy pass instead of per-pair scalar calls.
+        """
+        return build_relation(list(messages), self._model, stats=self._engine_stats)
 
     def sequence(self, messages: Sequence[TimestampedMessage]) -> SequencingResult:
         messages = self._validate(messages)

@@ -1,10 +1,12 @@
-"""Numerical convolution utilities for offset-difference densities.
+"""Numerical convolution utilities for error-difference densities.
 
-The density of ``delta = theta_j - theta_i`` is the convolution of
-``f_{theta_j}`` with ``f_{-theta_i}`` (paper §3.3).  Two implementations are
-provided: a direct quadratic-time convolution (reference/verification path)
-and the log-linear FFT path the paper recommends for pairwise computation at
-the sequencer.
+The density of the difference ``delta = eps_j - eps_i`` of two independent
+clock errors is the convolution of ``f_{eps_j}`` with ``f_{-eps_i}`` (paper
+§3.3; the formula is convention-agnostic — it yields the difference of
+whatever two densities are passed in).  Two implementations are provided: a
+direct quadratic-time convolution (reference/verification path) and the
+log-linear FFT path the paper recommends for pairwise computation at the
+sequencer.
 """
 
 from __future__ import annotations
@@ -56,7 +58,7 @@ def convolve_direct(
     num_points: int = 1024,
     coverage: float = 1.0 - 1e-9,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Density of ``theta_j - theta_i`` by direct O(n^2) correlation.
+    """Density of ``eps_j - eps_i`` by direct O(n^2) correlation.
 
     Returns ``(delta_grid, density)``.  Used as the ground-truth reference in
     tests and the FFT-vs-direct ablation benchmark.
@@ -78,11 +80,11 @@ def convolve_fft(
     num_points: int = 2048,
     coverage: float = 1.0 - 1e-9,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Density of ``theta_j - theta_i`` via FFT (log-linear, paper §3.3).
+    """Density of ``eps_j - eps_i`` via FFT (log-linear, paper §3.3).
 
     Convolution in the time domain is point-wise multiplication in the
     frequency domain; the difference density is the convolution of
-    ``f_{theta_j}`` with the reflection of ``f_{theta_i}``.
+    ``f_{eps_j}`` with the reflection of ``f_{eps_i}``.
     """
     xs, pdf_i, pdf_j, step = cross_correlation_grid(dist_i, dist_j, num_points, coverage)
     n = xs.size

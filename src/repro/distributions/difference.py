@@ -1,10 +1,22 @@
-"""Distribution of the difference of two clock offsets.
+"""Distribution of the difference of two clock errors.
 
-``DifferenceDistribution`` wraps the density of ``delta = theta_j - theta_i``
-and exposes the tail integral the sequencer needs for the
+``DifferenceDistribution`` wraps the density of ``delta = eps_j - eps_i``
+(in the repo-wide ``epsilon = reported - true`` convention, see
+:mod:`repro.core`) and exposes the integral the sequencer needs for the
 preceding-probability (paper §3.2):
 
-``P(T*_i < T*_j | T_i, T_j) = P(delta > T_i - T_j) = 1 - CDF_delta(T_i - T_j)``.
+``P(T*_i < T*_j | T_i, T_j) = P(eps_j - eps_i < T_j - T_i)
+                            = CDF_delta(T_j - T_i)``.
+
+The paper states the same quantity in its ``theta = -epsilon`` convention as
+``P(theta_j - theta_i > T_i - T_j)``.  The two are equal because negating a
+variable reflects its distribution — but *only* when each formula is paired
+with the matching difference density.  An earlier revision documented the
+theta-convention tail formula on top of the epsilon-convention density
+computed here; for asymmetric (skewed) error distributions that combination
+is simply wrong (the two readings differ by the asymmetry of ``delta``).
+Use :meth:`DifferenceDistribution.preceding_probability`, which encodes the
+correct pairing once, instead of re-deriving signs at call sites.
 """
 
 from __future__ import annotations
@@ -21,7 +33,7 @@ from repro.distributions.parametric import GaussianDistribution
 
 
 class DifferenceDistribution:
-    """The distribution of ``theta_j - theta_i`` for one ordered client pair."""
+    """The distribution of ``eps_j - eps_i`` for one ordered client pair."""
 
     def __init__(self, distribution: OffsetDistribution, exact: bool = False) -> None:
         self._distribution = distribution
@@ -48,12 +60,27 @@ class DifferenceDistribution:
         return self._distribution.std
 
     def tail_probability(self, threshold: float) -> float:
-        """``P(delta > threshold)`` — the preceding-probability integrand."""
+        """``P(delta > threshold)`` for ``delta = eps_j - eps_i``.
+
+        This is *not* the preceding-probability: that is
+        ``CDF_delta(T_j - T_i)`` (see :meth:`preceding_probability`).  The
+        two coincide only for symmetric ``delta``.
+        """
         return float(np.clip(self._distribution.sf(np.asarray(threshold, dtype=float)), 0.0, 1.0))
 
     def cdf(self, x: float) -> float:
         """``P(delta <= x)``."""
         return float(np.clip(self._distribution.cdf(np.asarray(x, dtype=float)), 0.0, 1.0))
+
+    def preceding_probability(self, timestamp_i: float, timestamp_j: float) -> float:
+        """``P(message_i generated before message_j)`` given reported timestamps.
+
+        With ``eps = reported - true`` and ``delta = eps_j - eps_i``::
+
+            P(T*_i < T*_j) = P(T_i - eps_i < T_j - eps_j)
+                           = P(delta < T_j - T_i) = CDF_delta(T_j - T_i)
+        """
+        return self.cdf(timestamp_j - timestamp_i)
 
     def quantile(self, q: float) -> float:
         """Inverse CDF of ``delta``."""
@@ -61,9 +88,9 @@ class DifferenceDistribution:
 
 
 def gaussian_difference(dist_i: GaussianDistribution, dist_j: GaussianDistribution) -> DifferenceDistribution:
-    """Closed-form difference for independent Gaussian offsets.
+    """Closed-form difference for independent Gaussian errors.
 
-    ``theta_j - theta_i ~ N(mu_j - mu_i, sigma_i^2 + sigma_j^2)``.
+    ``eps_j - eps_i ~ N(mu_j - mu_i, sigma_i^2 + sigma_j^2)``.
     """
     mean = dist_j.mean - dist_i.mean
     std = float(np.sqrt(dist_i.variance + dist_j.variance))
@@ -76,7 +103,7 @@ def difference_distribution(
     method: str = "auto",
     num_points: int = 2048,
 ) -> DifferenceDistribution:
-    """Compute the distribution of ``theta_j - theta_i``.
+    """Compute the distribution of ``eps_j - eps_i``.
 
     Parameters
     ----------

@@ -1,8 +1,9 @@
 """Tests for threshold batching (paper §3.4)."""
 
+import numpy as np
 import pytest
 
-from repro.core.batching import form_batches
+from repro.core.batching import _strict_boundary_strengths, form_batches
 from repro.core.relation import LikelyHappenedBefore
 from tests.conftest import make_message
 
@@ -129,3 +130,35 @@ def test_strict_boundary_strengths_are_minima_over_straddling_pairs():
     strict = form_batches(order, relation, threshold=0.75, mode="strict")
     # boundary 0: min(p(0,1), p(0,2)) = 0.7 ; boundary 1: min(p(0,2), p(1,2)) = 0.7
     assert strict.boundary_probabilities == pytest.approx((0.7, 0.7))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_strict_boundary_strengths_pinned_on_randomized_order(seed):
+    """Regression for the suffix-minimum rewrite: the strengths of every
+    boundary on a randomized order must equal the brute-force minimum over
+    all straddling pairs, and the resulting strict batching must match."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 14))
+    upper = rng.uniform(0.0, 1.0, size=(n, n))
+    matrix = np.where(np.triu(np.ones((n, n)), 1) > 0, upper, 1.0 - upper.T)
+    np.fill_diagonal(matrix, 0.0)
+    messages = [make_message(f"c{k}", float(k)) for k in range(n)]
+    relation = LikelyHappenedBefore.from_matrix(messages, matrix.tolist())
+    order = [message.key for message in messages]
+    rng.shuffle(order)
+
+    strengths = _strict_boundary_strengths(order, relation)
+    brute_force = [
+        min(
+            relation.probability(order[i], order[j])
+            for i in range(k + 1)
+            for j in range(k + 1, n)
+        )
+        for k in range(n - 1)
+    ]
+    assert strengths == brute_force  # exact, not approx: same floats, same minima
+
+    outcome = form_batches(order, relation, threshold=0.6, mode="strict")
+    flattened = [message.key for batch in outcome.batches for message in batch.messages]
+    assert flattened == list(order)
+    assert outcome.boundary_probabilities == tuple(brute_force)

@@ -169,3 +169,41 @@ def test_arrival_time_is_recorded():
     message = make_message("a", 0.0)
     sequencer.receive(message, arrival_time=1.25)
     assert sequencer.arrival_time_of(message) == 1.25
+
+
+@pytest.mark.parametrize("use_engine", [True, False])
+def test_emission_releases_per_message_bookkeeping(use_engine):
+    """Regression: ``_arrival_times`` grew without bound for the sequencer's
+    lifetime because ``_emit`` never pruned emitted keys (the ``.get(key,
+    self.now)`` default in ``_batch_age`` masked the leak)."""
+    loop = EventLoop()
+    distributions = {"a": GaussianDistribution(0.0, 0.1), "b": GaussianDistribution(0.0, 0.1)}
+    sequencer = OnlineTommySequencer(
+        loop,
+        distributions,
+        TommyConfig(completeness_mode="none", p_safe=0.9),
+        use_engine=use_engine,
+    )
+    for index in range(20):
+        message = make_message("a" if index % 2 == 0 else "b", float(10 * index))
+        sequencer.receive(message, arrival_time=float(10 * index))
+        loop.run(until=10.0 * (index + 1))
+    assert len(sequencer.emitted_batches) > 10
+    pending_keys = {message.key for message in sequencer.pending_messages}
+    # bookkeeping covers only what is still pending, not the whole history
+    assert set(sequencer._arrival_times) == pending_keys
+    assert len(sequencer._arrival_times) <= len(pending_keys)
+    if use_engine:
+        assert sequencer.engine.size == len(pending_keys)
+        assert set(sequencer.engine.message_keys) == pending_keys
+
+
+def test_batch_age_still_tracks_oldest_pending_arrival():
+    loop = EventLoop()
+    sequencer = make_sequencer(loop, {"a": 1.0, "b": 1.0})
+    first = make_message("a", 100.0)
+    second = make_message("b", 100.1)
+    sequencer.receive(first, arrival_time=0.0)
+    loop.run(until=2.0)
+    sequencer.receive(second, arrival_time=2.0)
+    assert sequencer._batch_age([first, second]) == pytest.approx(2.0)

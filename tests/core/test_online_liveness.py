@@ -71,6 +71,27 @@ def test_guard_also_bounds_safe_emission_waits():
     assert sequencer.forced_emissions == 1
 
 
+def test_guard_fires_despite_float_asymmetry_of_the_age_check():
+    """Regression: the guard compared ``now - oldest >= max_age`` while the
+    next check was scheduled at ``oldest + max_age``.  The two float
+    expressions can disagree (here ``now - oldest`` rounds to
+    1.9999999999999991 although ``oldest + 2.0 == now`` exactly), which left
+    the sequencer re-running the emission check at the same simulated
+    instant forever — a livelock.  The guard now uses the deadline form.
+    """
+    arrival = 6.459721981904619  # (arrival + 2.0) - arrival rounds below 2.0
+    max_age = 2.0
+    assert (arrival + max_age) - arrival < max_age  # the asymmetry under test
+    loop = EventLoop()
+    sequencer = build(loop, max_batch_age=max_age, p_safe=0.999)
+    loop.schedule_at(arrival, sequencer.receive, make_message("alive", arrival + 1000.0))
+    # cap the event count: pre-fix the spin made this loop run forever
+    loop.run(until=arrival + 10.0, max_events=500)
+    assert sequencer.forced_emissions == 1
+    assert len(sequencer.emitted_batches) == 1
+    assert sequencer.emitted_batches[0].emitted_at == pytest.approx(arrival + max_age)
+
+
 def test_invalid_max_batch_age_rejected():
     with pytest.raises(ValueError):
         TommyConfig(max_batch_age=0.0)
