@@ -25,6 +25,30 @@ Quickstart
 >>> result = quick_sequence(messages, dists)
 >>> result.batch_count
 2
+
+Learned distributions (paper §3.3, §5)
+--------------------------------------
+Clients learn their offset distribution ``f_theta`` from sync probes and
+refresh the *running* sequencer live; the engine serves the learned
+(empirical) estimates through vectorized difference-CDF tables:
+
+>>> from repro.core.online import OnlineTommySequencer
+>>> from repro.simulation import EventLoop
+>>> from repro.sync import DistributionRefreshLoop
+>>> from repro.workloads import synthesize_probe
+>>> loop = EventLoop()
+>>> online = OnlineTommySequencer(
+...     loop, {"a": GaussianDistribution(0, 10.0), "b": GaussianDistribution(0, 10.0)}
+... )
+>>> refresh = DistributionRefreshLoop(online, refresh_every=8, min_observations=8)
+>>> for k in range(8):
+...     _ = refresh.observe_probe(
+...         synthesize_probe("a", offset=0.001 * k, round_trip=0.0001)
+...     )
+>>> online.distribution_refreshes
+1
+>>> online.model.distribution_for("a").family
+'empirical'
 """
 
 from typing import Dict, Optional, Sequence

@@ -7,6 +7,7 @@ Every paper artifact and ablation can be regenerated from the shell::
     python -m repro.cli psafe
     python -m repro.cli baselines
     python -m repro.cli learning
+    python -m repro.cli learned
     python -m repro.cli scaling
     python -m repro.cli cluster --shards 4 --num-clients 64
     python -m repro.cli all --csv-dir results/
@@ -31,6 +32,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.cluster_sweep import run_cluster_sweep
 from repro.experiments.figure5 import Figure5Settings, figure5_rows, run_figure5
+from repro.experiments.learned_sweep import run_learned_sweep
 from repro.experiments.reporting import format_table, rows_to_csv
 
 
@@ -72,6 +74,24 @@ def _scaling_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
     return run_scaling_sweep(seed=args.seed)
 
 
+#: The live-learning sweep replays every probe stream through the online
+#: sequencer three times (static / live / oracle); the client count is capped
+#: to keep the CLI responsive.
+LEARNED_MAX_CLIENTS = 24
+
+
+def _learned_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
+    effective = min(args.num_clients, LEARNED_MAX_CLIENTS)
+    if effective != args.num_clients:
+        print(
+            f"warning: learned replays the online sequencer per configuration and caps "
+            f"--num-clients at {LEARNED_MAX_CLIENTS} (requested {args.num_clients}, "
+            f"using {effective})",
+            file=sys.stderr,
+        )
+    return run_learned_sweep(num_clients=effective, seed=args.seed)
+
+
 def _shard_counts_up_to(max_shards: int) -> List[int]:
     """Doubling shard counts from 1 up to (and always including) the max."""
     counts = []
@@ -97,6 +117,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], List[Dict[str, object]]]] 
     "psafe": _psafe_rows,
     "baselines": _baseline_rows,
     "learning": _learning_rows,
+    "learned": _learned_rows,
     "scaling": _scaling_rows,
     "cluster": _cluster_rows,
 }
@@ -107,6 +128,7 @@ TITLES = {
     "psafe": "ABL-PSAFE: safe-emission confidence sweep",
     "baselines": "ABL-BASE: FIFO / WFO / TrueTime / Tommy on a burst",
     "learning": "ABL-LEARN: seeded vs probe-learned distributions",
+    "learned": "LEARNED: static-Gaussian vs live-learned online sequencing",
     "scaling": "ABL-SCALE: client-count scaling",
     "cluster": "CLUSTER: sharded fair sequencing, shard-count scaling",
 }

@@ -32,8 +32,9 @@ import networkx as nx
 import numpy as np
 
 from repro.core.cycles import resolve_cycles
-from repro.core.engine import EngineStats, cross_probability_matrix
+from repro.core.engine import EngineStats, PairTableCache, cross_probability_matrix
 from repro.core.probability import PrecedenceModel
+from repro.distributions.base import OffsetDistribution
 from repro.network.message import SequencedBatch
 from repro.sequencers.base import SequencingResult
 
@@ -74,6 +75,9 @@ class CrossShardMerger:
         self._cycle_policy = cycle_policy
         self._rng = np.random.default_rng(seed)
         self._engine_stats = EngineStats()
+        # difference-CDF tables shared across every batch_precedence call, so
+        # empirical/learned client pairs convolve once per pair, not per batch
+        self._tables = PairTableCache(model, stats=self._engine_stats)
 
     @property
     def threshold(self) -> float:
@@ -84,6 +88,15 @@ class CrossShardMerger:
     def model(self) -> PrecedenceModel:
         """The cluster-wide precedence model (all clients registered)."""
         return self._model
+
+    def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
+        """Register or refresh a client's distribution on the merge model.
+
+        Drops the cached difference-CDF tables involving the client so the
+        next merge prices its cross-shard pairs with the new distribution.
+        """
+        self._model.register_client(client_id, distribution)
+        self._tables.invalidate_client(client_id)
 
     # ---------------------------------------------------------- probabilities
     @property
@@ -100,7 +113,11 @@ class CrossShardMerger:
         complementary, which the tournament construction requires.
         """
         matrix = cross_probability_matrix(
-            batch_a.messages, batch_b.messages, self._model, stats=self._engine_stats
+            batch_a.messages,
+            batch_b.messages,
+            self._model,
+            stats=self._engine_stats,
+            tables=self._tables,
         )
         if matrix.size == 0:
             return 0.5

@@ -33,6 +33,9 @@ from repro.network.message import Heartbeat, SequencedBatch, TimestampedMessage
 from repro.sequencers.base import SequencingResult
 from repro.simulation.entity import Entity
 from repro.simulation.event_loop import EventLoop
+from repro.sync.estimator import OffsetEstimator
+from repro.sync.probe import SyncProbe
+from repro.sync.refresh import DistributionRefreshLoop
 
 
 @dataclass(frozen=True)
@@ -118,6 +121,8 @@ class ShardedSequencer(Entity):
         )
 
         self._failover_events: List[FailoverEvent] = []
+        self._refresh_loop: Optional[DistributionRefreshLoop] = None
+        self._distribution_refreshes = 0
         self._heartbeat_interval = heartbeat_interval
         self._heartbeat_timeout = (
             heartbeat_timeout
@@ -176,9 +181,76 @@ class ShardedSequencer(Entity):
         on a dead shard is immediately redirected to a live one.
         """
         self._distributions[client_id] = distribution
-        self._merger.model.register_client(client_id, distribution)
+        self._merger.register_client(client_id, distribution)
         shard = self._live_owner(client_id)
         self._shards[shard].sequencer.register_client(client_id, distribution)
+
+    def update_client_distribution(
+        self, client_id: str, distribution: OffsetDistribution
+    ) -> None:
+        """Refresh a known client's distribution cluster-wide.
+
+        The owner shard's online sequencer absorbs the update (invalidating
+        its engine caches and rebuilding live rows) and the cross-shard
+        merger re-prices future batch precedences with the new distribution.
+        """
+        if client_id not in self._distributions:
+            raise KeyError(
+                f"client {client_id!r} is not registered; use register_client for new clients"
+            )
+        self._distributions[client_id] = distribution
+        self._merger.register_client(client_id, distribution)
+        shard = self._live_owner(client_id)
+        self._shards[shard].sequencer.update_client_distribution(client_id, distribution)
+        self._distribution_refreshes += 1
+
+    # --------------------------------------------------------------- learning
+    def attach_learning(
+        self,
+        method: str = "empirical",
+        window: int = 256,
+        refresh_every: int = 32,
+        min_observations: int = 8,
+        estimator: Optional[OffsetEstimator] = None,
+    ) -> DistributionRefreshLoop:
+        """Attach a probe-driven refresh loop feeding this cluster.
+
+        Probes delivered to :meth:`observe_probe` accumulate in per-client
+        learners; every ``refresh_every`` probes a client's distribution is
+        re-estimated and pushed through :meth:`update_client_distribution`.
+        """
+        self._refresh_loop = DistributionRefreshLoop(
+            self,
+            method=method,
+            window=window,
+            refresh_every=refresh_every,
+            min_observations=min_observations,
+            estimator=estimator,
+        )
+        return self._refresh_loop
+
+    @property
+    def refresh_loop(self) -> Optional[DistributionRefreshLoop]:
+        """The attached refresh loop, if any."""
+        return self._refresh_loop
+
+    def observe_probe(self, probe: SyncProbe) -> None:
+        """Feed one sync probe into the attached learning loop."""
+        if self._refresh_loop is None:
+            raise ValueError("no learning loop attached; call attach_learning first")
+        self._refresh_loop.observe_probe(probe)
+
+    def learning_stats(self) -> Dict[str, object]:
+        """Cluster-wide refresh accounting (for result metadata and sweeps)."""
+        stats: Dict[str, object] = {
+            "distribution_refreshes": self._distribution_refreshes,
+            "per_shard_refreshes": [
+                shard.sequencer.distribution_refreshes for shard in self._shards
+            ],
+        }
+        if self._refresh_loop is not None:
+            stats.update(self._refresh_loop.stats.as_dict())
+        return stats
 
     def _live_owner(self, client_id: str) -> int:
         """The client's owner shard, rerouted off dead shards if needed.
@@ -372,6 +444,7 @@ class ShardedSequencer(Entity):
                 "policy": self._router.policy.name,
                 "failovers": len(self._failover_events),
                 "engine": self.engine_stats().as_dict(),
+                "learning": self.learning_stats(),
             }
         )
         return SequencingResult(batches=outcome.result.batches, metadata=metadata)

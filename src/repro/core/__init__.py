@@ -46,6 +46,7 @@ from repro.core.batching import BatchingOutcome, form_batches
 from repro.core.engine import (
     EngineStats,
     IncrementalPrecedenceEngine,
+    PairTableCache,
     build_relation,
     cross_probability_matrix,
     strict_boundary_strengths_matrix,
@@ -70,6 +71,7 @@ __all__ = [
     "form_batches",
     "EngineStats",
     "IncrementalPrecedenceEngine",
+    "PairTableCache",
     "build_relation",
     "cross_probability_matrix",
     "strict_boundary_strengths_matrix",

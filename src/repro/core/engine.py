@@ -5,22 +5,28 @@ The original implementation rebuilt the full
 :class:`~repro.core.relation.LikelyHappenedBefore` relation, the kept-edge
 tournament and the strict-boundary minima from scratch each time — ``O(n^2)``
 scalar probability evaluations per arrival over the pending set.  This module
-keeps all of that state *incremental*:
+keeps all of that state *incremental* and evaluates it in batched numpy:
 
-* the pairwise preceding-probability matrix gains one row/column per arrival,
-  computed as a single vectorized numpy evaluation of the §3.2 Gaussian
-  closed form (scalar fallback through the
-  :class:`~repro.core.probability.PrecedenceModel` for non-Gaussian clients,
-  so FFT/direct methods keep working), and loses the emitted rows/columns on
-  emission;
-* the kept-edge tournament graph is maintained alongside the matrix — node
-  and edge insertion order matches what
-  :meth:`~repro.core.tournament.TournamentGraph.from_relation` would produce
-  for the same pending set, so cycle detection and cycle-breaking walk the
-  graph in exactly the same order as a from-scratch rebuild;
-* the strict batching rule's boundary strengths are a pair of vectorized
-  cumulative-minimum passes over the (order-permuted) matrix instead of a
-  per-boundary scan;
+* the pairwise preceding-probability matrix gains one row/column per arrival.
+  Gaussian client pairs are a single vectorized evaluation of the §3.2
+  closed form; **empirical/learned/mixture pairs** are a vectorized
+  ``np.interp`` against the pair's cached difference-CDF table
+  (:class:`PairTableCache` — one FFT convolution per client pair, shared by
+  every message of that pair), so non-Gaussian clients no longer fall back
+  to per-pair scalar FFT evaluations;
+* the kept-edge tournament is maintained as a boolean *direction matrix*
+  plus an out-degree (score) vector — pure numpy per arrival.  Only when the
+  tournament is intransitive (cyclic) is a :mod:`networkx` graph
+  materialised, in exactly the node/edge insertion order the previous
+  incremental graph (and :meth:`~repro.core.tournament.TournamentGraph.from_relation`)
+  would have produced, so cycle detection, cycle-breaking and the
+  deterministic topological tie-break replay the reference behaviour
+  verbatim;
+* the strict batching rule's boundary strengths are vectorized
+  cumulative-minimum passes; the emission check uses
+  :meth:`IncrementalPrecedenceEngine.first_tentative_group`, an ``O(k·n)``
+  prefix scan (``k`` = first-batch size) that avoids materialising the full
+  permuted matrix on every arrival;
 * the safe-emission quantile ``Q_eps(1 - p_safe)`` is cached per
   ``(client, p_safe)`` so :meth:`safe_emission_time` is a subtraction, not a
   quantile search per message.
@@ -29,15 +35,18 @@ The engine is *behavior preserving*: for the same arrival stream it yields
 byte-identical tentative groups, safe-emission times and therefore emitted
 batches as the reference recompute-everything path (kept available via
 ``OnlineTommySequencer(..., use_engine=False)`` and property-tested against
-it).  All probabilities reuse the exact floating-point expression of
-:func:`~repro.core.probability.gaussian_preceding_probability`.
+it).  Gaussian probabilities reuse the exact floating-point expression of
+:func:`~repro.core.probability.gaussian_preceding_probability`; table-backed
+probabilities evaluate ``np.interp`` against the *same* grid/CDF arrays the
+scalar :class:`~repro.distributions.difference.DifferenceDistribution` path
+reads, so both agree bit-for-bit.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 import numpy as np
@@ -57,7 +66,9 @@ class EngineStats:
     """Counters describing how the engine computed its probabilities."""
 
     vectorized_evaluations: int = 0
+    table_evaluations: int = 0
     scalar_evaluations: int = 0
+    pair_tables_built: int = 0
     rows_appended: int = 0
     rows_removed: int = 0
     group_computations: int = 0
@@ -70,7 +81,9 @@ class EngineStats:
         """Flat dictionary view (for result metadata and benchmarks)."""
         return {
             "vectorized_evaluations": self.vectorized_evaluations,
+            "table_evaluations": self.table_evaluations,
             "scalar_evaluations": self.scalar_evaluations,
+            "pair_tables_built": self.pair_tables_built,
             "rows_appended": self.rows_appended,
             "rows_removed": self.rows_removed,
             "group_computations": self.group_computations,
@@ -131,22 +144,125 @@ def _cached_gaussian_params(
     return cache[client_id]
 
 
+class PairTableCache:
+    """Per-client-pair difference-CDF tables for vectorized evaluation.
+
+    ``table(i, j)`` returns the ``(grid, cdf)`` arrays of the pair's
+    difference distribution (``None`` for closed-form Gaussian pairs, which
+    the Gaussian kernel serves instead).  The table is the *exact* array pair
+    the scalar model interpolates, so ``np.interp`` against it reproduces
+    ``model.preceding_probability`` bit-for-bit.  The underlying FFT
+    convolution runs once per ordered client pair (cached here *and* inside
+    the model) regardless of how many messages the pair exchanges.
+    """
+
+    def __init__(self, model: PrecedenceModel, stats: Optional[EngineStats] = None) -> None:
+        self._model = model
+        self._stats = stats
+        # key -> (version_i, version_j, table): the versions pin the client
+        # registrations the table was derived from, so a distribution refresh
+        # through *any* path (including model.register_client directly) is
+        # detected on the next lookup instead of serving a stale table
+        self._tables: Dict[
+            Tuple[str, str], Tuple[int, int, Optional[Tuple[np.ndarray, np.ndarray]]]
+        ] = {}
+
+    @property
+    def model(self) -> PrecedenceModel:
+        """The model whose pair differences back the tables."""
+        return self._model
+
+    def table(self, client_i: str, client_j: str) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(grid, cdf)`` for the ordered pair, or ``None`` if closed form."""
+        key = (client_i, client_j)
+        version_i = self._model.client_version(client_i)
+        version_j = self._model.client_version(client_j)
+        cached = self._tables.get(key)
+        if cached is not None and cached[0] == version_i and cached[1] == version_j:
+            return cached[2]
+        table = self._model.pair_cdf_table(client_i, client_j)
+        self._tables[key] = (version_i, version_j, table)
+        if table is not None and self._stats is not None:
+            self._stats.pair_tables_built += 1
+        return table
+
+    def invalidate_client(self, client_id: str) -> None:
+        """Drop every cached table involving ``client_id`` (distribution refresh)."""
+        self._tables = {
+            pair: table for pair, table in self._tables.items() if client_id not in pair
+        }
+
+    def clear(self) -> None:
+        """Drop every cached table."""
+        self._tables.clear()
+
+    def __len__(self) -> int:
+        return sum(1 for table in self._tables.values() if table is not None)
+
+
+# np.interp's Python wrapper costs ~5us per call (asarray / iscomplexobj
+# bookkeeping) — significant when the hot row loop interpolates one small
+# group per client pair.  For real-valued fp the wrapper delegates verbatim
+# to this compiled kernel, so calling it directly is bit-identical.  The
+# kernel is a numpy internal with no stability guarantee, so it is
+# feature-probed once at import (signature AND output vs np.interp) and any
+# surprise falls back to the public wrapper.
+def _wrapped_interp(x, xp, fp, left, right):
+    return np.interp(x, xp, fp, left=left, right=right)
+
+
+def _resolve_compiled_interp():
+    try:  # numpy >= 2.0 layout
+        from numpy._core.multiarray import interp as candidate
+    except ImportError:  # pragma: no cover - numpy < 2.0 layout
+        try:
+            from numpy.core.multiarray import interp as candidate  # type: ignore
+        except ImportError:
+            return _wrapped_interp
+    try:
+        probe_x = np.array([-1.0, 0.25, 2.0])
+        probe_xp = np.array([0.0, 0.5, 1.0])
+        probe_fp = np.array([0.0, 0.25, 1.0])
+        expected = np.interp(probe_x, probe_xp, probe_fp, left=0.0, right=1.0)
+        if np.array_equal(candidate(probe_x, probe_xp, probe_fp, 0.0, 1.0), expected):
+            return candidate
+    except Exception:  # pragma: no cover - private signature drifted
+        pass
+    return _wrapped_interp  # pragma: no cover - private behaviour drifted
+
+
+_compiled_interp = _resolve_compiled_interp()
+
+
+def _interp_table(
+    diffs: np.ndarray, table: Tuple[np.ndarray, np.ndarray]
+) -> np.ndarray:
+    """Vectorized pair-table probability: bit-equal to the scalar CDF path."""
+    grid, cdf = table
+    return np.clip(_compiled_interp(diffs, grid, cdf, 0.0, 1.0), 0.0, 1.0)
+
+
 def cross_probability_matrix(
     messages_a: Sequence[TimestampedMessage],
     messages_b: Sequence[TimestampedMessage],
     model: PrecedenceModel,
     stats: Optional[EngineStats] = None,
+    tables: Optional[PairTableCache] = None,
 ) -> np.ndarray:
     """Matrix ``M[i][j] = P(messages_a[i] precedes messages_b[j])``.
 
-    Gaussian-eligible pairs are evaluated in one vectorized pass; other pairs
-    fall back to the scalar model (preserving FFT/direct methods and their
-    ``probability_evaluations`` accounting).
+    Gaussian-eligible pairs are evaluated in one vectorized closed-form pass;
+    grid-backed (empirical/learned/mixture) pairs are evaluated per client
+    pair against the shared difference-CDF table; only pairs with no table
+    (exotic difference types) fall back to the scalar model.  Pass ``tables``
+    to share the pair-table cache across calls (the cross-shard merger does).
     """
     rows, cols = len(messages_a), len(messages_b)
     matrix = np.empty((rows, cols), dtype=float)
     if not rows or not cols:
         return matrix
+    if tables is None:
+        tables = PairTableCache(model, stats=stats)
     cache: Dict[str, Optional[Tuple[float, float]]] = {}
 
     def params(client_id: str) -> Optional[Tuple[float, float]]:
@@ -169,15 +285,33 @@ def cross_probability_matrix(
         if stats is not None:
             stats.vectorized_evaluations += idx_a.size * idx_b.size
     if not (gauss_a.all() and gauss_b.all()):
-        scalar_b = np.flatnonzero(~gauss_b)
-        for i in range(rows):
-            # a Gaussian row only misses the non-Gaussian columns; a
-            # non-Gaussian row misses every column
-            columns = scalar_b if gauss_a[i] else range(cols)
-            for j in columns:
-                matrix[i, j] = model.preceding_probability(messages_a[i], messages_b[j])
-                if stats is not None:
-                    stats.scalar_evaluations += 1
+        timestamps_a = np.array([m.timestamp for m in messages_a])
+        timestamps_b = np.array([m.timestamp for m in messages_b])
+        rows_by_client: Dict[str, List[int]] = {}
+        for i, message in enumerate(messages_a):
+            rows_by_client.setdefault(message.client_id, []).append(i)
+        cols_by_client: Dict[str, List[int]] = {}
+        for j, message in enumerate(messages_b):
+            cols_by_client.setdefault(message.client_id, []).append(j)
+        for client_a, row_list in rows_by_client.items():
+            for client_b, col_list in cols_by_client.items():
+                if params(client_a) is not None and params(client_b) is not None:
+                    continue  # served by the closed-form block above
+                table = tables.table(client_a, client_b)
+                if table is not None:
+                    block = np.ix_(row_list, col_list)
+                    diffs = timestamps_b[col_list][None, :] - timestamps_a[row_list][:, None]
+                    matrix[block] = _interp_table(diffs, table)
+                    if stats is not None:
+                        stats.table_evaluations += diffs.size
+                else:
+                    for i in row_list:
+                        for j in col_list:
+                            matrix[i, j] = model.preceding_probability(
+                                messages_a[i], messages_b[j]
+                            )
+                            if stats is not None:
+                                stats.scalar_evaluations += 1
     return matrix
 
 
@@ -185,17 +319,21 @@ def build_relation(
     messages: Sequence[TimestampedMessage],
     model: PrecedenceModel,
     stats: Optional[EngineStats] = None,
+    tables: Optional[PairTableCache] = None,
 ) -> LikelyHappenedBefore:
     """Vectorized drop-in for :meth:`LikelyHappenedBefore.from_model`.
 
     Produces the same probabilities (the backward direction is stored as
     ``1 - p`` of the canonical ``i < j`` pair, exactly like ``from_model``)
-    without the per-pair scalar evaluations for Gaussian clients.  Only the
-    strict upper triangle is evaluated: non-Gaussian pairs cost exactly one
-    scalar model call per unordered pair, the same as ``from_model``.
+    without per-pair scalar evaluations: Gaussian pairs use the closed-form
+    kernel, grid-backed pairs one batched ``np.interp`` per client pair.
+    Only the strict upper triangle is evaluated; pairs with no table cost
+    exactly one scalar model call per unordered pair, like ``from_model``.
     """
     messages = list(messages)
     n = len(messages)
+    if tables is None:
+        tables = PairTableCache(model, stats=stats)
     cache: Dict[str, Optional[Tuple[float, float]]] = {}
 
     def params(client_id: str) -> Optional[Tuple[float, float]]:
@@ -227,6 +365,33 @@ def build_relation(
         if stats is not None:
             stats.vectorized_evaluations += indices.size * (indices.size - 1) // 2
 
+    # bucket the non-closed-form upper-triangle pairs by ordered client pair
+    # and evaluate each bucket as one batched table interpolation (skipped
+    # entirely on all-Gaussian message sets)
+    buckets: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+    if not gaussian.all():
+        all_timestamps = np.array([m.timestamp for m in messages])
+        for index_i in range(n):
+            client_i = messages[index_i].client_id
+            for index_j in range(index_i + 1, n):
+                if gaussian[index_i] and gaussian[index_j]:
+                    continue
+                buckets.setdefault((client_i, messages[index_j].client_id), []).append(
+                    (index_i, index_j)
+                )
+    table_values: Dict[Tuple[int, int], float] = {}
+    for (client_i, client_j), pairs in buckets.items():
+        table = tables.table(client_i, client_j)
+        if table is None:
+            continue  # scalar fallback in the assembly loop below
+        ii = np.fromiter((pair[0] for pair in pairs), dtype=np.intp, count=len(pairs))
+        jj = np.fromiter((pair[1] for pair in pairs), dtype=np.intp, count=len(pairs))
+        values = _interp_table(all_timestamps[jj] - all_timestamps[ii], table)
+        if stats is not None:
+            stats.table_evaluations += values.size
+        for pair, value in zip(pairs, values):
+            table_values[pair] = float(value)
+
     probabilities: Dict[Tuple[MessageKey, MessageKey], float] = {}
     for index_i in range(n):
         key_i = messages[index_i].key
@@ -236,6 +401,8 @@ def build_relation(
                 p = float(
                     gaussian_matrix[gaussian_positions[index_i], gaussian_positions[index_j]]
                 )
+            elif (index_i, index_j) in table_values:
+                p = table_values[(index_i, index_j)]
             else:
                 p = model.preceding_probability(messages[index_i], messages[index_j])
                 if stats is not None:
@@ -267,10 +434,12 @@ class IncrementalPrecedenceEngine:
     """Incrementally maintained precedence state over a pending message set.
 
     One engine instance backs one online sequencer: :meth:`add_message` on
-    arrival, :meth:`remove_messages` on emission, :meth:`tentative_groups`
-    whenever an emission check needs the strict batching of the current
-    pending set, and :meth:`safe_emission_time` for the cached-quantile
-    ``T^F`` computation.
+    arrival, :meth:`remove_messages` on emission,
+    :meth:`first_tentative_group` whenever an emission check needs the next
+    candidate batch (:meth:`tentative_groups` for the full batching, e.g. at
+    flush), and :meth:`safe_emission_time` for the cached-quantile ``T^F``
+    computation.  ``pair_tables=False`` disables the empirical fast path and
+    reproduces the historical scalar fallback (the benchmark's baseline).
     """
 
     def __init__(
@@ -280,6 +449,7 @@ class IncrementalPrecedenceEngine:
         tie_epsilon: float = 0.0,
         cycle_policy: str = "greedy",
         rng: Optional[np.random.Generator] = None,
+        pair_tables: bool = True,
     ) -> None:
         if not 0.5 <= threshold < 1.0:
             raise ValueError(f"threshold must be in [0.5, 1), got {threshold!r}")
@@ -289,24 +459,33 @@ class IncrementalPrecedenceEngine:
         self._cycle_policy = cycle_policy
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = EngineStats()
+        self._pair_tables_enabled = bool(pair_tables)
+        self._tables = PairTableCache(model, stats=self.stats)
 
         self._messages: List[TimestampedMessage] = []
         self._index: Dict[MessageKey, int] = {}
         self._capacity = 16
         self._matrix = np.empty((self._capacity, self._capacity), dtype=float)
+        self._direction = np.zeros((self._capacity, self._capacity), dtype=bool)
+        self._scores = np.zeros(self._capacity, dtype=np.int64)
         self._timestamps = np.empty(self._capacity, dtype=float)
         self._means = np.empty(self._capacity, dtype=float)
         self._variances = np.empty(self._capacity, dtype=float)
         self._gaussian = np.empty(self._capacity, dtype=bool)
-        self._graph = nx.DiGraph()
+        self._positions_by_client: Dict[str, List[int]] = {}
         self._client_params: Dict[str, Optional[Tuple[float, float]]] = {}
         self._quantiles: Dict[Tuple[str, float], float] = {}
 
     # ------------------------------------------------------------- properties
     @property
     def model(self) -> PrecedenceModel:
-        """The scalar model backing non-Gaussian pairs and quantiles."""
+        """The scalar model backing quantiles and table-less pairs."""
         return self._model
+
+    @property
+    def pair_tables(self) -> PairTableCache:
+        """The per-client-pair difference-CDF table cache."""
+        return self._tables
 
     @property
     def size(self) -> int:
@@ -337,19 +516,25 @@ class IncrementalPrecedenceEngine:
         capacity = self._capacity
         while capacity < needed:
             capacity *= 2
-        matrix = np.empty((capacity, capacity), dtype=float)
         n = self.size
-        matrix[:n, :n] = self._matrix[:n, :n]
-        self._matrix = matrix
-        for name in ("_timestamps", "_means", "_variances", "_gaussian"):
+        for name in ("_matrix", "_direction"):
             old = getattr(self, name)
-            fresh = np.empty(capacity, dtype=old.dtype)
+            fresh = (
+                np.empty((capacity, capacity), dtype=old.dtype)
+                if name == "_matrix"
+                else np.zeros((capacity, capacity), dtype=old.dtype)
+            )
+            fresh[:n, :n] = old[:n, :n]
+            setattr(self, name, fresh)
+        for name in ("_scores", "_timestamps", "_means", "_variances", "_gaussian"):
+            old = getattr(self, name)
+            fresh = np.zeros(capacity, dtype=old.dtype)
             fresh[:n] = old[:n]
             setattr(self, name, fresh)
         self._capacity = capacity
 
     def add_message(self, message: TimestampedMessage) -> None:
-        """Append one arrival: one vectorized row/column plus its edges."""
+        """Append one arrival: one vectorized row/column plus its edge directions."""
         key = message.key
         if key in self._index:
             raise ValueError(f"message {key!r} already tracked by the engine")
@@ -363,7 +548,22 @@ class IncrementalPrecedenceEngine:
         if n:
             self._matrix[:n, n] = row
             self._matrix[n, :n] = 1.0 - row
+            # kept-edge orientation, exactly like TournamentGraph.from_relation:
+            # ties (within tie_epsilon of 0.5) orient by message key, the rest
+            # by the larger direction probability
+            wins = row > (1.0 - row)
+            ties = np.abs(row - 0.5) <= self._tie_epsilon
+            if ties.any():
+                for position in np.flatnonzero(ties):
+                    wins[position] = self._messages[position].key <= key
+            self._direction[:n, n] = wins
+            self._direction[n, :n] = ~wins
+            self._scores[:n] += wins
+            self._scores[n] = int(n - int(wins.sum()))
+        else:
+            self._scores[n] = 0
         self._matrix[n, n] = 0.5
+        self._direction[n, n] = False
         self._timestamps[n] = message.timestamp
         if params is not None:
             self._means[n], self._variances[n] = params
@@ -371,11 +571,9 @@ class IncrementalPrecedenceEngine:
         else:
             self._means[n] = self._variances[n] = 0.0
             self._gaussian[n] = False
-        self._graph.add_node(key)
-        for position in range(n):
-            self._orient(self._messages[position].key, key, float(row[position]))
         self._messages.append(message)
         self._index[key] = n
+        self._positions_by_client.setdefault(message.client_id, []).append(n)
         self.stats.rows_appended += 1
 
     def _compute_row(
@@ -400,29 +598,41 @@ class IncrementalPrecedenceEngine:
                 variance_j,
             )
             self.stats.vectorized_evaluations += int(gauss.sum())
-        if not gauss.all():
-            for position in np.flatnonzero(~gauss):
-                row[position] = self._model.preceding_probability(
-                    self._messages[position], message
+        if gauss.all():
+            return row
+        client_j = message.client_id
+        timestamp_j = message.timestamp
+        interpolated = False
+        for client_i, positions in self._positions_by_client.items():
+            if params is not None and self._params_for(client_i) is not None:
+                continue  # covered by the closed-form block above
+            table = (
+                self._tables.table(client_i, client_j)
+                if self._pair_tables_enabled
+                else None
+            )
+            if table is not None:
+                pos = np.asarray(positions, dtype=np.intp)
+                # raw interpolation per pair group; the scalar path's clip is
+                # applied once over the whole row below (bit-equal: clipping
+                # is idempotent and a no-op on the closed-form entries)
+                row[pos] = _compiled_interp(
+                    timestamp_j - self._timestamps[pos], table[0], table[1], 0.0, 1.0
                 )
-                self.stats.scalar_evaluations += 1
+                interpolated = True
+                self.stats.table_evaluations += pos.size
+            else:
+                for position in positions:
+                    row[position] = self._model.preceding_probability(
+                        self._messages[position], message
+                    )
+                    self.stats.scalar_evaluations += 1
+        if interpolated:
+            np.clip(row, 0.0, 1.0, out=row)
         return row
 
-    def _orient(self, key_i: MessageKey, key_j: MessageKey, forward: float) -> None:
-        """Keep one direction per pair, exactly like ``TournamentGraph.from_relation``."""
-        backward = 1.0 - forward
-        if abs(forward - 0.5) <= self._tie_epsilon:
-            source, target, weight = (
-                (key_i, key_j, forward) if key_i <= key_j else (key_j, key_i, backward)
-            )
-        elif forward > backward:
-            source, target, weight = key_i, key_j, forward
-        else:
-            source, target, weight = key_j, key_i, backward
-        self._graph.add_edge(source, target, probability=float(weight))
-
     def remove_messages(self, keys: Set[MessageKey]) -> None:
-        """Drop emitted messages: compact the matrix, prune graph nodes."""
+        """Drop emitted messages: compact the matrix and direction state."""
         drop = {key for key in keys if key in self._index}
         if not drop:
             return
@@ -436,29 +646,42 @@ class IncrementalPrecedenceEngine:
         if m:
             keep = np.asarray(keep_positions, dtype=int)
             self._matrix[:m, :m] = self._matrix[np.ix_(keep, keep)]
+            self._direction[:m, :m] = self._direction[np.ix_(keep, keep)]
+            self._scores[:m] = self._direction[:m, :m].sum(axis=1)
             for name in ("_timestamps", "_means", "_variances", "_gaussian"):
                 array = getattr(self, name)
                 array[:m] = array[:n][keep]
         self._messages = [self._messages[position] for position in keep_positions]
         self._index = {message.key: position for position, message in enumerate(self._messages)}
-        self._graph.remove_nodes_from(drop)
+        self._positions_by_client = {}
+        for position, message in enumerate(self._messages):
+            self._positions_by_client.setdefault(message.client_id, []).append(position)
         self.stats.rows_removed += len(drop)
 
     def invalidate_client(self, client_id: str) -> None:
-        """React to a (re)registered client distribution.
+        """React to a (re)registered client distribution (single client)."""
+        self.invalidate_clients([client_id])
 
-        Parameter and quantile caches for the client are dropped; when the
-        client has tracked messages the whole matrix/graph is rebuilt so its
-        pairs reflect the new distribution (the reference path recomputes
-        everything per arrival and picks the change up implicitly).
+    def invalidate_clients(self, client_ids: Iterable[str]) -> None:
+        """React to refreshed client distributions.
+
+        Parameter, pair-table and quantile caches for the clients are
+        dropped; when any of them has tracked messages, the matrix, direction
+        state and scores are rebuilt once so every affected pair reflects the
+        new distributions (the reference path recomputes everything per
+        arrival and picks the change up implicitly).
         """
-        self._client_params.pop(client_id, None)
-        self._quantiles = {
-            cache_key: value
-            for cache_key, value in self._quantiles.items()
-            if cache_key[0] != client_id
-        }
-        if any(message.client_id == client_id for message in self._messages):
+        affected = False
+        for client_id in set(client_ids):
+            self._client_params.pop(client_id, None)
+            self._tables.invalidate_client(client_id)
+            self._quantiles = {
+                cache_key: value
+                for cache_key, value in self._quantiles.items()
+                if cache_key[0] != client_id
+            }
+            affected = affected or bool(self._positions_by_client.get(client_id))
+        if affected:
             self._rebuild()
 
     def _rebuild(self) -> None:
@@ -466,7 +689,7 @@ class IncrementalPrecedenceEngine:
         messages = self._messages
         self._messages = []
         self._index = {}
-        self._graph = nx.DiGraph()
+        self._positions_by_client = {}
         for message in messages:
             self.add_message(message)
         self.stats.rebuilds += 1
@@ -486,30 +709,92 @@ class IncrementalPrecedenceEngine:
             self.stats.quantile_cache_hits += 1
         return message.timestamp - quantile
 
-    def _linear_order(self) -> List[MessageKey]:
-        """The tournament's linear order, matching the reference pipeline.
+    def _build_graph(self) -> nx.DiGraph:
+        """Materialise the kept-edge graph for cycle resolution.
+
+        Node and edge insertion follow the per-arrival order the previous
+        incrementally-maintained graph used (node ``j`` then pairs
+        ``(0, j) .. (j-1, j)``), which produces the same adjacency iteration
+        order as :meth:`TournamentGraph.from_relation` — cycle detection and
+        cycle-breaking therefore walk the graph exactly like the reference
+        rebuild.
+        """
+        graph = nx.DiGraph()
+        keys = [message.key for message in self._messages]
+        graph.add_nodes_from(keys)
+        n = self.size
+        direction = self._direction
+        matrix = self._matrix
+        for j in range(n):
+            key_j = keys[j]
+            for i in range(j):
+                if direction[i, j]:
+                    graph.add_edge(keys[i], key_j, probability=float(matrix[i, j]))
+                else:
+                    graph.add_edge(key_j, keys[i], probability=float(matrix[j, i]))
+        return graph
+
+    def _order_permutation(self) -> np.ndarray:
+        """Message positions in linear order, matching the reference pipeline.
 
         A tournament is transitive exactly when its out-degree (score)
         sequence is ``{0, .., n-1}``; in that case the unique topological
-        order is the score-descending order and no graph copy is needed.
-        Otherwise the graph is cyclic and the reference behaviour is
-        replicated verbatim on a throwaway copy: ``resolve_cycles`` (which
-        consumes the shared RNG identically) followed by the deterministic
-        lexicographical topological sort.
+        order is the score-descending order — an ``O(n)`` bucket placement
+        over the maintained score vector.  Otherwise the tournament is cyclic
+        and the reference behaviour is replicated verbatim on a materialised
+        graph: ``resolve_cycles`` (which consumes the shared RNG identically)
+        followed by the deterministic lexicographical topological sort.
         """
         n = self.size
-        out_degree = dict(self._graph.out_degree())
-        if sorted(out_degree.values()) == list(range(n)):
-            return sorted(self._graph.nodes, key=lambda node: (-out_degree[node], node))
-        working = self._graph.copy()
+        scores = self._scores[:n]
+        counts = np.bincount(scores, minlength=n)
+        if counts.size == n and bool((counts == 1).all()):
+            permutation = np.empty(n, dtype=np.intp)
+            permutation[n - 1 - scores] = np.arange(n, dtype=np.intp)
+            return permutation
+        working = self._build_graph()
         resolve_cycles(working, self._cycle_policy, rng=self._rng)
         self.stats.cycle_resolutions += 1
         resolved_degree = dict(working.out_degree())
-        return list(
-            nx.lexicographical_topological_sort(
-                working, key=lambda node: (-resolved_degree.get(node, 0), node)
-            )
+        order = nx.lexicographical_topological_sort(
+            working, key=lambda node: (-resolved_degree.get(node, 0), node)
         )
+        return np.asarray([self._index[key] for key in order], dtype=np.intp)
+
+    def first_tentative_group(self) -> Optional[List[TimestampedMessage]]:
+        """The first strict-rule batch (the emission candidate), or ``None``.
+
+        Equal to ``tentative_groups()[0]`` — same order, same boundary
+        minima, same threshold comparison — but computed by an ``O(k·n)``
+        prefix scan over the first ``k`` order positions instead of the full
+        ``O(n^2)`` permuted-matrix pass, since the emission check only ever
+        consumes the first batch.
+        """
+        n = self.size
+        if n == 0:
+            return None
+        self.stats.group_computations += 1
+        if n == 1:
+            return [self._messages[0]]
+        permutation = self._order_permutation()
+        matrix = self._matrix
+        threshold = self._threshold
+        boundary = n - 1
+        combined: Optional[np.ndarray] = None
+        for k in range(n - 1):
+            row = matrix[permutation[k], :n][permutation]
+            # suffix minima of row k: entry c is min_{b >= c} P[order_k, order_b]
+            row_suffix = np.minimum.accumulate(row[::-1])[::-1]
+            if combined is None:
+                combined = row_suffix
+            else:
+                np.minimum(combined, row_suffix, out=combined)
+            # combined[k+1] = min_{a <= k < b} P[order_a, order_b]: the exact
+            # strict boundary strength the full pass computes at position k
+            if combined[k + 1] > threshold:
+                boundary = k
+                break
+        return [self._messages[position] for position in permutation[: boundary + 1]]
 
     def tentative_groups(self) -> List[List[TimestampedMessage]]:
         """Strict-rule batching of the tracked set (online tentative groups)."""
@@ -519,9 +804,8 @@ class IncrementalPrecedenceEngine:
         self.stats.group_computations += 1
         if n == 1:
             return [[self._messages[0]]]
-        order = self._linear_order()
-        permutation = np.asarray([self._index[key] for key in order], dtype=int)
-        permuted = self._matrix[np.ix_(permutation, permutation)]
+        permutation = self._order_permutation()
+        permuted = self._matrix[:n, :n][np.ix_(permutation, permutation)]
         strengths = strict_boundary_strengths_matrix(permuted)
         groups: List[List[TimestampedMessage]] = [[self._messages[permutation[0]]]]
         for boundary, position in enumerate(permutation[1:]):

@@ -83,6 +83,7 @@ class OnlineTommySequencer(Entity):
         known_clients: Optional[Sequence[str]] = None,
         name: str = "tommy-online",
         use_engine: bool = True,
+        engine_pair_tables: bool = True,
     ) -> None:
         super().__init__(loop, name)
         self._config = config if config is not None else TommyConfig()
@@ -100,6 +101,7 @@ class OnlineTommySequencer(Entity):
                 tie_epsilon=self._config.tie_epsilon,
                 cycle_policy=self._config.cycle_policy,
                 rng=self._rng,
+                pair_tables=engine_pair_tables,
             )
             if use_engine
             else None
@@ -113,6 +115,7 @@ class OnlineTommySequencer(Entity):
         self._check_event: Optional[Event] = None
         self._extension_count = 0
         self._forced_emissions = 0
+        self._distribution_refreshes = 0
 
     # ------------------------------------------------------------- properties
     @property
@@ -154,12 +157,58 @@ class OnlineTommySequencer(Entity):
         """Batches emitted by the ``max_batch_age`` liveness guard."""
         return self._forced_emissions
 
+    @property
+    def distribution_refreshes(self) -> int:
+        """How many live distribution updates the sequencer has absorbed."""
+        return self._distribution_refreshes
+
     def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
         """Register a (new) client's clock-error distribution."""
         self._model.register_client(client_id, distribution)
         if self._engine is not None:
             self._engine.invalidate_client(client_id)
         self._known_clients.add(client_id)
+
+    def update_client_distribution(
+        self, client_id: str, distribution: OffsetDistribution
+    ) -> None:
+        """Refresh a *known* client's distribution while the sequencer runs.
+
+        This is the adaptive-registration entry point of the learned pipeline
+        (paper §3.3/§5): a client re-estimates its offset distribution from
+        sync probes and ships the new estimate mid-stream.  The engine drops
+        the client's cached Gaussian parameters, pair-CDF tables and
+        safe-emission quantiles, and rebuilds any live matrix rows involving
+        the client, so the very next tentative batching reflects the update —
+        exactly like the reference path, which recomputes per arrival.
+        """
+        self.update_client_distributions({client_id: distribution})
+
+    def update_client_distributions(
+        self, distributions: Dict[str, OffsetDistribution]
+    ) -> None:
+        """Batch variant of :meth:`update_client_distribution`.
+
+        All model registrations happen first and the engine invalidates (and
+        rebuilds) once, so refreshing many clients costs one rebuild instead
+        of one per client.
+        """
+        unknown = [client_id for client_id in distributions if not self._model.has_client(client_id)]
+        if unknown:
+            raise KeyError(
+                f"clients {unknown!r} are not registered; use register_client for new clients"
+            )
+        if not distributions:
+            return
+        for client_id, distribution in distributions.items():
+            self._model.register_client(client_id, distribution)
+        if self._engine is not None:
+            self._engine.invalidate_clients(distributions)
+        self._distribution_refreshes += len(distributions)
+        # the refreshed distributions can change safe-emission times and
+        # tentative batching of the pending set, so re-run the emission check
+        if self._pending:
+            self._schedule_check()
 
     # ---------------------------------------------------------------- intake
     def receive(self, item: Union[TimestampedMessage, Heartbeat], arrival_time: Optional[float] = None) -> None:
@@ -203,6 +252,20 @@ class OnlineTommySequencer(Entity):
         if self._engine is not None:
             return self._engine.tentative_groups()
         return self._reference_tentative_groups()
+
+    def _first_tentative_group(self) -> Optional[List[TimestampedMessage]]:
+        """First tentative batch (the emission candidate), or ``None``.
+
+        Identical to ``_tentative_groups()[0]`` — the engine computes it with
+        a prefix scan instead of the full boundary pass, since the emission
+        check never consumes the later groups.
+        """
+        if not self._pending:
+            return None
+        if self._engine is not None:
+            return self._engine.first_tentative_group()
+        groups = self._reference_tentative_groups()
+        return groups[0] if groups else None
 
     def _reference_tentative_groups(self) -> List[List[TimestampedMessage]]:
         """The original recompute-everything path (parity oracle for the engine)."""
@@ -265,10 +328,9 @@ class OnlineTommySequencer(Entity):
         emitted_any = True
         while emitted_any and self._pending:
             emitted_any = False
-            groups = self._tentative_groups()
-            if not groups:
+            candidate = self._first_tentative_group()
+            if not candidate:
                 return
-            candidate = groups[0]
             safe_time = self.safe_emission_time(candidate)
             max_age = self._config.max_batch_age
             # the guard must use the same float expression as the deadline it
@@ -363,6 +425,7 @@ class OnlineTommySequencer(Entity):
             "completeness_mode": self._config.completeness_mode,
             "extensions": self._extension_count,
             "forced_emissions": self._forced_emissions,
+            "distribution_refreshes": self._distribution_refreshes,
             "pending": len(self._pending),
         }
         if self._engine is not None:

@@ -72,6 +72,7 @@ class PrecedenceModel:
         self._points = int(convolution_points)
         self._distributions: Dict[str, OffsetDistribution] = {}
         self._pair_cache: Dict[Tuple[str, str], DifferenceDistribution] = {}
+        self._versions: Dict[str, int] = {}
         self._probability_evaluations = 0
 
     # --------------------------------------------------------------- clients
@@ -99,9 +100,19 @@ class PrecedenceModel:
         if not client_id:
             raise ValueError("client_id must be non-empty")
         self._distributions[client_id] = distribution
+        self._versions[client_id] = self._versions.get(client_id, 0) + 1
         self._pair_cache = {
             pair: diff for pair, diff in self._pair_cache.items() if client_id not in pair
         }
+
+    def client_version(self, client_id: str) -> int:
+        """Monotone registration counter for ``client_id`` (0 if unknown).
+
+        Bumped on every (re)registration; derived caches (the engine's
+        pair-CDF tables) compare versions to detect distribution refreshes
+        that happened through *any* registration path.
+        """
+        return self._versions.get(client_id, 0)
 
     def has_client(self, client_id: str) -> bool:
         """True when a distribution is registered for ``client_id``."""
@@ -125,6 +136,26 @@ class PrecedenceModel:
                 dist_i, dist_j, method=self._method, num_points=self._points
             )
         return self._pair_cache[key]
+
+    def pair_cdf_table(self, client_i: str, client_j: str) -> Optional[Tuple]:
+        """``(grid, cdf)`` arrays of the pair's difference CDF, when tabulated.
+
+        This is the handle the vectorized precedence engine uses: evaluating
+        ``np.interp`` against these exact arrays reproduces the scalar
+        :meth:`preceding_probability` bit-for-bit for grid-backed pairs.
+        Closed-form (Gaussian/Gaussian under ``auto``/``gaussian``) pairs
+        return ``None`` — they are served by the closed-form kernel.
+        """
+        dist_i = self.distribution_for(client_i)
+        dist_j = self.distribution_for(client_j)
+        use_closed_form = (
+            self._method in {"auto", "gaussian"}
+            and isinstance(dist_i, GaussianDistribution)
+            and isinstance(dist_j, GaussianDistribution)
+        )
+        if use_closed_form:
+            return None
+        return self.pair_difference(client_i, client_j).cdf_table()
 
     def preceding_probability(self, message_i: TimestampedMessage, message_j: TimestampedMessage) -> float:
         """``P(message_i generated before message_j)`` from timestamps alone."""

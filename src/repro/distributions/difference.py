@@ -82,6 +82,17 @@ class DifferenceDistribution:
         """
         return self.cdf(timestamp_j - timestamp_i)
 
+    def cdf_table(self) -> Optional[tuple]:
+        """``(grid, cdf)`` arrays when the density is tabulated, else ``None``.
+
+        Only grid-backed (:class:`EmpiricalDistribution`) differences expose a
+        table; closed-form (Gaussian) differences return ``None`` — those
+        pairs are served by the Gaussian closed-form kernel instead.
+        """
+        if isinstance(self._distribution, EmpiricalDistribution):
+            return self._distribution.cdf_table()
+        return None
+
     def quantile(self, q: float) -> float:
         """Inverse CDF of ``delta``."""
         return self._distribution.quantile(q)

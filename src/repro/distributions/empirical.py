@@ -122,10 +122,35 @@ class EmpiricalDistribution(SampledDistribution):
         x = np.asarray(x, dtype=float)
         return np.interp(x, self._x, self._cdf, left=0.0, right=1.0)
 
+    def cdf_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The tabulated ``(grid, cdf)`` arrays backing :meth:`cdf`.
+
+        Returns *views* (no copies) so vectorized consumers (the precedence
+        engine's pair-table kernel) can evaluate ``np.interp`` against the
+        exact arrays the scalar path uses; callers must not mutate them.
+        """
+        return self._x, self._cdf
+
     def quantile(self, q: float) -> float:
         if not 0.0 <= q <= 1.0:
             raise DistributionError(f"quantile level must be in [0, 1], got {q!r}")
-        return float(np.interp(q, self._cdf, self._x))
+        # Generalised inverse F^{-1}(q) = inf{x : F(x) >= q}.  ``np.interp``
+        # over (cdf, x) is wrong on flat CDF segments (zero-density gaps make
+        # the duplicated cdf ordinates pick an arbitrary grid point); resolve
+        # the segment explicitly instead.
+        cdf = self._cdf
+        x = self._x
+        index = int(np.searchsorted(cdf, q, side="left"))
+        if index <= 0:
+            return float(x[0])
+        if index >= cdf.size:
+            return float(x[-1])
+        if cdf[index] == q:
+            # exact hit: the leftmost grid point reaching mass q
+            return float(x[index])
+        lower, upper = cdf[index - 1], cdf[index]
+        slope = (x[index] - x[index - 1]) / (upper - lower)
+        return float(x[index - 1] + slope * (q - lower))
 
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
         if self._samples is not None and self._samples.size >= 8:
@@ -135,4 +160,14 @@ class EmpiricalDistribution(SampledDistribution):
         return np.interp(qs, self._cdf, self._x)
 
     def support(self, coverage: float = 1.0 - 1e-9) -> Tuple[float, float]:
-        return (float(self._x[0]), float(self._x[-1]))
+        """Central interval containing ``coverage`` of the probability mass.
+
+        Earlier revisions ignored ``coverage`` and returned the raw grid
+        bounds, so zero-density histogram padding inflated every downstream
+        convolution grid.  The interval is now read off the CDF:
+        ``[Q((1-coverage)/2), Q(1-(1-coverage)/2)]``.
+        """
+        if coverage <= 0.0 or coverage > 1.0:
+            raise DistributionError(f"coverage must be in (0, 1], got {coverage!r}")
+        tail = 0.5 * (1.0 - coverage)
+        return (self.quantile(tail), self.quantile(1.0 - tail))

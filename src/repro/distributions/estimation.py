@@ -127,13 +127,24 @@ def estimate_empirical(samples: np.ndarray, bins: int = 64, kde: bool = False) -
 
 
 def fit_best_distribution(samples: np.ndarray, candidates: Optional[Dict[str, bool]] = None) -> DistributionEstimate:
-    """Fit several parametric families and return the lowest-AIC estimate.
+    """Fit several families and return the lowest-AIC estimate.
 
     ``candidates`` maps family name to a boolean enabling that family; by
     default Gaussian, Laplace, uniform and shifted log-normal are tried.
+    Pass ``{"empirical": True}`` to also consider the non-parametric
+    histogram — with its bin-count complexity penalty it only wins when no
+    parametric family explains the samples (e.g. genuinely multi-modal
+    probe offsets), which is exactly when the learned pipeline should ship
+    an empirical estimate.
     """
     samples = _require_samples(samples, 4)
-    enabled = {"gaussian": True, "laplace": True, "uniform": True, "shifted-lognormal": True}
+    enabled = {
+        "gaussian": True,
+        "laplace": True,
+        "uniform": True,
+        "shifted-lognormal": True,
+        "empirical": False,
+    }
     if candidates:
         enabled.update(candidates)
 
@@ -142,6 +153,7 @@ def fit_best_distribution(samples: np.ndarray, candidates: Optional[Dict[str, bo
         "laplace": estimate_laplace,
         "uniform": estimate_uniform,
         "shifted-lognormal": estimate_lognormal,
+        "empirical": estimate_empirical,
     }
     estimates = []
     for family, estimator in estimators.items():

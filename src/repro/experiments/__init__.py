@@ -31,6 +31,7 @@ from repro.experiments.cluster_sweep import (
     run_cluster_scenario,
     run_cluster_sweep,
 )
+from repro.experiments.learned_sweep import run_learned_sweep
 from repro.experiments.reporting import format_table, rows_to_csv
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "run_psafe_sweep",
     "run_distribution_ablation",
     "run_learning_ablation",
+    "run_learned_sweep",
     "run_scaling_sweep",
     "run_baseline_comparison",
     "format_table",

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
+import numpy as np
+
 from repro.network.message import TimestampedMessage
 from repro.sequencers.base import SequencingResult
 
@@ -55,6 +57,41 @@ class RankAgreementBreakdown:
         return (self.correct_pairs + self.incorrect_pairs) / self.total_pairs
 
 
+def _count_inversions(values: np.ndarray) -> int:
+    """Number of index pairs ``i < j`` with ``values[i] > values[j]``.
+
+    Bottom-up merge counting: adjacent sorted runs are combined level by
+    level; at each combine, the cross-run inversions are one vectorized
+    ``searchsorted`` (for each right element, how many left elements strictly
+    exceed it).  ``O(n log^2 n)`` with numpy doing all per-element work — the
+    per-pair Python loop this replaces was the ``O(n^2)`` hot spot of every
+    evaluation at paper scale (500 clients = ~125k pairs per score).
+    """
+    values = np.asarray(values)
+    n = values.size
+    inversions = 0
+    width = 1
+    runs = values.copy()
+    while width < n:
+        for start in range(0, n - width, 2 * width):
+            middle = start + width
+            stop = min(middle + width, n)
+            left = runs[start:middle]
+            right = runs[middle:stop]
+            # per right element: left elements > it = len(left) - #(<= it)
+            positions = np.searchsorted(left, right, side="right")
+            inversions += int(left.size * right.size - positions.sum())
+            runs[start:stop] = np.sort(runs[start:stop], kind="stable")
+        width *= 2
+    return inversions
+
+
+def _tied_pair_count(values: np.ndarray) -> int:
+    """Number of unordered pairs with equal values."""
+    _, counts = np.unique(values, return_counts=True)
+    return int((counts * (counts - 1) // 2).sum())
+
+
 def rank_agreement_score(
     result: SequencingResult,
     messages: Sequence[TimestampedMessage],
@@ -64,30 +101,45 @@ def rank_agreement_score(
     Every message must carry a ``true_time`` and must appear in the result.
     Pairs whose ground-truth times are exactly equal are skipped (the paper
     assumes no two events occur at the same instant).
+
+    The pair classification is computed by inversion counting rather than a
+    per-pair loop: with messages sorted by ``(true_time, rank)``, every
+    strict rank inversion is exactly one incorrectly ordered comparable
+    pair; indifferent pairs are the rank ties minus the ties that are also
+    ground-truth ties; the correct pairs are the comparable remainder.
     """
     ranks = result.rank_of()
-    ordered: list[Tuple[float, int]] = []
-    for message in messages:
+    n = len(messages)
+    true_times = np.empty(n, dtype=float)
+    rank_values = np.empty(n, dtype=np.int64)
+    for position, message in enumerate(messages):
         if message.true_time is None:
             raise ValueError(f"message {message.key!r} has no ground-truth time")
         if message.key not in ranks:
             raise ValueError(f"message {message.key!r} is missing from the sequencing result")
-        ordered.append((message.true_time, ranks[message.key]))
+        true_times[position] = message.true_time
+        rank_values[position] = ranks[message.key]
 
-    correct = incorrect = indifferent = 0
-    n = len(ordered)
-    for i in range(n):
-        true_i, rank_i = ordered[i]
-        for j in range(i + 1, n):
-            true_j, rank_j = ordered[j]
-            if true_i == true_j:
-                continue
-            if rank_i == rank_j:
-                indifferent += 1
-            elif (true_i < true_j) == (rank_i < rank_j):
-                correct += 1
-            else:
-                incorrect += 1
+    if n < 2:
+        return RankAgreementBreakdown(correct_pairs=0, incorrect_pairs=0, indifferent_pairs=0)
+
+    # sort by true time, ties by rank ascending: within a ground-truth tie
+    # the rank sequence is then non-decreasing and contributes no inversions
+    order = np.lexsort((rank_values, true_times))
+    sorted_ranks = rank_values[order]
+
+    total_pairs = n * (n - 1) // 2
+    equal_true = _tied_pair_count(true_times)
+    comparable = total_pairs - equal_true
+
+    # rank ties among comparable pairs are the indifferent ones
+    both_tied = _tied_pair_count(
+        np.rec.fromarrays((true_times, rank_values), names=("true", "rank"))
+    )
+    indifferent = _tied_pair_count(rank_values) - both_tied
+
+    incorrect = _count_inversions(sorted_ranks)
+    correct = comparable - indifferent - incorrect
     return RankAgreementBreakdown(
         correct_pairs=correct, incorrect_pairs=incorrect, indifferent_pairs=indifferent
     )

@@ -10,6 +10,7 @@ of probe-derived offsets into a :class:`~repro.distributions.estimation.Distribu
 from repro.sync.probe import ProbeExchange, SyncProbe
 from repro.sync.estimator import OffsetEstimator, offset_from_probe
 from repro.sync.learner import OffsetDistributionLearner
+from repro.sync.refresh import DistributionRefreshLoop, RefreshStats
 from repro.sync.protocol import SyncProtocol, SyncSession
 from repro.sync.drift import (
     AdaptiveOffsetLearner,
@@ -25,6 +26,8 @@ __all__ = [
     "OffsetEstimator",
     "offset_from_probe",
     "OffsetDistributionLearner",
+    "DistributionRefreshLoop",
+    "RefreshStats",
     "SyncProtocol",
     "SyncSession",
     "DriftTracker",

@@ -32,14 +32,24 @@ class OffsetEstimator:
         """Fraction of lowest-RTT probes retained."""
         return self._best_fraction
 
-    def offsets(self, probes: Sequence[SyncProbe]) -> np.ndarray:
-        """Offset observations (theta estimates) from ``probes``."""
+    def retained(self, probes: Sequence[SyncProbe]) -> List[SyncProbe]:
+        """The subset of ``probes`` the RTT filter keeps (lowest round trips).
+
+        The filter is only meaningful across a *window* of probes: applied to
+        a single probe it always keeps it, so callers accumulating probes one
+        at a time must filter the window, not each arrival.
+        """
         probes = list(probes)
+        if not probes or self._best_fraction >= 1.0:
+            return probes
+        keep = max(1, int(round(len(probes) * self._best_fraction)))
+        return sorted(probes, key=lambda probe: probe.round_trip_delay)[:keep]
+
+    def offsets(self, probes: Sequence[SyncProbe]) -> np.ndarray:
+        """Offset observations (theta estimates) from the retained ``probes``."""
+        probes = self.retained(probes)
         if not probes:
             return np.empty(0)
-        if self._best_fraction < 1.0:
-            keep = max(1, int(round(len(probes) * self._best_fraction)))
-            probes = sorted(probes, key=lambda probe: probe.round_trip_delay)[:keep]
         return np.asarray([offset_from_probe(probe) for probe in probes], dtype=float)
 
     def estimate_offset(self, probes: Sequence[SyncProbe]) -> float:

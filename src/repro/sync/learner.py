@@ -51,7 +51,8 @@ class OffsetDistributionLearner:
         self._window = int(window)
         self._method = method
         self._estimator = estimator if estimator is not None else OffsetEstimator()
-        self._offsets: Deque[float] = deque(maxlen=self._window)
+        self._probes: Deque[SyncProbe] = deque(maxlen=self._window)
+        self._raw_offsets: Deque[float] = deque(maxlen=self._window)
         self._probe_count = 0
 
     @property
@@ -61,8 +62,12 @@ class OffsetDistributionLearner:
 
     @property
     def observation_count(self) -> int:
-        """Number of offset observations currently in the window."""
-        return len(self._offsets)
+        """Number of offset observations the estimate would currently use.
+
+        Probe-derived observations are counted *after* the estimator's RTT
+        filter, so a ``best_fraction`` below 1 reduces the count.
+        """
+        return int(self.offsets().size)
 
     @property
     def probe_count(self) -> int:
@@ -75,24 +80,40 @@ class OffsetDistributionLearner:
         return self._method
 
     def observe_probe(self, probe: SyncProbe) -> None:
-        """Add one probe's offset observation to the window."""
+        """Add one probe to the observation window.
+
+        The estimator's RTT filter (``best_fraction``) is applied across the
+        whole retained probe window at read time.  An earlier revision
+        filtered each probe in isolation (``offsets([probe])``) — which
+        always keeps the single probe and therefore silently disabled
+        low-RTT filtering altogether.
+        """
         self._probe_count += 1
-        offsets = self._estimator.offsets([probe])
-        if offsets.size:
-            self._offsets.append(float(offsets[0]))
+        self._probes.append(probe)
 
     def observe_offset(self, offset: float) -> None:
-        """Add a raw offset observation directly (e.g. from another protocol)."""
+        """Add a raw offset observation directly (e.g. from another protocol).
+
+        Raw offsets bypass the probe RTT filter (there is no round-trip delay
+        to filter on) and occupy their own ``window``-bounded deque.
+        """
         self._probe_count += 1
-        self._offsets.append(float(offset))
+        self._raw_offsets.append(float(offset))
 
     def offsets(self) -> np.ndarray:
-        """The current window of offset observations."""
-        return np.asarray(self._offsets, dtype=float)
+        """The current window of offset observations (RTT-filtered probes first)."""
+        parts = []
+        if self._probes:
+            parts.append(self._estimator.offsets(list(self._probes)))
+        if self._raw_offsets:
+            parts.append(np.asarray(self._raw_offsets, dtype=float))
+        if not parts:
+            return np.empty(0)
+        return np.concatenate(parts)
 
     def can_estimate(self, minimum: int = 8) -> bool:
-        """True once at least ``minimum`` observations are available."""
-        return len(self._offsets) >= minimum
+        """True once at least ``minimum`` (retained) observations are available."""
+        return self.observation_count >= minimum
 
     def estimate(self) -> DistributionEstimate:
         """Produce a distribution estimate from the current window."""

@@ -1,0 +1,171 @@
+"""Probe-driven live refresh of client offset distributions (paper §3.3, §5).
+
+The paper's learned pipeline is a loop: clients exchange sync probes, a
+:class:`~repro.sync.learner.OffsetDistributionLearner` turns the probe window
+into a distribution estimate, and the estimate is shipped to the running
+sequencer, which re-prices every pending precedence involving that client.
+:class:`DistributionRefreshLoop` packages that loop for any *target* exposing
+``update_client_distribution(client_id, distribution)`` — a single
+:class:`~repro.core.online.OnlineTommySequencer` or a whole
+:class:`~repro.cluster.sharded.ShardedSequencer`.
+
+Every ``refresh_every`` probes per client (once ``min_observations`` retained
+observations exist) the loop re-estimates and pushes the refreshed
+distribution; :meth:`DistributionRefreshLoop.refresh_all` forces a sweep,
+e.g. at a synchronization epoch boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.distributions.estimation import DistributionEstimate
+from repro.sync.estimator import OffsetEstimator
+from repro.sync.learner import OffsetDistributionLearner
+from repro.sync.probe import SyncProbe
+
+
+@dataclass
+class RefreshStats:
+    """Counters describing one refresh loop's activity."""
+
+    probes_observed: int = 0
+    refreshes: int = 0
+    skipped: int = 0
+    unknown_clients: int = 0
+    per_client_refreshes: Dict[str, int] = field(default_factory=dict)
+    last_family: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat view for result metadata and experiment rows."""
+        return {
+            "probes_observed": self.probes_observed,
+            "refreshes": self.refreshes,
+            "skipped": self.skipped,
+            "unknown_clients": self.unknown_clients,
+            "clients_refreshed": len(self.per_client_refreshes),
+        }
+
+
+class DistributionRefreshLoop:
+    """Feeds sync-probe streams through per-client learners into a sequencer.
+
+    Parameters
+    ----------
+    target:
+        Object exposing ``update_client_distribution(client_id, distribution)``.
+    method:
+        Learner estimation method (``"empirical"`` by default — the engine's
+        pair-table kernel serves those estimates vectorized; ``"gaussian"``
+        and ``"auto"`` also work).
+    window:
+        Per-client probe window retained by each learner.
+    refresh_every:
+        Push a refreshed estimate after this many new probes per client.
+    min_observations:
+        Minimum retained (RTT-filtered) observations before estimating.
+    estimator:
+        Optional shared probe filter, e.g.
+        ``OffsetEstimator(best_fraction=0.5)`` to discard high-RTT probes.
+    """
+
+    def __init__(
+        self,
+        target,
+        method: str = "empirical",
+        window: int = 256,
+        refresh_every: int = 32,
+        min_observations: int = 8,
+        estimator: Optional[OffsetEstimator] = None,
+    ) -> None:
+        if refresh_every < 1:
+            raise ValueError(f"refresh_every must be at least 1, got {refresh_every!r}")
+        if min_observations < 2:
+            raise ValueError(f"min_observations must be at least 2, got {min_observations!r}")
+        if not hasattr(target, "update_client_distribution"):
+            raise TypeError(
+                f"target {type(target).__name__} does not expose update_client_distribution"
+            )
+        self._target = target
+        self._method = method
+        self._window = int(window)
+        self._refresh_every = int(refresh_every)
+        self._min_observations = int(min_observations)
+        self._estimator = estimator
+        self._learners: Dict[str, OffsetDistributionLearner] = {}
+        self._since_refresh: Dict[str, int] = {}
+        self.stats = RefreshStats()
+
+    # ------------------------------------------------------------- properties
+    @property
+    def target(self):
+        """The sequencer (or cluster) receiving refreshed distributions."""
+        return self._target
+
+    @property
+    def client_ids(self):
+        """Clients with at least one observed probe."""
+        return tuple(sorted(self._learners))
+
+    def learner_for(self, client_id: str) -> OffsetDistributionLearner:
+        """The (lazily created) learner accumulating ``client_id``'s probes."""
+        learner = self._learners.get(client_id)
+        if learner is None:
+            learner = OffsetDistributionLearner(
+                window=self._window, method=self._method, estimator=self._estimator
+            )
+            self._learners[client_id] = learner
+            self._since_refresh[client_id] = 0
+        return learner
+
+    # ----------------------------------------------------------------- intake
+    def observe_probe(self, probe: SyncProbe) -> Optional[DistributionEstimate]:
+        """Account one probe; refresh the client when its budget is due.
+
+        Returns the pushed estimate when a refresh happened, else ``None``.
+        """
+        learner = self.learner_for(probe.client_id)
+        learner.observe_probe(probe)
+        self.stats.probes_observed += 1
+        self._since_refresh[probe.client_id] += 1
+        if self._since_refresh[probe.client_id] >= self._refresh_every:
+            return self.refresh_client(probe.client_id)
+        return None
+
+    def refresh_client(self, client_id: str) -> Optional[DistributionEstimate]:
+        """Re-estimate ``client_id`` now and push the estimate to the target.
+
+        Returns ``None`` (and counts a skip) when the learner does not yet
+        hold ``min_observations`` retained observations.
+        """
+        learner = self.learner_for(client_id)
+        self._since_refresh[client_id] = 0
+        if not learner.can_estimate(self._min_observations):
+            self.stats.skipped += 1
+            return None
+        estimate = learner.estimate()
+        try:
+            self._target.update_client_distribution(client_id, estimate.distribution)
+        except KeyError:
+            # probes can precede the client's registration at the sequencer
+            # (sync traffic starts before application traffic); keep learning
+            # and retry at the next refresh budget rather than aborting the
+            # run from inside an event-loop callback
+            self.stats.unknown_clients += 1
+            return None
+        self.stats.refreshes += 1
+        self.stats.per_client_refreshes[client_id] = (
+            self.stats.per_client_refreshes.get(client_id, 0) + 1
+        )
+        self.stats.last_family[client_id] = estimate.family
+        return estimate
+
+    def refresh_all(self) -> Dict[str, DistributionEstimate]:
+        """Force a refresh sweep over every client with observed probes."""
+        pushed: Dict[str, DistributionEstimate] = {}
+        for client_id in sorted(self._learners):
+            estimate = self.refresh_client(client_id)
+            if estimate is not None:
+                pushed[client_id] = estimate
+        return pushed

@@ -28,6 +28,11 @@ from repro.workloads.cluster import (
     cluster_region_profiles,
     region_affine_policy,
 )
+from repro.workloads.learned import (
+    LearnedWorkload,
+    build_learned_workload,
+    synthesize_probe,
+)
 
 __all__ = [
     "ArrivalProcess",
@@ -45,4 +50,7 @@ __all__ = [
     "build_cluster_scenario",
     "cluster_region_profiles",
     "region_affine_policy",
+    "LearnedWorkload",
+    "build_learned_workload",
+    "synthesize_probe",
 ]

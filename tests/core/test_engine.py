@@ -306,7 +306,11 @@ def test_build_relation_matches_from_model_bitwise():
             if key_a != key_b:
                 assert fast.probability(key_a, key_b) == slow.probability(key_a, key_b)
     assert stats.vectorized_evaluations > 0
-    assert stats.scalar_evaluations > 0  # the mixture client's pairs
+    # the mixture client's pairs ride the vectorized difference-CDF tables
+    # now — the scalar fallback is gone from the relation build
+    assert stats.table_evaluations > 0
+    assert stats.scalar_evaluations == 0
+    assert stats.pair_tables_built > 0
 
 
 def test_cross_probability_matrix_matches_scalar_model():

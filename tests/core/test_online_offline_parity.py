@@ -14,19 +14,29 @@ import pytest
 from repro.core.config import TommyConfig
 from repro.core.online import OnlineTommySequencer
 from repro.core.sequencer import TommySequencer
+from repro.distributions.empirical import EmpiricalDistribution
 from repro.distributions.parametric import GaussianDistribution
 from repro.network.message import Heartbeat, TimestampedMessage
 from repro.simulation.event_loop import EventLoop
 
 
-def build_workload(seed, num_clients=8, num_messages=60):
+def build_workload(seed, num_clients=8, num_messages=60, empirical=False):
     rng = np.random.default_rng(seed)
-    distributions = {
-        f"c{i}": GaussianDistribution(
-            float(rng.normal(0.0, 0.02)), float(rng.uniform(0.005, 0.4))
-        )
-        for i in range(num_clients)
-    }
+    if empirical:
+        distributions = {
+            f"c{i}": EmpiricalDistribution.from_samples(
+                rng.normal(float(rng.normal(0.0, 0.02)), float(rng.uniform(0.02, 0.4)), 250),
+                bins=64,
+            )
+            for i in range(num_clients)
+        }
+    else:
+        distributions = {
+            f"c{i}": GaussianDistribution(
+                float(rng.normal(0.0, 0.02)), float(rng.uniform(0.005, 0.4))
+            )
+            for i in range(num_clients)
+        }
     messages = []
     t = 0.0
     for k in range(num_messages):
@@ -100,4 +110,60 @@ def test_drained_online_order_equals_offline_order(seed, completeness_mode):
         key for batch in offline_strict_batches(distributions, messages, config) for key in batch
     ]
     assert sorted(online_order) == sorted(m.key for m in messages)  # nothing lost
+    assert online_order == offline_order
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_flush_with_empirical_clients_equals_offline_strict_batches(seed):
+    """The empirical pair-table fast path drains to the offline answer too."""
+    distributions, messages = build_workload(seed, empirical=True, num_messages=40)
+    config = TommyConfig(
+        p_safe=0.99, completeness_mode="none", seed=5, convolution_points=512
+    )
+    loop = EventLoop()
+    online = OnlineTommySequencer(loop, distributions, config)
+    for message in messages:
+        online.receive(message, arrival_time=0.0)
+    online.flush()
+    online_batches = [
+        tuple(m.key for m in emitted.batch.messages) for emitted in online.emitted_batches
+    ]
+    assert online_batches == offline_strict_batches(distributions, messages, config)
+    assert online.engine_stats().table_evaluations > 0
+    assert online.engine_stats().scalar_evaluations == 0
+
+
+@pytest.mark.parametrize("completeness_mode", ["none", "heartbeat"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_drained_online_order_with_empirical_clients(seed, completeness_mode):
+    distributions, messages = build_workload(seed, empirical=True, num_messages=40)
+    config = TommyConfig(
+        p_safe=0.99,
+        completeness_mode=completeness_mode,
+        max_network_delay=0.5,
+        seed=5,
+        convolution_points=512,
+    )
+    loop = EventLoop()
+    online = OnlineTommySequencer(loop, distributions, config)
+    horizon = 0.0
+    for message in messages:
+        horizon = max(horizon, message.true_time)
+        loop.schedule_at(message.true_time, online.receive, message)
+    if completeness_mode == "heartbeat":
+        for client in distributions:
+            loop.schedule_at(
+                horizon + 1.0,
+                online.receive,
+                Heartbeat(client_id=client, timestamp=horizon + 100.0),
+            )
+    loop.run(until=horizon + 100.0)
+    online.flush()
+    online_order = [
+        m.key for emitted in online.emitted_batches for m in emitted.batch.messages
+    ]
+    offline_order = [
+        key for batch in offline_strict_batches(distributions, messages, config) for key in batch
+    ]
+    assert sorted(online_order) == sorted(m.key for m in messages)
     assert online_order == offline_order

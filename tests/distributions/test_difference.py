@@ -155,3 +155,41 @@ def test_theta_convention_tail_formula_is_not_the_preceding_probability(method):
     theta_reading = difference.tail_probability(t_i - t_j)
     assert correct == pytest.approx(ground_truth, abs=0.02)
     assert abs(theta_reading - ground_truth) > 0.1
+
+
+def test_table_interpolation_matches_scalar_cdf_bitwise():
+    """The engine's pair-table kernel interpolates the exact arrays
+    ``cdf_table`` exposes: element-wise bit-identical to the scalar
+    ``preceding_probability`` path (the fast path's parity contract)."""
+    import numpy as np
+
+    from repro.core.engine import _interp_table
+    from repro.distributions.difference import difference_distribution
+    from repro.distributions.empirical import EmpiricalDistribution
+    from repro.distributions.parametric import GaussianDistribution
+
+    rng = np.random.default_rng(4)
+    empirical = EmpiricalDistribution.from_samples(rng.normal(0.0, 0.5, 300), bins=64)
+    gaussian = GaussianDistribution(0.1, 0.3)
+    difference = difference_distribution(empirical, gaussian, method="fft", num_points=512)
+    timestamps_i = rng.normal(0.0, 2.0, 50)
+    timestamp_j = 0.25
+    batch = _interp_table(timestamp_j - timestamps_i, difference.cdf_table())
+    for value, timestamp_i in zip(batch, timestamps_i):
+        assert value == difference.preceding_probability(float(timestamp_i), timestamp_j)
+
+
+def test_cdf_table_exposed_only_for_grid_backed_differences():
+    import numpy as np
+
+    from repro.distributions.difference import difference_distribution
+    from repro.distributions.empirical import EmpiricalDistribution
+    from repro.distributions.parametric import GaussianDistribution
+
+    rng = np.random.default_rng(5)
+    empirical = EmpiricalDistribution.from_samples(rng.normal(0.0, 0.5, 300), bins=64)
+    gaussian = GaussianDistribution(0.0, 0.3)
+    grid_backed = difference_distribution(empirical, gaussian, method="fft", num_points=512)
+    assert grid_backed.cdf_table() is not None
+    closed_form = difference_distribution(gaussian, gaussian, method="auto")
+    assert closed_form.cdf_table() is None

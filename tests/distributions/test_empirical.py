@@ -87,3 +87,67 @@ def test_invalid_construction_rejected():
         EmpiricalDistribution(np.array([0.0, 1.0]), np.array([0.0, 0.0]))
     with pytest.raises(DistributionError):
         EmpiricalDistribution.from_samples(np.array([1.0]))
+
+
+def test_support_honors_coverage():
+    """Regression: ``support(coverage)`` used to ignore its argument and
+    return the raw grid bounds, padding included."""
+    xs = np.linspace(0.0, 1.0, 101)
+    empirical = EmpiricalDistribution.from_density(xs, np.ones_like(xs))
+    lo, hi = empirical.support(0.5)  # central half of a uniform on [0, 1]
+    assert lo == pytest.approx(0.25, abs=0.01)
+    assert hi == pytest.approx(0.75, abs=0.01)
+    full_lo, full_hi = empirical.support()
+    assert full_lo == pytest.approx(0.0, abs=1e-6)
+    assert full_hi == pytest.approx(1.0, abs=1e-6)
+
+
+def test_support_trims_zero_density_padding():
+    """Histogram padding bins carry no mass and must not inflate the support
+    (which feeds every convolution grid)."""
+    xs = np.linspace(-10.0, 10.0, 201)
+    density = np.where(np.abs(xs) <= 1.0, 1.0, 0.0)
+    empirical = EmpiricalDistribution.from_density(xs, density)
+    lo, hi = empirical.support()
+    assert lo >= -1.2
+    assert hi <= 1.2
+
+
+def test_quantile_on_flat_cdf_segment_returns_left_edge():
+    """Regression: a zero-density gap makes the CDF flat; ``np.interp`` over
+    the duplicated ordinates picked an arbitrary grid point.  The quantile
+    must be the generalised inverse (the left edge of the gap)."""
+    xs = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+    density = np.array([1.0, 1.0, 0.0, 0.0, 1.0, 1.0])
+    empirical = EmpiricalDistribution.from_density(xs, density)
+    gap_mass = float(empirical.cdf(np.asarray(2.0)))
+    # the CDF is flat on [2, 3]; exactly at the flat value the generalised
+    # inverse is the left edge of the gap, not an arbitrary point inside it
+    assert gap_mass == pytest.approx(0.5)
+    assert empirical.quantile(gap_mass) == pytest.approx(2.0, abs=1e-9)
+    # marginally above the flat value: interpolation resumes after the gap
+    assert empirical.quantile(gap_mass + 1e-6) > 3.0
+    # monotonicity across the gap region
+    qs = np.linspace(0.0, 1.0, 101)
+    values = [empirical.quantile(float(q)) for q in qs]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+def test_quantile_matches_interp_on_strictly_increasing_cdf(rng):
+    samples = rng.normal(0.0, 1.0, size=4000)
+    empirical = EmpiricalDistribution.from_samples(samples)
+    grid, cdf = empirical.cdf_table()
+    for q in (0.01, 0.25, 0.5, 0.9, 0.999):
+        assert empirical.quantile(q) == pytest.approx(
+            float(np.interp(q, cdf, grid)), rel=1e-9, abs=1e-12
+        )
+
+
+def test_cdf_table_backs_the_cdf():
+    xs = np.linspace(-1.0, 1.0, 51)
+    empirical = EmpiricalDistribution.from_density(xs, np.ones_like(xs))
+    grid, cdf = empirical.cdf_table()
+    probe = np.linspace(-1.5, 1.5, 40)
+    assert np.array_equal(
+        empirical.cdf(probe), np.interp(probe, grid, cdf, left=0.0, right=1.0)
+    )

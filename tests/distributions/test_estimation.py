@@ -89,3 +89,20 @@ def test_aic_penalises_worse_fits(rng):
     gaussian = estimate_gaussian(samples)
     best = fit_best_distribution(samples)
     assert best.aic <= gaussian.aic + 1e-9
+
+
+def test_fit_best_distribution_can_consider_empirical_candidate():
+    import numpy as np
+
+    from repro.distributions.estimation import fit_best_distribution
+
+    rng = np.random.default_rng(6)
+    # strongly trimodal offsets: no single parametric family fits well
+    samples = np.concatenate(
+        [rng.normal(-5.0, 0.05, 400), rng.normal(0.0, 0.05, 400), rng.normal(5.0, 0.05, 400)]
+    )
+    parametric = fit_best_distribution(samples)
+    assert parametric.family != "empirical"  # disabled by default
+    with_empirical = fit_best_distribution(samples, candidates={"empirical": True})
+    assert with_empirical.family == "empirical"
+    assert with_empirical.aic < parametric.aic

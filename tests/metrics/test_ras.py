@@ -88,3 +88,54 @@ def test_score_matches_paper_sum_semantics():
     assert breakdown.correct_pairs == 9
     assert breakdown.incorrect_pairs == 1
     assert breakdown.score == 8
+
+
+def _loop_reference(result, messages):
+    """The original O(n^2) per-pair classification (reference oracle)."""
+    ranks = result.rank_of()
+    ordered = [(message.true_time, ranks[message.key]) for message in messages]
+    correct = incorrect = indifferent = 0
+    n = len(ordered)
+    for i in range(n):
+        true_i, rank_i = ordered[i]
+        for j in range(i + 1, n):
+            true_j, rank_j = ordered[j]
+            if true_i == true_j:
+                continue
+            if rank_i == rank_j:
+                indifferent += 1
+            elif (true_i < true_j) == (rank_i < rank_j):
+                correct += 1
+            else:
+                incorrect += 1
+    return correct, incorrect, indifferent
+
+
+def test_inversion_counting_matches_pair_loop_on_randomized_results():
+    """Property test: the vectorized RAS equals the per-pair loop on random
+    batchings with duplicated true times and every batch-size mix."""
+    import numpy as np
+
+    rng = np.random.default_rng(42)
+    for trial in range(40):
+        n = int(rng.integers(2, 40))
+        # duplicated true times exercise the skipped-pair accounting
+        true_times = rng.integers(0, max(2, n // 2), size=n).astype(float)
+        messages = [
+            make_message(f"c{k}", float(k), true_time=float(true_times[k]))
+            for k in range(n)
+        ]
+        shuffled = list(messages)
+        rng.shuffle(shuffled)
+        groups = []
+        index = 0
+        while index < len(shuffled):
+            size = int(rng.integers(1, 4))
+            groups.append(shuffled[index : index + size])
+            index += size
+        result = result_from_groups(groups)
+        breakdown = rank_agreement_score(result, messages)
+        correct, incorrect, indifferent = _loop_reference(result, messages)
+        assert breakdown.correct_pairs == correct
+        assert breakdown.incorrect_pairs == incorrect
+        assert breakdown.indifferent_pairs == indifferent

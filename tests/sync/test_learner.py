@@ -78,3 +78,39 @@ def test_invalid_configuration_rejected():
         OffsetDistributionLearner(window=1)
     with pytest.raises(ValueError):
         OffsetDistributionLearner(method="bogus")
+
+
+def test_rtt_filter_applies_across_the_window_not_per_probe():
+    """Regression: ``observe_probe`` used to filter each probe in isolation
+    (``offsets([probe])``), which always kept the probe and silently disabled
+    low-RTT filtering.  The filter must act across the retained window."""
+    from repro.sync.estimator import OffsetEstimator
+    from repro.workloads.learned import synthesize_probe
+
+    learner = OffsetDistributionLearner(
+        window=64, method="gaussian", estimator=OffsetEstimator(best_fraction=0.5)
+    )
+    # 10 clean probes (offset ~0, small RTT) + 10 congested probes (offset 5,
+    # huge RTT): the congested half must be excluded from the estimate
+    for k in range(10):
+        learner.observe_probe(synthesize_probe("c", offset=0.001 * k, round_trip=0.001))
+    for k in range(10):
+        learner.observe_probe(synthesize_probe("c", offset=5.0, round_trip=0.5))
+    assert learner.probe_count == 20
+    assert learner.observation_count == 10  # half retained
+    offsets = learner.offsets()
+    assert offsets.size == 10
+    assert offsets.max() < 0.1  # no congested observation survived
+    estimate = learner.estimate()
+    assert abs(estimate.mean) < 0.1
+
+
+def test_probe_window_bounds_retained_probes():
+    from repro.workloads.learned import synthesize_probe
+
+    learner = OffsetDistributionLearner(window=8, method="gaussian")
+    for k in range(20):
+        learner.observe_probe(synthesize_probe("c", offset=float(k), round_trip=0.001))
+    # only the 8 most recent probes are retained
+    assert learner.observation_count == 8
+    assert learner.offsets().min() == 12.0

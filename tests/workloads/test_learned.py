@@ -1,0 +1,55 @@
+"""Tests for the learned workload (non-Gaussian clocks + probe streams)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.mixtures import MixtureDistribution
+from repro.distributions.parametric import GaussianDistribution
+from repro.workloads.learned import build_learned_workload, synthesize_probe
+
+
+def test_synthesize_probe_reproduces_offset_and_rtt_exactly():
+    probe = synthesize_probe("c", offset=0.125, round_trip=0.004, when=100.0)
+    assert probe.client_offset_estimate == pytest.approx(0.125, abs=1e-12)
+    assert probe.round_trip_delay == pytest.approx(0.004, abs=1e-12)
+    with pytest.raises(ValueError):
+        synthesize_probe("c", offset=0.0, round_trip=-1.0)
+
+
+def test_workload_shape_and_determinism():
+    workload = build_learned_workload(num_clients=6, probes_per_client=24, seed=5)
+    assert len(workload.probe_streams) == 6
+    assert workload.probe_count == 6 * 24
+    assert set(workload.probe_streams) == set(workload.truth)
+    assert set(workload.static_gaussians) == set(workload.truth)
+    for distribution in workload.truth.values():
+        assert isinstance(distribution, MixtureDistribution)
+    for guess in workload.static_gaussians.values():
+        assert isinstance(guess, GaussianDistribution)
+    again = build_learned_workload(num_clients=6, probes_per_client=24, seed=5)
+    first = workload.probe_streams["client-0000"]
+    second = again.probe_streams["client-0000"]
+    assert [p.t1 for p in first] == [p.t1 for p in second]
+
+
+def test_congested_probes_have_inflated_rtt_and_biased_offsets():
+    workload = build_learned_workload(
+        num_clients=4,
+        probes_per_client=200,
+        congested_fraction=0.3,
+        base_rtt=1e-3,
+        congestion_delay=0.05,
+        seed=7,
+    )
+    for client_id, stream in workload.probe_streams.items():
+        rtts = np.asarray([probe.round_trip_delay for probe in stream])
+        congested = rtts > 2e-3
+        assert 0.1 < congested.mean() < 0.5
+        offsets = np.asarray([probe.client_offset_estimate for probe in stream])
+        # congestion biases the offset reading upward, far beyond the clock std
+        assert offsets[congested].mean() > offsets[~congested].mean() + 10.0
+
+
+def test_invalid_congested_fraction_rejected():
+    with pytest.raises(ValueError):
+        build_learned_workload(congested_fraction=1.0)
