@@ -108,6 +108,7 @@ def _cluster_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
         shard_counts=_shard_counts_up_to(args.shards),
         client_counts=(args.num_clients,),
         seed=args.seed,
+        streaming=not args.no_streaming_merge,
     )
 
 
@@ -155,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=4,
         help="max shard count for the cluster sweep (swept 1, 2, ... up to this; default 4)",
+    )
+    parser.add_argument(
+        "--no-streaming-merge",
+        action="store_true",
+        help="cluster sweep only: disable the live streaming cross-shard merge "
+        "(skips the streaming_ms / streaming_parity columns)",
     )
     parser.add_argument("--csv-dir", default=None, help="also write one CSV per experiment into this directory")
     parser.add_argument(

@@ -10,7 +10,7 @@ shard boundaries.
 """
 
 from repro.cluster.harness import ClusterTransport, replay_scenario
-from repro.cluster.merge import CrossShardMerger, MergeOutcome
+from repro.cluster.merge import CertaintyWindows, CrossShardMerger, MergeOutcome, StreamingMerger
 from repro.cluster.router import (
     HashSharding,
     LoadAwareSharding,
@@ -29,6 +29,8 @@ __all__ = [
     "ShardRouter",
     "stable_shard_hash",
     "CrossShardMerger",
+    "StreamingMerger",
+    "CertaintyWindows",
     "MergeOutcome",
     "ShardedSequencer",
     "ShardState",

@@ -49,18 +49,31 @@ class ClusterTransport:
         cluster: ShardedSequencer,
         rng_factory: Callable[[str], np.random.Generator],
         trace: Optional[TraceRecorder] = None,
+        coalesce_bursts: bool = False,
     ) -> None:
         self._loop = loop
         self._cluster = cluster
         self._transports: List[Transport] = []
         for shard_index in range(cluster.num_shards):
-            transport = Transport(loop, rng_factory, trace)
+            transport = Transport(loop, rng_factory, trace, coalesce_bursts=coalesce_bursts)
             transport.sequencer.on_arrival(self._fan_in(shard_index))
+            if coalesce_bursts:
+                # same-instant deliveries reach the shard as one burst: one
+                # engine block append and one emission check instead of k
+                transport.sequencer.on_burst(self._fan_in_burst(shard_index))
             self._transports.append(transport)
 
     def _fan_in(self, shard_index: int):
         def deliver(item: Union[TimestampedMessage, Heartbeat], arrival_time: float) -> None:
             self._cluster.receive_at(shard_index, item, arrival_time)
+
+        return deliver
+
+    def _fan_in_burst(self, shard_index: int):
+        def deliver(
+            items: List[Union[TimestampedMessage, Heartbeat]], arrival_time: float
+        ) -> None:
+            self._cluster.receive_many_at(shard_index, items, arrival_time)
 
         return deliver
 

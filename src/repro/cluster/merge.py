@@ -20,13 +20,33 @@ the same probabilistic machinery the sequencer itself uses:
   probability does not exceed the threshold are coalesced into one
   cluster-wide rank — the probabilistic merge: the cluster refuses to
   invent an order between shard batches it cannot justify.
+
+The batch-level probabilities are computed by a single *flattened kernel*:
+all messages across all shard batches are concatenated, the cross-client
+preceding probabilities are evaluated once through the vectorized engine
+kernels (Gaussian closed form / shared :class:`~repro.core.engine.PairTableCache`
+difference-CDF tables), and the batch-by-batch precedence-mean matrix falls
+out of two ``np.add.reduceat`` segment reductions — zero per-batch-pair
+Python calls.  Batch pairs whose *certainty windows* cannot overlap
+(:class:`CertaintyWindows`) resolve to exactly ``0.0``/``1.0`` without
+per-pair kernel calls: the windows are sized so the kernel itself would have
+saturated to the same float.  (Offline, fully pruned batches drop out of the
+flattened evaluation; the streaming path goes further and never evaluates a
+pruned pair's entries.)
+
+:class:`StreamingMerger` maintains the same state *incrementally*:
+``observe_batch`` appends one row/column of batch precedences (one
+vectorized kernel call against all unpruned existing batches) and
+``result()`` linearises the maintained matrix — byte-identical to a fresh
+:meth:`CrossShardMerger.merge` over the same streams, which is kept as the
+parity oracle.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -35,11 +55,84 @@ from repro.core.cycles import resolve_cycles
 from repro.core.engine import EngineStats, PairTableCache, cross_probability_matrix
 from repro.core.probability import PrecedenceModel
 from repro.distributions.base import OffsetDistribution
-from repro.network.message import SequencedBatch
+from repro.network.message import SequencedBatch, TimestampedMessage
 from repro.sequencers.base import SequencingResult
 
 #: A batch node: (shard index, position of the batch in that shard's stream).
 BatchNode = Tuple[int, int]
+
+#: z-score beyond which the Gaussian closed form saturates to exactly 0/1 in
+#: float64 (``erf`` rounds to ±1 past ~5.9 standard deviations; 9 adds a
+#: comfortable margin, verified by the pruning soundness tests).
+_GAUSSIAN_SATURATION_Z = 9.0
+
+
+class CertaintyWindows:
+    """Per-client certainty radii for timestamp-window pruning.
+
+    For client ``c`` the radius ``r_c`` is chosen so that for *any* ordered
+    client pair ``(a, b)`` served by the engine kernels, a timestamp gap
+    ``T_b - T_a > r_a + r_b`` makes the preceding probability exactly
+    ``1.0`` (and ``< -(r_a + r_b)`` exactly ``0.0``) in float64:
+
+    * Gaussian closed form: ``r = 9*std + |mean|`` gives
+      ``z = (gap - Δmu)/sqrt(var_a + var_b) > 9`` (since
+      ``sqrt(var_a + var_b) <= std_a + std_b``), deep inside ``erf``
+      saturation;
+    * difference-CDF tables: the convolution grid spans at most
+      ``max(hi) - min(lo)`` of the two supports, and ``r = 2*max(|lo|, |hi|)``
+      bounds that from above, so the gap lands past the grid end where
+      ``np.interp`` returns its exact 0/1 fill values.
+
+    The radius is the max of both bounds (a pair's serving kernel depends on
+    the model method and the *other* client), cached per client and
+    version-checked against the model so distribution refreshes are picked
+    up.  Clients whose distribution has no finite support report an infinite
+    radius — pairs involving them are never pruned.
+    """
+
+    def __init__(self, model: PrecedenceModel) -> None:
+        self._model = model
+        self._radii: Dict[str, Tuple[int, float]] = {}
+
+    def radius(self, client_id: str) -> float:
+        """Certainty radius of ``client_id`` (``inf`` when not prunable)."""
+        version = self._model.client_version(client_id)
+        cached = self._radii.get(client_id)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        radius = self._compute(client_id)
+        self._radii[client_id] = (version, radius)
+        return radius
+
+    def _compute(self, client_id: str) -> float:
+        distribution = self._model.distribution_for(client_id)
+        try:
+            lo, hi = distribution.support()
+            std = distribution.std
+            mean = distribution.mean
+        except Exception:
+            return float("inf")
+        bounds = (lo, hi, std, mean)
+        if not all(np.isfinite(value) for value in bounds):
+            return float("inf")
+        gaussian_radius = _GAUSSIAN_SATURATION_Z * std + abs(mean)
+        table_radius = 2.0 * max(abs(lo), abs(hi))
+        return float(max(gaussian_radius, table_radius))
+
+    def batch_window(self, batch: SequencedBatch) -> Tuple[float, float]:
+        """``(earliest, latest)`` certainty window over the batch's messages."""
+        earliest = float("inf")
+        latest = -float("inf")
+        for message in batch.messages:
+            radius = self.radius(message.client_id)
+            earliest = min(earliest, message.timestamp - radius)
+            latest = max(latest, message.timestamp + radius)
+        return earliest, latest
+
+    def invalidate_client(self, client_id: str) -> None:
+        """Drop the cached radius of ``client_id`` (distribution refresh)."""
+        self._radii.pop(client_id, None)
 
 
 @dataclass(frozen=True)
@@ -51,11 +144,281 @@ class MergeOutcome:
     cross_pairs_evaluated: int
     cycles_broken: int
     wall_seconds: float
+    cross_pairs_pruned: int = 0
 
     @property
     def batch_count(self) -> int:
         """Number of cluster-wide batches after merging."""
         return self.result.batch_count
+
+
+def _pair_block_forward(
+    messages_a: Sequence[TimestampedMessage],
+    messages_b: Sequence[TimestampedMessage],
+    model: PrecedenceModel,
+    stats: Optional[EngineStats],
+    tables: Optional[PairTableCache],
+) -> float:
+    """Mean of ``P(a precedes b)`` over the message cross pairs of one pair.
+
+    The reduction is the exact float sequence the flattened kernel's segment
+    reductions perform (sequential column sums per row, then a sequential
+    sum over the row totals), so single-pair recomputations — the streaming
+    merger's distribution-refresh path — stay bit-identical to the batch
+    kernels.
+    """
+    matrix = cross_probability_matrix(messages_a, messages_b, model, stats=stats, tables=tables)
+    if matrix.size == 0:
+        return 0.5
+    row_totals = np.add.reduceat(matrix, [0], axis=1)
+    total = np.add.reduceat(row_totals, [0], axis=0)[0, 0]
+    return float(total / (matrix.shape[0] * matrix.shape[1]))
+
+
+def _empty_outcome(start: float) -> MergeOutcome:
+    empty = SequencingResult(batches=(), metadata={"sequencer": "cluster-merge"})
+    return MergeOutcome(
+        result=empty,
+        merged_cross_shard=0,
+        cross_pairs_evaluated=0,
+        cycles_broken=0,
+        wall_seconds=time.perf_counter() - start,
+        cross_pairs_pruned=0,
+    )
+
+
+class _NodeLayout:
+    """Shard-major node enumeration shared by the kernel and linearisation.
+
+    One construction per merge: the node list, its id/shard lookup arrays and
+    the cross-shard upper-triangle mask (the canonical pair orientation).
+    """
+
+    def __init__(self, streams: Sequence[Sequence[SequencedBatch]]) -> None:
+        self.nodes: List[BatchNode] = [
+            (shard, index) for shard, stream in enumerate(streams) for index in range(len(stream))
+        ]
+        self.node_ids: Dict[BatchNode, int] = {
+            node: node_id for node_id, node in enumerate(self.nodes)
+        }
+        self.node_shard = np.asarray([shard for shard, _ in self.nodes], dtype=np.int64)
+        self.shard_lengths = [len(stream) for stream in streams]
+        n = len(self.nodes)
+        cross = self.node_shard[:, None] != self.node_shard[None, :]
+        self.cross_upper = cross & np.triu(np.ones((n, n), dtype=bool), k=1)
+
+
+def _lexicographic_order(
+    node_shard: np.ndarray,
+    shard_lengths: Sequence[int],
+    nodes: Sequence[BatchNode],
+    edge: np.ndarray,
+    out_degree: np.ndarray,
+) -> Optional[List[int]]:
+    """Kahn's algorithm with the reference lexicographical tie-break.
+
+    ``edge[u][v]`` holds the directed cross-shard kept edges; the
+    within-shard emission chains are modelled implicitly: only the earliest
+    unplaced batch of each shard is ever a candidate.  Returns node ids in
+    order, or ``None`` when the graph is cyclic (the caller falls back to
+    the materialised-graph reference path).  The candidate choice minimises
+    ``(-out_degree, node)`` — exactly the key
+    :func:`networkx.lexicographical_topological_sort` uses in
+    :meth:`CrossShardMerger.merge`, which is unique per node, so both
+    orders agree node for node.
+    """
+    num_shards = len(shard_lengths)
+    bases: List[int] = []
+    base = 0
+    for length in shard_lengths:
+        bases.append(base)
+        base += length
+    next_index = [0] * num_shards
+    indegree = edge.sum(axis=0).astype(np.int64)
+    order: List[int] = []
+    total = len(nodes)
+    for _ in range(total):
+        best_id = -1
+        best_key: Optional[Tuple[int, BatchNode]] = None
+        for shard in range(num_shards):
+            if next_index[shard] >= shard_lengths[shard]:
+                continue
+            head = bases[shard] + next_index[shard]
+            if indegree[head]:
+                continue
+            key = (-int(out_degree[head]), nodes[head])
+            if best_key is None or key < best_key:
+                best_key = key
+                best_id = head
+        if best_id < 0:
+            return None  # cyclic: some unplaced head still has predecessors
+        order.append(best_id)
+        next_index[node_shard[best_id]] += 1
+        indegree[edge[best_id]] -= 1
+    return order
+
+
+def _resolve_order_via_graph(
+    streams: Sequence[Sequence[SequencedBatch]],
+    nodes: Sequence[BatchNode],
+    node_ids: Dict[BatchNode, int],
+    forward_matrix: np.ndarray,
+    cycle_policy: str,
+    rng: np.random.Generator,
+) -> Tuple[List[BatchNode], int]:
+    """Reference path for cyclic tournaments: materialise and resolve.
+
+    Node and edge insertion replays the original pairwise merger verbatim
+    (within-shard chains first, then cross pairs in shard-major order), so
+    cycle detection, cycle-breaking and the topological tie-break walk the
+    graph exactly like the frozen reference implementation.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(nodes)
+    for shard, stream in enumerate(streams):
+        for index in range(len(stream) - 1):
+            graph.add_edge((shard, index), (shard, index + 1), probability=1.0)
+    num_shards = len(streams)
+    for shard_a in range(num_shards):
+        for shard_b in range(shard_a + 1, num_shards):
+            for index_a in range(len(streams[shard_a])):
+                node_a: BatchNode = (shard_a, index_a)
+                id_a = node_ids[node_a]
+                for index_b in range(len(streams[shard_b])):
+                    node_b: BatchNode = (shard_b, index_b)
+                    forward = forward_matrix[id_a, node_ids[node_b]]
+                    if forward >= 0.5:
+                        graph.add_edge(node_a, node_b, probability=float(forward))
+                    else:
+                        graph.add_edge(node_b, node_a, probability=float(1.0 - forward))
+    resolution = resolve_cycles(graph, cycle_policy, rng=rng)
+    out_degree = dict(graph.out_degree())
+    order = list(
+        nx.lexicographical_topological_sort(
+            graph, key=lambda node: (-out_degree.get(node, 0), node)
+        )
+    )
+    return order, len(resolution.removed_edges)
+
+
+def _merge_from_matrix(
+    streams: Sequence[Sequence[SequencedBatch]],
+    forward_matrix: np.ndarray,
+    threshold: float,
+    cycle_policy: str,
+    rng: np.random.Generator,
+    cross_pairs_evaluated: int,
+    cross_pairs_pruned: int,
+    start: float,
+    stats: Optional[EngineStats] = None,
+    layout: Optional[_NodeLayout] = None,
+) -> MergeOutcome:
+    """Linearise + coalesce a node-level forward-probability matrix.
+
+    Shared by the offline flattened merge and the streaming merger, so both
+    produce byte-identical output from byte-identical matrices.
+    """
+    if layout is None:
+        layout = _NodeLayout(streams)
+    nodes = layout.nodes
+    node_ids = layout.node_ids
+    node_shard = layout.node_shard
+    shard_lengths = layout.shard_lengths
+    cross_upper = layout.cross_upper
+    n = len(nodes)
+
+    # kept-edge directions, exactly the reference comparison (forward >= 0.5
+    # orients lower-shard -> higher-shard)
+    wins = cross_upper & (forward_matrix >= 0.5)
+    edge = wins | (cross_upper & ~wins).T
+    chain_out = np.zeros(n, dtype=np.int64)
+    base = 0
+    for length in shard_lengths:
+        if length > 1:
+            chain_out[base : base + length - 1] = 1
+        base += length
+    out_degree = edge.sum(axis=1).astype(np.int64) + chain_out
+
+    order_ids = _lexicographic_order(node_shard, shard_lengths, nodes, edge, out_degree)
+    if order_ids is not None:
+        order = [nodes[node_id] for node_id in order_ids]
+        cycles_broken = 0
+    else:
+        order, cycles_broken = _resolve_order_via_graph(
+            streams, nodes, node_ids, forward_matrix, cycle_policy, rng
+        )
+        if stats is not None:
+            stats.cycle_resolutions += 1
+
+    # probabilistic coalescing: a cross-shard boundary needs confidence.
+    # Within-shard adjacency is rank-certain *by construction* (the shard
+    # emitted the batches in order and the chain edges enforce it), so it is
+    # made explicit here instead of hiding behind a dict-lookup default; a
+    # cross-shard pair missing from the matrix is a hard error.
+    groups: List[List[BatchNode]] = []
+    merged_cross_shard = 0
+    for node in order:
+        if groups:
+            previous = groups[-1][-1]
+            if previous[0] != node[0]:
+                forward = float(forward_matrix[node_ids[previous], node_ids[node]])
+                if np.isnan(forward):
+                    raise AssertionError(
+                        f"no precedence recorded for cross-shard pair {previous} -> {node}"
+                    )
+                if not forward > threshold:
+                    groups[-1].append(node)
+                    merged_cross_shard += 1
+                    continue
+            elif previous[1] >= node[1]:
+                raise AssertionError(
+                    f"within-shard emission order violated: {previous} placed before {node}"
+                )
+        groups.append([node])
+
+    batches: List[SequencedBatch] = []
+    for rank, group in enumerate(groups):
+        messages = tuple(
+            message
+            for shard, index in group
+            for message in streams[shard][index].messages
+        )
+        emitted = [
+            streams[shard][index].emitted_at
+            for shard, index in group
+            if streams[shard][index].emitted_at is not None
+        ]
+        batches.append(
+            SequencedBatch(
+                rank=rank,
+                messages=messages,
+                emitted_at=max(emitted) if emitted else None,
+            )
+        )
+
+    wall = time.perf_counter() - start
+    result = SequencingResult(
+        batches=tuple(batches),
+        metadata={
+            "sequencer": "cluster-merge",
+            "shards": len(streams),
+            "threshold": threshold,
+            "cycle_policy": cycle_policy,
+            "merged_cross_shard": merged_cross_shard,
+            "cross_pairs_evaluated": cross_pairs_evaluated,
+            "cross_pairs_pruned": cross_pairs_pruned,
+            "cycles_broken": cycles_broken,
+            "merge_wall_seconds": wall,
+        },
+    )
+    return MergeOutcome(
+        result=result,
+        merged_cross_shard=merged_cross_shard,
+        cross_pairs_evaluated=cross_pairs_evaluated,
+        cycles_broken=cycles_broken,
+        wall_seconds=wall,
+        cross_pairs_pruned=cross_pairs_pruned,
+    )
 
 
 class CrossShardMerger:
@@ -73,11 +436,13 @@ class CrossShardMerger:
         self._model = model
         self._threshold = float(threshold)
         self._cycle_policy = cycle_policy
+        self._seed = int(seed)
         self._rng = np.random.default_rng(seed)
         self._engine_stats = EngineStats()
         # difference-CDF tables shared across every batch_precedence call, so
         # empirical/learned client pairs convolve once per pair, not per batch
         self._tables = PairTableCache(model, stats=self._engine_stats)
+        self._windows = CertaintyWindows(model)
 
     @property
     def threshold(self) -> float:
@@ -89,6 +454,16 @@ class CrossShardMerger:
         """The cluster-wide precedence model (all clients registered)."""
         return self._model
 
+    @property
+    def pair_tables(self) -> PairTableCache:
+        """The shared per-client-pair difference-CDF table cache."""
+        return self._tables
+
+    @property
+    def certainty_windows(self) -> CertaintyWindows:
+        """The per-client certainty radii used for window pruning."""
+        return self._windows
+
     def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
         """Register or refresh a client's distribution on the merge model.
 
@@ -97,6 +472,24 @@ class CrossShardMerger:
         """
         self._model.register_client(client_id, distribution)
         self._tables.invalidate_client(client_id)
+        self._windows.invalidate_client(client_id)
+
+    def streaming_merger(self, num_shards: Optional[int] = None) -> "StreamingMerger":
+        """A :class:`StreamingMerger` sharing this merger's model and caches.
+
+        Its :meth:`StreamingMerger.result` is byte-identical to the first
+        :meth:`merge` of a fresh merger constructed with the same arguments.
+        """
+        return StreamingMerger(
+            self._model,
+            threshold=self._threshold,
+            cycle_policy=self._cycle_policy,
+            seed=self._seed,
+            tables=self._tables,
+            stats=self._engine_stats,
+            windows=self._windows,
+            num_shards=num_shards,
+        )
 
     # ---------------------------------------------------------- probabilities
     @property
@@ -123,6 +516,71 @@ class CrossShardMerger:
             return 0.5
         return float(matrix.mean())
 
+    def _forward_matrix(
+        self, streams: Sequence[Sequence[SequencedBatch]], layout: Optional[_NodeLayout] = None
+    ) -> Tuple[np.ndarray, int, int]:
+        """Node-level forward probabilities via the flattened kernel.
+
+        Returns ``(matrix, cross_pairs_evaluated, cross_pairs_pruned)``.
+        ``matrix[a][b]`` is the batch-precedence mean for every cross-shard
+        node pair (both directions, ``P(b<a)`` stored as ``1 - P(a<b)``
+        exactly like the pairwise reference); within-shard entries stay NaN.
+
+        Pruned pairs are resolved without per-pair work; the flattened
+        kernel still evaluates the full active-message square (nodes with at
+        least one unpruned partner), so its element count only shrinks when
+        whole batches prune against everything — the streaming path is the
+        one that skips pruned pairs' kernel entries entirely.
+        """
+        if layout is None:
+            layout = _NodeLayout(streams)
+        nodes = layout.nodes
+        n = len(nodes)
+        batches = [streams[shard][index] for shard, index in nodes]
+        sizes = np.asarray([batch.size for batch in batches], dtype=np.int64)
+        window_bounds = [self._windows.batch_window(batch) for batch in batches]
+        earliest = np.asarray([bounds[0] for bounds in window_bounds], dtype=float)
+        latest = np.asarray([bounds[1] for bounds in window_bounds], dtype=float)
+
+        cross_upper = layout.cross_upper
+        # window pruning: certainty windows that cannot overlap resolve the
+        # batch pair to the exact 0/1 the kernel would have saturated to
+        prune_after = cross_upper & (earliest[None, :] > latest[:, None])  # a wholly before b
+        prune_before = cross_upper & (earliest[:, None] > latest[None, :])  # a wholly after b
+        needs_kernel = cross_upper & ~prune_after & ~prune_before
+        pruned = int(prune_after.sum() + prune_before.sum())
+
+        matrix = np.full((n, n), np.nan)
+        if needs_kernel.any():
+            active = needs_kernel.any(axis=1) | needs_kernel.any(axis=0)
+            active_ids = np.flatnonzero(active)
+            flat_messages: List[TimestampedMessage] = []
+            starts: List[int] = []
+            for node_id in active_ids:
+                starts.append(len(flat_messages))
+                flat_messages.extend(batches[node_id].messages)
+            probabilities = cross_probability_matrix(
+                flat_messages,
+                flat_messages,
+                self._model,
+                stats=self._engine_stats,
+                tables=self._tables,
+            )
+            column_sums = np.add.reduceat(probabilities, starts, axis=1)
+            pair_sums = np.add.reduceat(column_sums, starts, axis=0)
+            active_sizes = sizes[active_ids]
+            means = pair_sums / np.outer(active_sizes, active_sizes)
+            position = np.full(n, -1, dtype=np.int64)
+            position[active_ids] = np.arange(active_ids.size)
+            rows, cols = np.nonzero(needs_kernel)
+            matrix[rows, cols] = means[position[rows], position[cols]]
+        matrix[prune_after] = 1.0
+        matrix[prune_before] = 0.0
+        rows, cols = np.nonzero(cross_upper)
+        matrix[cols, rows] = 1.0 - matrix[rows, cols]
+        self._engine_stats.pruned_pairs += pruned
+        return matrix, int(needs_kernel.sum()), pruned
+
     # ----------------------------------------------------------------- merge
     def merge(self, shard_batches: Sequence[Sequence[SequencedBatch]]) -> MergeOutcome:
         """Merge per-shard batch streams into one cluster-wide order.
@@ -132,105 +590,308 @@ class CrossShardMerger:
         """
         start = time.perf_counter()
         streams = [list(batches) for batches in shard_batches]
-        nodes: List[BatchNode] = [
+        if not any(streams):
+            return _empty_outcome(start)
+        layout = _NodeLayout(streams)
+        matrix, evaluated, pruned = self._forward_matrix(streams, layout)
+        return _merge_from_matrix(
+            streams,
+            matrix,
+            self._threshold,
+            self._cycle_policy,
+            self._rng,
+            evaluated,
+            pruned,
+            start,
+            stats=self._engine_stats,
+            layout=layout,
+        )
+
+
+class StreamingMerger:
+    """Incrementally maintained cross-shard merge.
+
+    ``observe_batch(shard, batch)`` appends one node and prices it against
+    every existing cross-shard node in two vectorized kernel calls (one per
+    orientation); window-pruned pairs resolve to exact 0/1 without touching
+    the kernel at all, so time-localised streams only ever evaluate a band
+    of recent batches.  ``result()`` linearises the maintained matrix through
+    the same code path as :meth:`CrossShardMerger.merge` — for the same
+    observed streams the output is byte-identical to the first ``merge()``
+    of a fresh :class:`CrossShardMerger` built with the same arguments (the
+    parity oracle), regardless of the order batches were observed in.
+
+    Pairs are priced at observation time; a mid-stream distribution refresh
+    must be propagated with :meth:`refresh_client`, which reprices every
+    maintained pair involving the client.
+    """
+
+    def __init__(
+        self,
+        model: PrecedenceModel,
+        threshold: float = 0.75,
+        cycle_policy: str = "greedy",
+        seed: int = 0,
+        tables: Optional[PairTableCache] = None,
+        stats: Optional[EngineStats] = None,
+        windows: Optional[CertaintyWindows] = None,
+        num_shards: Optional[int] = None,
+    ) -> None:
+        if not 0.5 <= threshold < 1.0:
+            raise ValueError(f"threshold must be in [0.5, 1), got {threshold!r}")
+        self._model = model
+        self._threshold = float(threshold)
+        self._cycle_policy = cycle_policy
+        self._seed = int(seed)
+        self._stats = stats if stats is not None else EngineStats()
+        self._tables = tables if tables is not None else PairTableCache(model, stats=self._stats)
+        self._windows = windows if windows is not None else CertaintyWindows(model)
+        # pre-creating the shard streams keeps result() metadata identical to
+        # an offline merge over a fixed-size cluster even when trailing
+        # shards have not emitted anything yet
+        self._streams: List[List[SequencedBatch]] = [
+            [] for _ in range(num_shards if num_shards is not None else 0)
+        ]
+        self._nodes: List[BatchNode] = []  # observation order
+        self._node_position: Dict[BatchNode, int] = {}
+        self._node_messages: List[Tuple[TimestampedMessage, ...]] = []
+        self._node_shard: List[int] = []
+        self._earliest: List[float] = []
+        self._latest: List[float] = []
+        self._capacity = 16
+        self._matrix = np.full((self._capacity, self._capacity), np.nan)
+        # per-pair classification (True = resolved by window pruning), so a
+        # refresh_client repricing *replaces* a pair's contribution to the
+        # evaluated/pruned counters instead of counting it twice — keeping
+        # result() metadata equal to the offline parity oracle's
+        self._pruned_pair = np.zeros((self._capacity, self._capacity), dtype=bool)
+        self._cross_pairs_evaluated = 0
+        self._cross_pairs_pruned = 0
+
+    # ------------------------------------------------------------- properties
+    @property
+    def node_count(self) -> int:
+        """Number of shard batches observed so far."""
+        return len(self._nodes)
+
+    @property
+    def cross_pairs_evaluated(self) -> int:
+        """Cross-shard batch pairs priced through the kernel so far."""
+        return self._cross_pairs_evaluated
+
+    @property
+    def cross_pairs_pruned(self) -> int:
+        """Cross-shard batch pairs resolved by window pruning so far."""
+        return self._cross_pairs_pruned
+
+    @property
+    def stats(self) -> EngineStats:
+        """Engine counters for the kernel work performed."""
+        return self._stats
+
+    def _grow(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        fresh = np.full((capacity, capacity), np.nan)
+        count = len(self._nodes)
+        fresh[:count, :count] = self._matrix[:count, :count]
+        self._matrix = fresh
+        fresh_pruned = np.zeros((capacity, capacity), dtype=bool)
+        fresh_pruned[:count, :count] = self._pruned_pair[:count, :count]
+        self._pruned_pair = fresh_pruned
+        self._capacity = capacity
+
+    # ----------------------------------------------------------------- intake
+    def observe_batch(self, shard: int, batch: SequencedBatch) -> BatchNode:
+        """Append the next emitted batch of ``shard`` and price its pairs."""
+        if shard < 0:
+            raise ValueError(f"shard index must be non-negative, got {shard!r}")
+        while len(self._streams) <= shard:
+            self._streams.append([])
+        node: BatchNode = (shard, len(self._streams[shard]))
+        self._streams[shard].append(batch)
+        position = len(self._nodes)
+        self._grow(position + 1)
+        earliest, latest = self._windows.batch_window(batch)
+        # price the new node against every existing cross-shard node: pruned
+        # pairs resolve instantly, the rest go through two flattened kernel
+        # calls (existing-before-new and new-before-existing orientations)
+        lower_kernel: List[int] = []  # existing node positions, canonical a-side
+        higher_kernel: List[int] = []  # existing node positions, canonical b-side
+        for other in range(position):
+            other_shard = self._node_shard[other]
+            if other_shard == shard:
+                continue
+            if other_shard < shard:
+                a, b = other, position
+                a_earliest, a_latest = self._earliest[other], self._latest[other]
+                b_earliest, b_latest = earliest, latest
+            else:
+                a, b = position, other
+                a_earliest, a_latest = earliest, latest
+                b_earliest, b_latest = self._earliest[other], self._latest[other]
+            if b_earliest > a_latest:
+                forward = 1.0
+            elif a_earliest > b_latest:
+                forward = 0.0
+            else:
+                (lower_kernel if other_shard < shard else higher_kernel).append(other)
+                continue
+            self._matrix[a, b] = forward
+            self._matrix[b, a] = 1.0 - forward
+            self._pruned_pair[a, b] = self._pruned_pair[b, a] = True
+            self._cross_pairs_pruned += 1
+            self._stats.pruned_pairs += 1
+        if lower_kernel:
+            # canonical orientation: existing (lower-shard) messages precede
+            forwards = self._kernel_row(
+                [self._node_messages[other] for other in lower_kernel], batch.messages, rows_first=True
+            )
+            for other, forward in zip(lower_kernel, forwards):
+                self._matrix[other, position] = forward
+                self._matrix[position, other] = 1.0 - forward
+        if higher_kernel:
+            forwards = self._kernel_row(
+                [self._node_messages[other] for other in higher_kernel], batch.messages, rows_first=False
+            )
+            for other, forward in zip(higher_kernel, forwards):
+                self._matrix[position, other] = forward
+                self._matrix[other, position] = 1.0 - forward
+        self._cross_pairs_evaluated += len(lower_kernel) + len(higher_kernel)
+
+        self._nodes.append(node)
+        self._node_position[node] = position
+        self._node_messages.append(tuple(batch.messages))
+        self._node_shard.append(shard)
+        self._earliest.append(earliest)
+        self._latest.append(latest)
+        return node
+
+    def _kernel_row(
+        self,
+        partner_messages: Sequence[Tuple[TimestampedMessage, ...]],
+        new_messages: Sequence[TimestampedMessage],
+        rows_first: bool,
+    ) -> np.ndarray:
+        """Batch-precedence means of the new batch against partner nodes.
+
+        ``rows_first=True`` computes ``P(partner precedes new)`` (partners
+        are the canonical a-side), ``False`` the transposed orientation.
+        One flattened kernel call; the segment reductions replay the exact
+        float sequence of the offline kernel, so every mean is bit-identical
+        to the one :meth:`CrossShardMerger.merge` computes for the pair.
+        """
+        flat: List[TimestampedMessage] = []
+        starts: List[int] = []
+        for messages in partner_messages:
+            starts.append(len(flat))
+            flat.extend(messages)
+        new_list = list(new_messages)
+        if rows_first:
+            matrix = cross_probability_matrix(
+                flat, new_list, self._model, stats=self._stats, tables=self._tables
+            )
+            row_totals = np.add.reduceat(matrix, [0], axis=1)
+            sums = np.add.reduceat(row_totals, starts, axis=0)[:, 0]
+        else:
+            matrix = cross_probability_matrix(
+                new_list, flat, self._model, stats=self._stats, tables=self._tables
+            )
+            column_sums = np.add.reduceat(matrix, starts, axis=1)
+            sums = np.add.reduceat(column_sums, [0], axis=0)[0]
+        sizes = np.asarray([len(messages) for messages in partner_messages], dtype=np.int64)
+        return sums / (sizes * len(new_list))
+
+    def refresh_client(self, client_id: str) -> int:
+        """Reprice every maintained pair involving ``client_id``.
+
+        Call after the client's distribution was re-registered on the model
+        (the shared table cache and certainty windows detect the new version
+        themselves).  Returns the number of repriced node pairs.
+        """
+        self._windows.invalidate_client(client_id)
+        affected = [
+            position
+            for position, messages in enumerate(self._node_messages)
+            if any(message.client_id == client_id for message in messages)
+        ]
+        if not affected:
+            return 0
+        for position in affected:
+            batch = self._streams[self._nodes[position][0]][self._nodes[position][1]]
+            self._earliest[position], self._latest[position] = self._windows.batch_window(batch)
+        repriced = 0
+        affected_set = set(affected)
+        for position in affected:
+            for other in range(len(self._nodes)):
+                if other == position or self._node_shard[other] == self._node_shard[position]:
+                    continue
+                if other in affected_set and other < position:
+                    continue  # already repriced from the other side
+                if self._node_shard[position] < self._node_shard[other]:
+                    a, b = position, other
+                else:
+                    a, b = other, position
+                # replace, don't double-count: retract the pair's previous
+                # classification before repricing it
+                if self._pruned_pair[a, b]:
+                    self._cross_pairs_pruned -= 1
+                else:
+                    self._cross_pairs_evaluated -= 1
+                if self._earliest[b] > self._latest[a]:
+                    forward = 1.0
+                    now_pruned = True
+                elif self._earliest[a] > self._latest[b]:
+                    forward = 0.0
+                    now_pruned = True
+                else:
+                    forward = _pair_block_forward(
+                        self._node_messages[a],
+                        self._node_messages[b],
+                        self._model,
+                        self._stats,
+                        self._tables,
+                    )
+                    now_pruned = False
+                if now_pruned:
+                    self._cross_pairs_pruned += 1
+                    self._stats.pruned_pairs += 1
+                else:
+                    self._cross_pairs_evaluated += 1
+                self._pruned_pair[a, b] = self._pruned_pair[b, a] = now_pruned
+                self._matrix[a, b] = forward
+                self._matrix[b, a] = 1.0 - forward
+                repriced += 1
+        return repriced
+
+    # ---------------------------------------------------------------- results
+    def result(self) -> MergeOutcome:
+        """Linearise the maintained state into the cluster-wide order.
+
+        Uses a fresh RNG seeded like the parity oracle, so repeated calls
+        are deterministic and each equals the first ``merge()`` of a fresh
+        :class:`CrossShardMerger` over the observed streams.
+        """
+        start = time.perf_counter()
+        if not self._nodes:
+            return _empty_outcome(start)
+        streams = [list(stream) for stream in self._streams]
+        nodes_shard_major: List[BatchNode] = [
             (shard, index) for shard, stream in enumerate(streams) for index in range(len(stream))
         ]
-        if not nodes:
-            empty = SequencingResult(batches=(), metadata={"sequencer": "cluster-merge"})
-            return MergeOutcome(
-                result=empty,
-                merged_cross_shard=0,
-                cross_pairs_evaluated=0,
-                cycles_broken=0,
-                wall_seconds=time.perf_counter() - start,
-            )
-
-        graph = nx.DiGraph()
-        graph.add_nodes_from(nodes)
-        probabilities: Dict[Tuple[BatchNode, BatchNode], float] = {}
-
-        # within-shard emission order is certain
-        for shard, stream in enumerate(streams):
-            for index in range(len(stream) - 1):
-                graph.add_edge((shard, index), (shard, index + 1), probability=1.0)
-
-        # cross-shard pairs: batch-level likely-happened-before
-        cross_pairs = 0
-        for shard_a in range(len(streams)):
-            for shard_b in range(shard_a + 1, len(streams)):
-                for index_a, batch_a in enumerate(streams[shard_a]):
-                    for index_b, batch_b in enumerate(streams[shard_b]):
-                        node_a: BatchNode = (shard_a, index_a)
-                        node_b: BatchNode = (shard_b, index_b)
-                        forward = self.batch_precedence(batch_a, batch_b)
-                        cross_pairs += 1
-                        probabilities[(node_a, node_b)] = forward
-                        probabilities[(node_b, node_a)] = 1.0 - forward
-                        if forward >= 0.5:
-                            graph.add_edge(node_a, node_b, probability=float(forward))
-                        else:
-                            graph.add_edge(node_b, node_a, probability=float(1.0 - forward))
-
-        resolution = resolve_cycles(graph, self._cycle_policy, rng=self._rng)
-        out_degree = dict(graph.out_degree())
-        order: List[BatchNode] = list(
-            nx.lexicographical_topological_sort(
-                graph, key=lambda node: (-out_degree.get(node, 0), node)
-            )
-        )
-
-        # probabilistic coalescing: a cross-shard boundary needs confidence
-        groups: List[List[BatchNode]] = []
-        merged_cross_shard = 0
-        for node in order:
-            if groups:
-                previous = groups[-1][-1]
-                cross = previous[0] != node[0]
-                confident = probabilities.get((previous, node), 1.0) > self._threshold
-                if cross and not confident:
-                    groups[-1].append(node)
-                    merged_cross_shard += 1
-                    continue
-            groups.append([node])
-
-        batches: List[SequencedBatch] = []
-        for rank, group in enumerate(groups):
-            messages = tuple(
-                message
-                for shard, index in group
-                for message in streams[shard][index].messages
-            )
-            emitted = [
-                streams[shard][index].emitted_at
-                for shard, index in group
-                if streams[shard][index].emitted_at is not None
-            ]
-            batches.append(
-                SequencedBatch(
-                    rank=rank,
-                    messages=messages,
-                    emitted_at=max(emitted) if emitted else None,
-                )
-            )
-
-        wall = time.perf_counter() - start
-        result = SequencingResult(
-            batches=tuple(batches),
-            metadata={
-                "sequencer": "cluster-merge",
-                "shards": len(streams),
-                "threshold": self._threshold,
-                "cycle_policy": self._cycle_policy,
-                "merged_cross_shard": merged_cross_shard,
-                "cross_pairs_evaluated": cross_pairs,
-                "cycles_broken": len(resolution.removed_edges),
-                "merge_wall_seconds": wall,
-            },
-        )
-        return MergeOutcome(
-            result=result,
-            merged_cross_shard=merged_cross_shard,
-            cross_pairs_evaluated=cross_pairs,
-            cycles_broken=len(resolution.removed_edges),
-            wall_seconds=wall,
+        permutation = [self._node_position[node] for node in nodes_shard_major]
+        matrix = self._matrix[np.ix_(permutation, permutation)]
+        return _merge_from_matrix(
+            streams,
+            matrix,
+            self._threshold,
+            self._cycle_policy,
+            np.random.default_rng(self._seed),
+            self._cross_pairs_evaluated,
+            self._cross_pairs_pruned,
+            start,
+            stats=self._stats,
         )

@@ -20,9 +20,9 @@ cluster history and participate in the final merge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.cluster.merge import CrossShardMerger, MergeOutcome
+from repro.cluster.merge import CrossShardMerger, MergeOutcome, StreamingMerger
 from repro.cluster.router import ShardingPolicy, ShardRouter
 from repro.core.config import TommyConfig
 from repro.core.engine import EngineStats
@@ -76,6 +76,7 @@ class ShardedSequencer(Entity):
         heartbeat_timeout: Optional[float] = None,
         name: str = "cluster",
         use_engine: bool = True,
+        streaming_merge: bool = True,
     ) -> None:
         super().__init__(loop, name)
         if heartbeat_interval is not None and heartbeat_interval <= 0:
@@ -119,6 +120,15 @@ class ShardedSequencer(Entity):
             cycle_policy=self._config.cycle_policy,
             seed=self._config.seed if self._config.seed is not None else 0,
         )
+        # live merged order: every shard emission streams into an incremental
+        # merger, so draining the cluster is a linearisation of maintained
+        # state instead of an O(everything) re-merge; merge() stays available
+        # as the offline parity oracle
+        self._streaming: Optional[StreamingMerger] = None
+        if streaming_merge:
+            self._streaming = self._merger.streaming_merger(num_shards=num_shards)
+            for shard in self._shards:
+                shard.sequencer.subscribe_emissions(self._emission_observer(shard.index))
 
         self._failover_events: List[FailoverEvent] = []
         self._refresh_loop: Optional[DistributionRefreshLoop] = None
@@ -154,6 +164,17 @@ class ShardedSequencer(Entity):
     def merger(self) -> CrossShardMerger:
         """The cross-shard merger (cluster-wide precedence model)."""
         return self._merger
+
+    @property
+    def streaming_merger(self) -> Optional[StreamingMerger]:
+        """The live incremental merger (``None`` when streaming is disabled)."""
+        return self._streaming
+
+    def _emission_observer(self, shard_index: int):
+        def observe(emitted: EmittedBatch) -> None:
+            self._streaming.observe_batch(shard_index, emitted.batch)
+
+        return observe
 
     @property
     def shards(self) -> List[ShardState]:
@@ -200,6 +221,8 @@ class ShardedSequencer(Entity):
             )
         self._distributions[client_id] = distribution
         self._merger.register_client(client_id, distribution)
+        if self._streaming is not None:
+            self._streaming.refresh_client(client_id)
         shard = self._live_owner(client_id)
         self._shards[shard].sequencer.update_client_distribution(client_id, distribution)
         self._distribution_refreshes += 1
@@ -308,6 +331,50 @@ class ShardedSequencer(Entity):
             self.receive_at(self._live_owner(item.client_id), item, arrival_time)
             return
         shard.sequencer.receive(item, arrival_time)
+
+    def receive_many(
+        self,
+        items: Iterable[Union[TimestampedMessage, Heartbeat]],
+        arrival_time: Optional[float] = None,
+    ) -> None:
+        """Route a simultaneity burst to the owner shards in one pass.
+
+        Items are grouped by live owner (preserving per-client order) and
+        each shard absorbs its sub-burst through
+        :meth:`~repro.core.online.OnlineTommySequencer.receive_many` — one
+        vectorized block append and one emission check per shard instead of
+        one per message.
+        """
+        by_shard: Dict[int, List[Union[TimestampedMessage, Heartbeat]]] = {}
+        for item in items:
+            by_shard.setdefault(self._live_owner(item.client_id), []).append(item)
+        for shard_index, shard_items in by_shard.items():
+            self.receive_many_at(shard_index, shard_items, arrival_time)
+
+    def receive_many_at(
+        self,
+        shard_index: int,
+        items: Iterable[Union[TimestampedMessage, Heartbeat]],
+        arrival_time: Optional[float] = None,
+    ) -> None:
+        """Deliver a burst to a specific shard's fan-in endpoint.
+
+        The burst counterpart of :meth:`receive_at`, with the same
+        crashed/backlog semantics; coalescing
+        :class:`~repro.network.transport.Transport` endpoints wire their
+        burst callback here.
+        """
+        burst = list(items)
+        if not burst:
+            return
+        shard = self._shards[shard_index]
+        if shard.crashed and shard.alive:
+            shard.backlog.extend(burst)
+            return
+        if not shard.alive:
+            self.receive_many(burst, arrival_time)
+            return
+        shard.sequencer.receive_many(burst, arrival_time)
 
     # --------------------------------------------------------------- failover
     def fail_shard(self, shard_index: int) -> None:
@@ -430,8 +497,24 @@ class ShardedSequencer(Entity):
         return combined.merge(self._merger.engine_stats)
 
     def merge(self) -> MergeOutcome:
-        """Merge every shard's emitted batches into the cluster-wide order."""
+        """Merge every shard's emitted batches into the cluster-wide order.
+
+        The offline path: recomputes the whole merge from the emitted
+        streams.  With streaming enabled, :meth:`live_merge` linearises the
+        incrementally maintained state instead and is byte-identical.
+        """
         return self._merger.merge(self.shard_batches())
+
+    def live_merge(self) -> MergeOutcome:
+        """The cluster-wide order from the live streaming merger.
+
+        Every cross-shard batch pair was priced when its later batch was
+        emitted, so this only linearises and coalesces maintained state —
+        no re-merge of the full history.
+        """
+        if self._streaming is None:
+            raise ValueError("streaming merge is disabled; construct with streaming_merge=True")
+        return self._streaming.result()
 
     def result(self) -> SequencingResult:
         """The merged cluster-wide order as a :class:`SequencingResult`."""

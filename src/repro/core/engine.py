@@ -76,6 +76,8 @@ class EngineStats:
     rebuilds: int = 0
     quantile_cache_hits: int = 0
     quantile_cache_misses: int = 0
+    block_appends: int = 0
+    pruned_pairs: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Flat dictionary view (for result metadata and benchmarks)."""
@@ -91,6 +93,8 @@ class EngineStats:
             "rebuilds": self.rebuilds,
             "quantile_cache_hits": self.quantile_cache_hits,
             "quantile_cache_misses": self.quantile_cache_misses,
+            "block_appends": self.block_appends,
+            "pruned_pairs": self.pruned_pairs,
         }
 
     def merge(self, other: "EngineStats") -> "EngineStats":
@@ -116,6 +120,31 @@ def batched_gaussian_probabilities(
     """
     variance = variances_i + variance_j
     gap = (timestamp_j - timestamps_i) - (mean_j - means_i)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        z = gap / np.sqrt(variance)
+        phi = 0.5 * (1.0 + special.erf(z / _SQRT2))
+    degenerate = np.where(gap > 0, 1.0, np.where(gap < 0, 0.0, 0.5))
+    return np.where(variance > 0, phi, degenerate)
+
+
+def batched_gaussian_matrix(
+    timestamps_i: np.ndarray,
+    means_i: np.ndarray,
+    variances_i: np.ndarray,
+    timestamps_j: np.ndarray,
+    means_j: np.ndarray,
+    variances_j: np.ndarray,
+) -> np.ndarray:
+    """2-D broadcast of the §3.2 closed form: ``M[i][j] = P(i precedes j)``.
+
+    Element-wise identical to :func:`batched_gaussian_probabilities` called
+    once per column ``j`` — the same operation order per element, broadcast
+    over the outer product instead of looped.
+    """
+    variance = variances_i[:, None] + variances_j[None, :]
+    gap = (timestamps_j[None, :] - timestamps_i[:, None]) - (
+        means_j[None, :] - means_i[:, None]
+    )
     with np.errstate(divide="ignore", invalid="ignore"):
         z = gap / np.sqrt(variance)
         phi = 0.5 * (1.0 + special.erf(z / _SQRT2))
@@ -575,6 +604,159 @@ class IncrementalPrecedenceEngine:
         self._index[key] = n
         self._positions_by_client.setdefault(message.client_id, []).append(n)
         self.stats.rows_appended += 1
+
+    def add_messages(self, messages: Sequence[TimestampedMessage]) -> None:
+        """Append a simultaneity burst as one vectorized ``k x n`` block.
+
+        Bit-identical to calling :meth:`add_message` once per message in
+        order — the same kernels evaluate the same entries element-wise, the
+        same tie/orientation logic runs per appended row — but the matrix
+        grows once, the Gaussian closed form evaluates the whole
+        existing-by-new block in a single broadcast, and each grid-backed
+        client pair interpolates one batched block instead of one slice per
+        arrival.  Validation happens up front, so a burst with a duplicate or
+        unregistered message raises before any state mutates.
+        """
+        burst = list(messages)
+        if not burst:
+            return
+        if len(burst) == 1:
+            self.add_message(burst[0])
+            return
+        seen: Set[MessageKey] = set()
+        params_list: List[Optional[Tuple[float, float]]] = []
+        for message in burst:
+            key = message.key
+            if key in self._index or key in seen:
+                raise ValueError(f"message {key!r} already tracked by the engine")
+            seen.add(key)
+            params = self._params_for(message.client_id)
+            if params is None:
+                # raises KeyError for unregistered clients, mirroring the model
+                self._model.distribution_for(message.client_id)
+            params_list.append(params)
+        n0 = self.size
+        k = len(burst)
+        self._grow(n0 + k)
+        # stage per-position metadata for the whole burst so the grouped
+        # kernels can evaluate existing-by-new and intra-burst entries alike
+        for offset, (message, params) in enumerate(zip(burst, params_list)):
+            position = n0 + offset
+            self._timestamps[position] = message.timestamp
+            if params is not None:
+                self._means[position], self._variances[position] = params
+                self._gaussian[position] = True
+            else:
+                self._means[position] = self._variances[position] = 0.0
+                self._gaussian[position] = False
+        block = self._compute_block(burst, params_list, n0)
+        for offset, message in enumerate(burst):
+            position = n0 + offset
+            key = message.key
+            if position:
+                row = block[:position, offset]
+                self._matrix[:position, position] = row
+                self._matrix[position, :position] = 1.0 - row
+                wins = row > (1.0 - row)
+                ties = np.abs(row - 0.5) <= self._tie_epsilon
+                if ties.any():
+                    for tie_position in np.flatnonzero(ties):
+                        wins[tie_position] = self._messages[tie_position].key <= key
+                self._direction[:position, position] = wins
+                self._direction[position, :position] = ~wins
+                self._scores[:position] += wins
+                self._scores[position] = int(position - int(wins.sum()))
+            else:
+                self._scores[position] = 0
+            self._matrix[position, position] = 0.5
+            self._direction[position, position] = False
+            self._messages.append(message)
+            self._index[key] = position
+            self._positions_by_client.setdefault(message.client_id, []).append(position)
+        self.stats.rows_appended += k
+        self.stats.block_appends += 1
+
+    def _compute_block(
+        self,
+        burst: Sequence[TimestampedMessage],
+        params_list: Sequence[Optional[Tuple[float, float]]],
+        n0: int,
+    ) -> np.ndarray:
+        """``block[i][j] = P(position_i precedes burst_j)`` for ``i < n0 + j``.
+
+        Entries outside that trapezoid (a burst message against a later burst
+        message) may be computed by the vectorized kernels but are never
+        read.  Only the valid trapezoid is counted in the stats, matching
+        what a sequential append would have evaluated.
+        """
+        k = len(burst)
+        total = n0 + k
+        block = np.empty((total, k), dtype=float)
+        gaussian_rows = self._gaussian[:total]
+        new_gaussian = np.array([params is not None for params in params_list], dtype=bool)
+        if gaussian_rows.any() and new_gaussian.any():
+            rows = np.flatnonzero(gaussian_rows)
+            cols = np.flatnonzero(new_gaussian)
+            block[np.ix_(rows, cols)] = batched_gaussian_matrix(
+                self._timestamps[rows],
+                self._means[rows],
+                self._variances[rows],
+                self._timestamps[n0 + cols],
+                self._means[n0 + cols],
+                self._variances[n0 + cols],
+            )
+            self.stats.vectorized_evaluations += int(
+                (rows[:, None] < (n0 + cols)[None, :]).sum()
+            )
+        if gaussian_rows.all() and new_gaussian.all():
+            return block
+        positions_by_client = {
+            client: list(positions) for client, positions in self._positions_by_client.items()
+        }
+        cols_by_client: Dict[str, List[int]] = {}
+        for offset, message in enumerate(burst):
+            positions_by_client.setdefault(message.client_id, []).append(n0 + offset)
+            cols_by_client.setdefault(message.client_id, []).append(offset)
+        for client_i, row_positions in positions_by_client.items():
+            params_i = self._params_for(client_i)
+            for client_j, col_offsets in cols_by_client.items():
+                if params_i is not None and self._params_for(client_j) is not None:
+                    continue  # served by the closed-form block above
+                table = (
+                    self._tables.table(client_i, client_j)
+                    if self._pair_tables_enabled
+                    else None
+                )
+                if table is not None:
+                    rows = np.asarray(row_positions, dtype=np.intp)
+                    cols = np.asarray(col_offsets, dtype=np.intp)
+                    diffs = self._timestamps[n0 + cols][None, :] - self._timestamps[rows][:, None]
+                    # the scalar path's clip, applied at evaluation time: a
+                    # no-op on every other entry kind, so the row a burst
+                    # message reads is bit-equal to _compute_row's output
+                    block[np.ix_(rows, cols)] = np.clip(
+                        _compiled_interp(diffs, table[0], table[1], 0.0, 1.0), 0.0, 1.0
+                    )
+                    self.stats.table_evaluations += int(
+                        (rows[:, None] < (n0 + cols)[None, :]).sum()
+                    )
+                else:
+                    for col in col_offsets:
+                        message_j = burst[col]
+                        limit = n0 + col
+                        for row_position in row_positions:
+                            if row_position >= limit:
+                                continue
+                            message_i = (
+                                self._messages[row_position]
+                                if row_position < n0
+                                else burst[row_position - n0]
+                            )
+                            block[row_position, col] = self._model.preceding_probability(
+                                message_i, message_j
+                            )
+                            self.stats.scalar_evaluations += 1
+        return block
 
     def _compute_row(
         self,

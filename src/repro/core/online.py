@@ -27,7 +27,7 @@ the parity oracle for tests and benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -110,12 +110,21 @@ class OnlineTommySequencer(Entity):
         self._pending: List[TimestampedMessage] = []
         self._arrival_times: Dict[Tuple[str, int], float] = {}
         self._latest_client_timestamp: Dict[str, float] = {}
+        # incremental completeness horizon: known clients never heard from,
+        # plus a lazily recomputed minimum over the heard clients' latest
+        # timestamps, so the per-emission-check completeness test is O(1)
+        # instead of a scan over every known client
+        self._unheard_clients = set(self._known_clients)
+        self._floor_value = float("inf")
+        self._floor_client: Optional[str] = None
+        self._floor_stale = False
         self._emitted: List[EmittedBatch] = []
         self._next_rank = 0
         self._check_event: Optional[Event] = None
         self._extension_count = 0
         self._forced_emissions = 0
         self._distribution_refreshes = 0
+        self._on_emit: Optional[Callable[[EmittedBatch], None]] = None
 
     # ------------------------------------------------------------- properties
     @property
@@ -162,12 +171,25 @@ class OnlineTommySequencer(Entity):
         """How many live distribution updates the sequencer has absorbed."""
         return self._distribution_refreshes
 
+    def subscribe_emissions(self, callback: Optional[Callable[[EmittedBatch], None]]) -> None:
+        """Register ``callback`` to be invoked with every emitted batch.
+
+        The hook fires synchronously from :meth:`_emit` (timer-driven
+        emissions and :meth:`flush` alike); the cluster uses it to feed the
+        streaming cross-shard merger as batches appear instead of re-merging
+        everything per drain.
+        """
+        self._on_emit = callback
+
     def register_client(self, client_id: str, distribution: OffsetDistribution) -> None:
         """Register a (new) client's clock-error distribution."""
         self._model.register_client(client_id, distribution)
         if self._engine is not None:
             self._engine.invalidate_client(client_id)
-        self._known_clients.add(client_id)
+        if client_id not in self._known_clients:
+            self._known_clients.add(client_id)
+            if client_id not in self._latest_client_timestamp:
+                self._unheard_clients.add(client_id)
 
     def update_client_distribution(
         self, client_id: str, distribution: OffsetDistribution
@@ -232,10 +254,59 @@ class OnlineTommySequencer(Entity):
             raise TypeError(f"unsupported item type {type(item).__name__}")
         self._schedule_check()
 
+    def receive_many(
+        self,
+        items: Iterable[Union[TimestampedMessage, Heartbeat]],
+        arrival_time: Optional[float] = None,
+    ) -> None:
+        """Handle a simultaneity burst of arrivals in one pass.
+
+        Behaviorally equivalent to calling :meth:`receive` per item at the
+        same loop instant (all per-item checks collapse onto the final one
+        anyway), but the pending messages enter the engine as a single
+        vectorized block append and exactly one emission check is scheduled —
+        the fast path coalescing transports
+        (:class:`~repro.network.transport.SequencerEndpoint`) deliver into.
+        """
+        burst = list(items)
+        if not burst:
+            return
+        arrival = self.now if arrival_time is None else float(arrival_time)
+        messages: List[TimestampedMessage] = []
+        for item in burst:
+            if isinstance(item, Heartbeat):
+                self._note_client_progress(item.client_id, item.timestamp)
+            elif isinstance(item, TimestampedMessage):
+                if not self._model.has_client(item.client_id):
+                    raise KeyError(
+                        f"client {item.client_id!r} has no registered clock-error distribution"
+                    )
+                messages.append(item)
+            else:
+                raise TypeError(f"unsupported item type {type(item).__name__}")
+        if messages:
+            self._pending.extend(messages)
+            if self._engine is not None:
+                self._engine.add_messages(messages)
+            for message in messages:
+                self._arrival_times[message.key] = arrival
+                self._note_client_progress(message.client_id, message.timestamp)
+        self._schedule_check()
+
     def _note_client_progress(self, client_id: str, timestamp: float) -> None:
-        current = self._latest_client_timestamp.get(client_id, -float("inf"))
-        if timestamp > current:
+        current = self._latest_client_timestamp.get(client_id)
+        if current is None:
             self._latest_client_timestamp[client_id] = timestamp
+            self._unheard_clients.discard(client_id)
+            if timestamp < self._floor_value:
+                self._floor_value = timestamp
+                self._floor_client = client_id
+        elif timestamp > current:
+            self._latest_client_timestamp[client_id] = timestamp
+            # raising any other client's latest cannot lower the minimum;
+            # raising the floor client's invalidates the cached floor
+            if client_id == self._floor_client:
+                self._floor_stale = True
         self._known_clients.add(client_id)
 
     # ----------------------------------------------------- tentative batching
@@ -287,6 +358,31 @@ class OnlineTommySequencer(Entity):
             )
         return max(self._model.safe_emission_time(message, self._config.p_safe) for message in batch)
 
+    def _completeness_floor(self) -> float:
+        """Minimum latest-heard timestamp over the known clients.
+
+        ``-inf`` while any known client has never been heard from.  The
+        minimum is cached and only recomputed when the floor-defining client
+        itself advances, so the per-check cost is O(1) amortised instead of
+        a scan over every known client (``_completeness_scan``, kept as the
+        parity oracle).
+        """
+        if self._unheard_clients:
+            return -float("inf")
+        if self._floor_stale:
+            self._floor_client, self._floor_value = min(
+                self._latest_client_timestamp.items(), key=lambda entry: entry[1]
+            )
+            self._floor_stale = False
+        return self._floor_value
+
+    def _completeness_scan(self, batch_horizon: float) -> bool:
+        """The original O(known clients) completeness scan (parity oracle)."""
+        return all(
+            self._latest_client_timestamp.get(client_id, -float("inf")) >= batch_horizon
+            for client_id in self._known_clients
+        )
+
     def _completeness_satisfied(self, batch: Sequence[TimestampedMessage]) -> bool:
         mode = self._config.completeness_mode
         if mode == "none":
@@ -298,11 +394,9 @@ class OnlineTommySequencer(Entity):
             # On an ordered channel, having heard from a client at timestamp
             # >= horizon means none of its messages timestamped below the
             # horizon are still in flight (per-client FIFO + monotone
-            # per-client timestamps).
-            return all(
-                self._latest_client_timestamp.get(client_id, -float("inf")) >= batch_horizon
-                for client_id in self._known_clients
-            )
+            # per-client timestamps).  Every known client clears the horizon
+            # exactly when the minimum latest-heard timestamp does.
+            return self._completeness_floor() >= batch_horizon
         # bounded_delay: all messages timestamped <= batch_horizon have arrived
         # once the sequencer clock passes batch_horizon + max one-way delay.
         return self.now >= batch_horizon + self._config.max_network_delay
@@ -374,7 +468,8 @@ class OnlineTommySequencer(Entity):
 
     def _emit(self, candidate: List[TimestampedMessage], safe_time: float) -> None:
         batch = SequencedBatch(rank=self._next_rank, messages=tuple(candidate), emitted_at=self.now)
-        self._emitted.append(EmittedBatch(batch=batch, emitted_at=self.now, safe_emission_time=safe_time))
+        emitted = EmittedBatch(batch=batch, emitted_at=self.now, safe_emission_time=safe_time)
+        self._emitted.append(emitted)
         self._next_rank += 1
         emitted_keys = {message.key for message in candidate}
         self._pending = [message for message in self._pending if message.key not in emitted_keys]
@@ -384,6 +479,8 @@ class OnlineTommySequencer(Entity):
             self._arrival_times.pop(key, None)
         if self._engine is not None:
             self._engine.remove_messages(emitted_keys)
+        if self._on_emit is not None:
+            self._on_emit(emitted)
 
     def halt(self) -> None:
         """Stop processing: cancel any scheduled emission check.

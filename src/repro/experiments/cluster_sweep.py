@@ -41,6 +41,8 @@ class ClusterRunOutcome:
     message_count: int
     per_shard_emitted: List[int]
     failovers: int
+    streaming_wall_seconds: Optional[float] = None
+    streaming_parity: Optional[bool] = None
 
     @property
     def per_shard_throughput(self) -> float:
@@ -68,6 +70,13 @@ class ClusterRunOutcome:
             "batches": self.comparison.batches.batch_count,
             "merged_cross_shard": self.merge.merged_cross_shard,
             "merge_latency_ms": round(self.merge.wall_seconds * 1e3, 3),
+            "pruned_pairs": self.merge.cross_pairs_pruned,
+            "streaming_ms": (
+                round(self.streaming_wall_seconds * 1e3, 3)
+                if self.streaming_wall_seconds is not None
+                else None
+            ),
+            "streaming_parity": self.streaming_parity,
             "shard_throughput": round(self.per_shard_throughput, 1),
             "total_throughput": round(self.total_throughput, 1),
             "wall_seconds": round(self.run_wall_seconds, 4),
@@ -81,11 +90,16 @@ def run_cluster_scenario(
     config: Optional[TommyConfig] = None,
     policy: Optional[ShardingPolicy] = None,
     num_regions: int = 4,
+    streaming: bool = True,
 ) -> ClusterRunOutcome:
     """Replay one multi-region scenario through an N-shard cluster.
 
     ``policy`` defaults to region-affine placement derived from the
     generated scenario (pass e.g. :class:`HashSharding` to ablate it).
+    With ``streaming`` (the default) the cluster additionally maintains the
+    live incremental merge; the reported ``streaming_ms`` is the cost of
+    linearising that maintained state at drain time and
+    ``streaming_parity`` checks it against the offline re-merge.
     """
     placement = build_cluster_scenario(num_clients, num_regions=num_regions, seed=seed)
     scenario = placement.scenario
@@ -100,6 +114,7 @@ def run_cluster_scenario(
         num_shards=num_shards,
         config=config,
         policy=policy,
+        streaming_merge=streaming,
     )
     replay_scenario(loop, cluster, scenario)
 
@@ -109,6 +124,17 @@ def run_cluster_scenario(
     run_wall = time.perf_counter() - start
 
     merge = cluster.merge()
+    streaming_wall: Optional[float] = None
+    streaming_parity: Optional[bool] = None
+    if streaming:
+        streaming_start = time.perf_counter()
+        live = cluster.live_merge()
+        streaming_wall = time.perf_counter() - streaming_start
+        fingerprint = lambda outcome: [
+            (batch.rank, tuple(message.key for message in batch.messages))
+            for batch in outcome.result.batches
+        ]
+        streaming_parity = fingerprint(live) == fingerprint(merge)
     messages = list(scenario.messages)
     comparison = evaluate_result(f"cluster@{num_shards}", merge.result, messages)
     return ClusterRunOutcome(
@@ -121,6 +147,8 @@ def run_cluster_scenario(
         message_count=len(messages),
         per_shard_emitted=cluster.emitted_counts(),
         failovers=len(cluster.failover_events),
+        streaming_wall_seconds=streaming_wall,
+        streaming_parity=streaming_parity,
     )
 
 
@@ -129,6 +157,7 @@ def run_cluster_sweep(
     client_counts: Sequence[int] = (32, 64),
     seed: int = 21,
     config: Optional[TommyConfig] = None,
+    streaming: bool = True,
 ) -> List[Dict[str, object]]:
     """Sweep shard count × client count and return one row per combination."""
     rows: List[Dict[str, object]] = []
@@ -139,6 +168,7 @@ def run_cluster_sweep(
                 num_shards=num_shards,
                 seed=seed,
                 config=config,
+                streaming=streaming,
             )
             rows.append(outcome.as_row())
     return rows

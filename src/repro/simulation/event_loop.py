@@ -62,6 +62,9 @@ class EventLoop:
     1.5
     """
 
+    #: Minimum queue length before lazy-cancelled events are compacted away.
+    COMPACTION_MIN_QUEUE = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: List[Event] = []
@@ -69,7 +72,13 @@ class EventLoop:
         self._running = False
         self._stopped = False
         self._processed = 0
-        self._stats: Dict[str, int] = {"scheduled": 0, "cancelled": 0, "executed": 0}
+        self._cancelled_pending = 0
+        self._stats: Dict[str, int] = {
+            "scheduled": 0,
+            "cancelled": 0,
+            "executed": 0,
+            "compactions": 0,
+        }
 
     # ------------------------------------------------------------------ time
     @property
@@ -84,11 +93,11 @@ class EventLoop:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of events still queued (including not-yet-reaped cancelled ones)."""
         return len(self._queue)
 
     def stats(self) -> Dict[str, int]:
-        """Return scheduling statistics (scheduled / cancelled / executed)."""
+        """Return scheduling statistics (scheduled / cancelled / executed / compactions)."""
         return dict(self._stats)
 
     # ------------------------------------------------------------- scheduling
@@ -141,10 +150,29 @@ class EventLoop:
         )
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event (lazy removal)."""
+        """Cancel a previously scheduled event (lazy removal).
+
+        Cancellation only marks the event; the heap entry is reaped when it
+        reaches the front — except that once cancelled events make up more
+        than half of a non-trivial queue the whole heap is compacted, so an
+        arrival burst that cancels and reschedules one check per arrival
+        cannot grow the heap beyond ~2x its live size.
+        """
         if not event.cancelled:
             event.cancel()
             self._stats["cancelled"] += 1
+            self._cancelled_pending += 1
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if (
+            len(self._queue) >= self.COMPACTION_MIN_QUEUE
+            and 2 * self._cancelled_pending > len(self._queue)
+        ):
+            self._queue = [event for event in self._queue if not event.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
+            self._stats["compactions"] += 1
 
     # -------------------------------------------------------------- execution
     def step(self) -> Optional[Event]:
@@ -156,6 +184,7 @@ class EventLoop:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             if event.time < self._now:
                 raise SimulationError("event queue time went backwards")
@@ -203,6 +232,7 @@ class EventLoop:
         """Return the next non-cancelled event without removing it."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_pending -= 1
         return self._queue[0] if self._queue else None
 
     def next_event_time(self) -> Optional[float]:

@@ -1,9 +1,11 @@
 """Tests for the probabilistic cross-shard merger."""
 
+import numpy as np
 import pytest
 
-from repro.cluster.merge import CrossShardMerger
+from repro.cluster.merge import CertaintyWindows, CrossShardMerger, _merge_from_matrix
 from repro.core.probability import PrecedenceModel
+from repro.distributions.empirical import EmpiricalDistribution
 from repro.distributions.parametric import GaussianDistribution
 from repro.network.message import SequencedBatch, TimestampedMessage
 
@@ -132,6 +134,111 @@ def test_threshold_validation():
         CrossShardMerger(model_for(["a"]), threshold=0.4)
     with pytest.raises(ValueError):
         CrossShardMerger(model_for(["a"]), threshold=1.0)
+
+
+def test_window_pruning_matches_kernel_saturation_exactly():
+    # batches far outside each other's certainty windows resolve to 0/1 by
+    # window pruning; the kernel itself must saturate to the same floats, so
+    # pruning can never change the merged order
+    model = model_for(["a", "b"], sigma=0.001)
+    merger = CrossShardMerger(model, threshold=0.75)
+    near = batch(0, make_message("a", 0.0))
+    far = batch(0, make_message("b", 100.0))
+    windows = merger.certainty_windows
+    assert windows.radius("a") + windows.radius("b") < 100.0
+    # the kernel value for the pruned pair is exactly the pruned constant
+    assert merger.batch_precedence(near, far) == 1.0
+    assert merger.batch_precedence(far, near) == 0.0
+    outcome = merger.merge([[near], [far]])
+    assert outcome.cross_pairs_pruned == 1
+    assert outcome.cross_pairs_evaluated == 0
+    assert outcome.result.metadata["cross_pairs_pruned"] == 1
+    timestamps = [b.messages[0].timestamp for b in outcome.result.batches]
+    assert timestamps == [0.0, 100.0]
+
+
+def test_window_pruning_exact_for_empirical_tables():
+    # grid-backed pairs saturate at the difference-CDF grid ends; the
+    # certainty radius must land pruned pairs beyond them
+    rng = np.random.default_rng(3)
+    model = PrecedenceModel()
+    model.register_client(
+        "a", EmpiricalDistribution.from_samples(rng.normal(0.0, 0.005, 800), bins=64)
+    )
+    model.register_client(
+        "b", EmpiricalDistribution.from_samples(rng.normal(0.001, 0.008, 800), bins=64)
+    )
+    merger = CrossShardMerger(model, threshold=0.75)
+    early = batch(0, make_message("a", 0.0))
+    late = batch(0, make_message("b", 10.0))
+    assert merger.batch_precedence(early, late) == 1.0
+    outcome = merger.merge([[early], [late]])
+    assert outcome.cross_pairs_pruned == 1
+    assert [b.messages[0].client_id for b in outcome.result.batches] == ["a", "b"]
+
+
+def test_certainty_windows_pick_up_distribution_refreshes():
+    model = model_for(["a"], sigma=0.001)
+    windows = CertaintyWindows(model)
+    tight = windows.radius("a")
+    model.register_client("a", GaussianDistribution(0.0, 1.0))
+    assert windows.radius("a") > tight
+
+
+def test_infinite_support_disables_pruning():
+    class Unbounded(GaussianDistribution):
+        def support(self, coverage=1.0 - 1e-9):
+            return (-float("inf"), float("inf"))
+
+    model = PrecedenceModel()
+    model.register_client("a", Unbounded(0.0, 0.001))
+    model.register_client("b", GaussianDistribution(0.0, 0.001))
+    merger = CrossShardMerger(model, threshold=0.75)
+    outcome = merger.merge(
+        [[batch(0, make_message("a", 0.0))], [batch(0, make_message("b", 100.0))]]
+    )
+    assert outcome.cross_pairs_pruned == 0
+    assert outcome.cross_pairs_evaluated == 1
+
+
+def test_three_shard_interleaving_coalesces_with_explicit_certainty():
+    # a 3-shard interleaving whose merged order chains batches from all
+    # three shards through the coalescing walk: every cross-shard adjacency
+    # must find its recorded probability (no silent defaults)
+    model = model_for(["a", "b", "c"], sigma=5.0)
+    merger = CrossShardMerger(model, threshold=0.9)
+    shard0 = [batch(0, make_message("a", 0.0)), batch(1, make_message("a", 1.0))]
+    shard1 = [batch(0, make_message("b", 0.4))]
+    shard2 = [batch(0, make_message("c", 0.7))]
+    outcome = merger.merge([shard0, shard1, shard2])
+    assert outcome.merged_cross_shard >= 2
+    total = sum(b.size for b in outcome.result.batches)
+    assert total == 4
+    # determinism across repeated merges of fresh mergers
+    again = CrossShardMerger(model_for(["a", "b", "c"], sigma=5.0), threshold=0.9).merge(
+        [shard0, shard1, shard2]
+    )
+    assert [tuple(m.key for m in b.messages) for b in outcome.result.batches] == [
+        tuple(m.key for m in b.messages) for b in again.result.batches
+    ]
+
+
+def test_missing_cross_shard_probability_is_a_hard_error():
+    # the coalescing walk asserts cross-shard lookups exist instead of
+    # silently defaulting to confident like the pre-kernel implementation
+    streams = [[batch(0, make_message("a", 0.0))], [batch(0, make_message("b", 0.1))]]
+    matrix = np.full((2, 2), np.nan)  # cross pair never priced
+    with pytest.raises(AssertionError, match="no precedence recorded"):
+        _merge_from_matrix(
+            streams,
+            matrix,
+            threshold=0.75,
+            cycle_policy="greedy",
+            rng=np.random.default_rng(0),
+            cross_pairs_evaluated=0,
+            cross_pairs_pruned=0,
+            start=0.0,
+        )
 
 
 def test_ranks_are_contiguous_and_metadata_populated():

@@ -1,0 +1,252 @@
+"""Property tests for the incremental streaming cross-shard merger.
+
+The contract: a :class:`StreamingMerger` observing per-shard batch streams
+in *any* interleaving (respecting each shard's own rank order) produces
+byte-identical output to the offline :meth:`CrossShardMerger.merge` over
+the same streams — mid-stream and at the end, for Gaussian and grid-backed
+clients, through the cyclic fallback, and across distribution refreshes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.merge import CrossShardMerger
+from repro.cluster.sharded import ShardedSequencer
+from repro.core.config import TommyConfig
+from repro.core.probability import PrecedenceModel
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.parametric import GaussianDistribution
+from repro.network.message import SequencedBatch, TimestampedMessage
+from repro.simulation.event_loop import EventLoop
+
+
+def fingerprint(outcome):
+    return [
+        (
+            batch.rank,
+            tuple(message.key for message in batch.messages),
+            batch.emitted_at,
+        )
+        for batch in outcome.result.batches
+    ]
+
+
+def build_model(num_shards, clients_per_shard, rng, empirical_fraction=0.0):
+    model = PrecedenceModel()
+    shard_clients = []
+    for shard in range(num_shards):
+        clients = []
+        for local in range(clients_per_shard):
+            client_id = f"s{shard}-c{local}"
+            if rng.random() < empirical_fraction:
+                samples = rng.normal(float(rng.normal(0, 0.002)), float(rng.uniform(0.002, 0.01)), 600)
+                model.register_client(
+                    client_id, EmpiricalDistribution.from_samples(samples, bins=64)
+                )
+            else:
+                model.register_client(
+                    client_id,
+                    GaussianDistribution(
+                        float(rng.normal(0, 0.002)), float(rng.uniform(0.002, 0.01))
+                    ),
+                )
+            clients.append(client_id)
+        shard_clients.append(clients)
+    return model, shard_clients
+
+
+def build_streams(shard_clients, batches_per_shard, rng, gap=0.015, spread=1.0):
+    streams = []
+    message_id = int(rng.integers(40_000_000, 50_000_000))
+    for shard, clients in enumerate(shard_clients):
+        stream = []
+        for index in range(batches_per_shard):
+            base = index * gap + float(rng.uniform(0.0, spread * gap))
+            messages = []
+            for _ in range(int(rng.integers(1, 4))):
+                timestamp = base + float(rng.uniform(0, 0.5 * gap))
+                messages.append(
+                    TimestampedMessage(
+                        client_id=clients[int(rng.integers(len(clients)))],
+                        timestamp=timestamp,
+                        true_time=timestamp,
+                        message_id=message_id,
+                    )
+                )
+                message_id += 1
+            stream.append(SequencedBatch(rank=index, messages=tuple(messages), emitted_at=base))
+        streams.append(stream)
+    return streams
+
+
+def random_interleaving(streams, rng):
+    cursors = [0] * len(streams)
+    order = []
+    while True:
+        available = [s for s, stream in enumerate(streams) if cursors[s] < len(stream)]
+        if not available:
+            return order
+        shard = available[int(rng.integers(len(available)))]
+        order.append((shard, streams[shard][cursors[shard]]))
+        cursors[shard] += 1
+
+
+def observed_prefix(observations, count, num_shards):
+    prefix = [[] for _ in range(num_shards)]
+    for shard, batch in observations[:count]:
+        prefix[shard].append(batch)
+    return prefix
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("empirical_fraction", [0.0, 0.5])
+def test_streaming_equals_offline_under_random_interleavings(seed, empirical_fraction):
+    rng = np.random.default_rng(100 + seed)
+    num_shards = 3
+    model, shard_clients = build_model(num_shards, 2, rng, empirical_fraction)
+    streams = build_streams(shard_clients, 5, rng)
+
+    streaming = CrossShardMerger(model, seed=seed).streaming_merger(num_shards=num_shards)
+    observations = random_interleaving(streams, rng)
+    for position, (shard, batch) in enumerate(observations):
+        streaming.observe_batch(shard, batch)
+        if position % 4 == 3:  # mid-stream parity, batches in arbitrary shard order
+            prefix = observed_prefix(observations, position + 1, num_shards)
+            oracle = CrossShardMerger(model, seed=seed).merge(prefix)
+            assert fingerprint(streaming.result()) == fingerprint(oracle)
+    oracle = CrossShardMerger(model, seed=seed).merge(streams)
+    live = streaming.result()
+    assert fingerprint(live) == fingerprint(oracle)
+    assert live.result.metadata["shards"] == oracle.result.metadata["shards"]
+    assert live.merged_cross_shard == oracle.merged_cross_shard
+    assert live.cycles_broken == oracle.cycles_broken
+
+
+@pytest.mark.parametrize("empirical_fraction", [0.0, 1.0])
+def test_streaming_matrix_is_bitwise_identical_to_offline_kernel(empirical_fraction):
+    # not just the same order: the maintained forward-probability matrix
+    # must match the offline flattened kernel float for float, so threshold
+    # comparisons can never diverge even at knife-edge probabilities
+    rng = np.random.default_rng(42)
+    num_shards = 3
+    model, shard_clients = build_model(num_shards, 2, rng, empirical_fraction)
+    streams = build_streams(shard_clients, 4, rng)
+    offline = CrossShardMerger(model, seed=0)
+    offline_matrix, _, _ = offline._forward_matrix(streams)
+    streaming = CrossShardMerger(model, seed=0).streaming_merger(num_shards=num_shards)
+    observations = random_interleaving(streams, rng)
+    for shard, batch in observations:
+        streaming.observe_batch(shard, batch)
+    nodes_shard_major = [
+        (shard, index) for shard, stream in enumerate(streams) for index in range(len(stream))
+    ]
+    permutation = [streaming._node_position[node] for node in nodes_shard_major]
+    live_matrix = streaming._matrix[np.ix_(permutation, permutation)]
+    assert np.array_equal(offline_matrix, live_matrix, equal_nan=True)
+
+
+def test_streaming_parity_through_the_cyclic_fallback():
+    # adversarial within-shard order forces a cycle (the fast Kahn path
+    # bails to the materialised-graph reference); parity must survive it
+    model = PrecedenceModel()
+    for client in ("a", "b"):
+        model.register_client(client, GaussianDistribution(0.0, 0.5))
+    shard0 = [
+        SequencedBatch(rank=0, messages=(TimestampedMessage(client_id="a", timestamp=10.0),)),
+        SequencedBatch(rank=1, messages=(TimestampedMessage(client_id="a", timestamp=0.0),)),
+    ]
+    shard1 = [SequencedBatch(rank=0, messages=(TimestampedMessage(client_id="b", timestamp=5.0),))]
+    streams = [shard0, shard1]
+    oracle = CrossShardMerger(model, seed=7).merge(streams)
+    assert oracle.cycles_broken >= 1
+    streaming = CrossShardMerger(model, seed=7).streaming_merger(num_shards=2)
+    for shard, batch in [(1, shard1[0]), (0, shard0[0]), (0, shard0[1])]:
+        streaming.observe_batch(shard, batch)
+    assert fingerprint(streaming.result()) == fingerprint(oracle)
+    assert streaming.result().cycles_broken == oracle.cycles_broken
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_merge_invariant_under_shard_index_permutation(seed):
+    # permuting shard indices relabels the nodes; with distinct, separable
+    # timestamps the deterministic tie-break never engages and the merged
+    # message order is invariant
+    rng = np.random.default_rng(seed)
+    model, shard_clients = build_model(3, 2, rng)
+    streams = build_streams(shard_clients, 4, rng, gap=0.2, spread=0.1)
+
+    def merged_keys(shard_streams):
+        outcome = CrossShardMerger(model, seed=0).merge(shard_streams)
+        return [tuple(m.key for m in batch.messages) for batch in outcome.result.batches]
+
+    baseline_keys = merged_keys(streams)
+    for permutation in ([1, 2, 0], [2, 1, 0], [0, 2, 1]):
+        permuted = [streams[shard] for shard in permutation]
+        assert merged_keys(permuted) == baseline_keys
+
+
+def test_streaming_refresh_client_reprices_pairs():
+    rng = np.random.default_rng(5)
+    model, shard_clients = build_model(2, 1, rng)
+    streams = build_streams(shard_clients, 3, rng)
+    streaming = CrossShardMerger(model, seed=0).streaming_merger(num_shards=2)
+    for shard, batch in random_interleaving(streams, rng):
+        streaming.observe_batch(shard, batch)
+    # refresh one client mid-stream: a much wider clock error makes formerly
+    # confident cross-shard pairs uncertain
+    refreshed = "s0-c0"
+    model.register_client(refreshed, GaussianDistribution(0.0, 5.0))
+    repriced = streaming.refresh_client(refreshed)
+    assert repriced > 0
+    oracle = CrossShardMerger(model, seed=0).merge(streams)
+    live = streaming.result()
+    assert fingerprint(live) == fingerprint(oracle)
+    # repricing replaces a pair's evaluated/pruned classification instead of
+    # double-counting it, so the accounting matches the oracle too
+    assert live.cross_pairs_pruned == oracle.cross_pairs_pruned
+    assert live.cross_pairs_evaluated == oracle.cross_pairs_evaluated
+    assert live.result.metadata == {
+        **oracle.result.metadata,
+        "merge_wall_seconds": live.result.metadata["merge_wall_seconds"],
+    }
+
+
+def test_cluster_live_merge_matches_offline_merge():
+    rng = np.random.default_rng(9)
+    distributions = {
+        f"client-{i}": GaussianDistribution(float(rng.normal(0, 0.002)), float(rng.uniform(0.004, 0.01)))
+        for i in range(8)
+    }
+    loop = EventLoop()
+    cluster = ShardedSequencer(
+        loop,
+        distributions,
+        num_shards=2,
+        config=TommyConfig(completeness_mode="none", p_safe=0.9),
+    )
+    clients = sorted(distributions)
+    t = 0.0
+    for k in range(60):
+        t += float(rng.exponential(0.01))
+        client = clients[int(rng.integers(len(clients)))]
+        message = TimestampedMessage(client_id=client, timestamp=t, true_time=t)
+        loop.schedule_at(t, cluster.receive, message)
+    loop.run()
+    cluster.flush()
+    live = cluster.live_merge()
+    offline = cluster.merge()
+    assert fingerprint(live) == fingerprint(offline)
+    assert live.result.metadata["shards"] == cluster.num_shards
+
+
+def test_cluster_streaming_can_be_disabled():
+    loop = EventLoop()
+    cluster = ShardedSequencer(
+        loop,
+        {"a": GaussianDistribution(0.0, 0.01)},
+        num_shards=1,
+        streaming_merge=False,
+    )
+    assert cluster.streaming_merger is None
+    with pytest.raises(ValueError, match="streaming merge is disabled"):
+        cluster.live_merge()

@@ -32,12 +32,18 @@ def test_sweep_rows_have_report_schema():
         "batches",
         "merged_cross_shard",
         "merge_latency_ms",
+        "pruned_pairs",
+        "streaming_ms",
+        "streaming_parity",
         "shard_throughput",
         "total_throughput",
         "wall_seconds",
     }
     for row in rows:
         assert set(row) == expected_keys
+        # the live streaming merge reproduces the offline re-merge exactly
+        assert row["streaming_parity"] is True
+        assert row["streaming_ms"] is not None
     assert [row["shards"] for row in rows] == [1, 2]
     # single shard needs no cross-shard merging, multi-shard uses region placement
     assert rows[0]["merged_cross_shard"] == 0

@@ -155,3 +155,43 @@ def test_stats_track_scheduled_and_executed():
     stats = loop.stats()
     assert stats["scheduled"] == 2
     assert stats["executed"] == 2
+
+
+def test_heap_compaction_bounds_cancelled_event_pileup():
+    # the online sequencer's cancel-and-reschedule-per-arrival pattern: a
+    # 10k-arrival burst must not grow the heap with dead events
+    loop = EventLoop()
+    live = None
+    for k in range(10_000):
+        if live is not None:
+            loop.cancel(live)
+        live = loop.schedule_at(100.0, lambda: None)
+        # compaction keeps the queue within ~2x the live event count (+1
+        # for the not-yet-reaped newest cancellation)
+        assert loop.pending_events <= max(EventLoop.COMPACTION_MIN_QUEUE, 3)
+    stats = loop.stats()
+    assert stats["compactions"] > 0
+    assert stats["cancelled"] == 9_999
+    executed = loop.run()
+    assert executed == 1  # only the last scheduled check survives
+
+
+def test_heap_compaction_preserves_execution_order():
+    loop = EventLoop()
+    fired = []
+    keep = [loop.schedule_at(float(k), fired.append, k) for k in range(200)]
+    doomed = [loop.schedule_at(float(k % 200) + 0.5, fired.append, -k) for k in range(300)]
+    for event in doomed:
+        loop.cancel(event)
+    assert loop.stats()["compactions"] > 0
+    loop.run()
+    assert fired == list(range(200))
+
+
+def test_small_queues_are_never_compacted():
+    loop = EventLoop()
+    event = loop.schedule_at(1.0, lambda: None)
+    loop.schedule_at(2.0, lambda: None)
+    loop.cancel(event)
+    assert loop.stats()["compactions"] == 0
+    assert loop.pending_events == 2  # lazy removal still applies below the floor
