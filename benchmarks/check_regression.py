@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""CI bench-regression gate: compare BENCH_RESULTS_JSON records to baselines.
+
+Usage::
+
+    python benchmarks/check_regression.py bench-results.jsonl \
+        [--baselines benchmarks/baselines.json]
+
+The results file holds one ``{"benchmark", "rows", "wall_time"}`` JSON line
+per :func:`benchmarks._bench_utils.record_result` call.  For every benchmark
+named in the baselines file, every recorded row is checked:
+
+* ``flags`` — fields that must be truthy (parity bits; no tolerance: a
+  parity regression is a correctness bug, not noise);
+* ``floors`` — fields that must satisfy ``value >= floor * tolerance``
+  (the global ``tolerance`` factor absorbs shared-runner timing noise);
+* ``equals`` — fields that must match exactly (work counters such as
+  "zero scalar evaluations on the fast path").
+
+A benchmark listed in the baselines but absent from the results file fails
+the gate (it means a bench was dropped from the workflow); benchmarks in
+the results without a baseline entry are reported but pass, so adding a new
+bench does not require a baseline in the same commit.
+
+Exit code 0 when every check passes, 1 otherwise.  Stdlib-only, so the CI
+step needs no PYTHONPATH.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+
+def load_records(path: Path) -> Dict[str, List[dict]]:
+    """Parse the JSONL results file into ``{benchmark: [row, ...]}``."""
+    records: Dict[str, List[dict]] = {}
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"{path}:{line_number}: not valid JSON: {error}")
+        rows = record.get("rows", [])
+        records.setdefault(str(record.get("benchmark")), []).extend(
+            row for row in rows if isinstance(row, dict)
+        )
+    return records
+
+
+def _as_bool(value: object) -> bool:
+    # bench rows round-trip through ``json.dumps(..., default=str)``, so a
+    # flag may arrive as a bool or as its string form
+    if isinstance(value, str):
+        return value.lower() == "true"
+    return bool(value)
+
+
+def check_benchmark(name: str, rows: List[dict], baseline: dict, tolerance: float) -> List[str]:
+    """Return a list of violation messages for one benchmark's rows."""
+    failures: List[str] = []
+    if not rows:
+        failures.append(f"{name}: no recorded rows (bench missing from the workflow?)")
+        return failures
+    for index, row in enumerate(rows):
+        where = f"{name}[{index}]"
+        for flag in baseline.get("flags", []):
+            if flag not in row:
+                failures.append(f"{where}: flag {flag!r} missing from the record")
+            elif not _as_bool(row[flag]):
+                failures.append(f"{where}: flag {flag!r} is {row[flag]!r} (parity regression)")
+        for field, floor in baseline.get("floors", {}).items():
+            if field not in row:
+                failures.append(f"{where}: floored field {field!r} missing from the record")
+                continue
+            value = float(row[field])
+            effective = float(floor) * tolerance
+            if value < effective:
+                failures.append(
+                    f"{where}: {field} = {value:g} below floor {floor:g} "
+                    f"(x{tolerance:g} tolerance = {effective:g})"
+                )
+        for field, expected in baseline.get("equals", {}).items():
+            if field not in row:
+                failures.append(f"{where}: exact field {field!r} missing from the record")
+            elif row[field] != expected:
+                failures.append(
+                    f"{where}: {field} = {row[field]!r}, baseline requires {expected!r}"
+                )
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="BENCH_RESULTS_JSON file (JSON lines)")
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=Path(__file__).resolve().parent / "baselines.json",
+        help="baselines file (default: benchmarks/baselines.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.results.exists():
+        print(f"FAIL: results file {args.results} does not exist", file=sys.stderr)
+        return 1
+    config = json.loads(args.baselines.read_text(encoding="utf-8"))
+    tolerance = float(config.get("tolerance", 1.0))
+    baselines: Dict[str, dict] = config.get("benchmarks", {})
+    records = load_records(args.results)
+
+    failures: List[str] = []
+    for name in sorted(baselines):
+        failures.extend(check_benchmark(name, records.get(name, []), baselines[name], tolerance))
+
+    unbaselined = sorted(set(records) - set(baselines))
+    if unbaselined:
+        print(f"note: benchmarks without a committed baseline (not gated): {unbaselined}")
+    checked = sorted(set(records) & set(baselines))
+    print(
+        f"checked {len(checked)} baselined benchmark(s) {checked} "
+        f"with tolerance x{tolerance:g}"
+    )
+    if failures:
+        print(f"FAIL: {len(failures)} bench regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("OK: no bench regressions against committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

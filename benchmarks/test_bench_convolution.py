@@ -10,7 +10,6 @@ Two parts:
    where possible and FFT otherwise.
 """
 
-import pytest
 from _bench_utils import emit
 
 from repro.distributions.convolution import convolve_direct, convolve_fft
@@ -43,7 +42,9 @@ def test_direct_convolution_pair(benchmark):
 
 
 def test_distribution_family_ablation(benchmark):
-    rows = benchmark.pedantic(lambda: run_distribution_ablation(num_clients=30), rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: run_distribution_ablation(num_clients=30), rounds=1, iterations=1
+    )
     emit("Distribution-family ablation (30 clients)", rows)
     closed = next(row for row in rows if row["family"] == "gaussian/closed-form")
     fft = next(row for row in rows if row["family"] == "gaussian/fft")

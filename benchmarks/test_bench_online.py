@@ -29,7 +29,10 @@ def test_online_sequencing_run(benchmark):
     outcome = benchmark.pedantic(run_once, rounds=1, iterations=1)
     emit("Online sequencing (Appendix C setting)", [outcome.as_row()])
     # every message is eventually emitted, in rank order, with positive latency
-    assert outcome.comparison.batches.message_count == SETTINGS.num_clients * SETTINGS.messages_per_client
+    assert (
+        outcome.comparison.batches.message_count
+        == SETTINGS.num_clients * SETTINGS.messages_per_client
+    )
     assert outcome.latency.mean > 0
     # ordering quality: far more correct than inverted pairs
     assert outcome.comparison.ras.correct_pairs > outcome.comparison.ras.incorrect_pairs

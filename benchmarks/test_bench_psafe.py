@@ -23,4 +23,10 @@ def test_psafe_sweep(benchmark):
     # emission latency is non-decreasing in p_safe
     assert all(later >= earlier - 1e-9 for earlier, later in zip(latencies, latencies[1:]))
     # all messages are eventually sequenced at every setting
-    assert len({row["correct_pairs"] + row["incorrect_pairs"] + row["indifferent_pairs"] for row in rows}) == 1
+    assert (
+        len({
+            row["correct_pairs"] + row["incorrect_pairs"] + row["indifferent_pairs"]
+            for row in rows
+        })
+        == 1
+    )

@@ -37,7 +37,9 @@ def test_sequencing_50_clients(benchmark):
 def test_sequencing_150_clients(benchmark):
     scenario = _scenario(150)
     sequencer = TommySequencer(scenario.client_distributions, TommyConfig())
-    result = benchmark.pedantic(lambda: sequencer.sequence(list(scenario.messages)), rounds=2, iterations=1)
+    result = benchmark.pedantic(
+        lambda: sequencer.sequence(list(scenario.messages)), rounds=2, iterations=1
+    )
     assert result.message_count == 150
 
 

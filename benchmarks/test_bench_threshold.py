@@ -14,7 +14,9 @@ THRESHOLDS = (0.55, 0.65, 0.75, 0.85, 0.95)
 
 
 def run_sweep():
-    return run_threshold_sweep(thresholds=THRESHOLDS, num_clients=40, gap=10.0, clock_std=40.0, seed=3)
+    return run_threshold_sweep(
+        thresholds=THRESHOLDS, num_clients=40, gap=10.0, clock_std=40.0, seed=3
+    )
 
 
 def test_threshold_sweep(benchmark):

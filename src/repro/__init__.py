@@ -8,9 +8,12 @@ unordered channels, baseline sequencers (FIFO, WaitsForOne, TrueTime,
 Lamport, oracle), auction-app workloads, downstream applications (limit
 order book, sealed-bid auction, replicated log), fairness metrics (Rank
 Agreement Score and friends), the experiment harness that regenerates the
-paper's evaluation, and a sharded fair-sequencing cluster
+paper's evaluation, a sharded fair-sequencing cluster
 (:mod:`repro.cluster`) that scales the online sequencer out over many shards
-with a probabilistic cross-shard merge.
+with a probabilistic cross-shard merge, and a deterministic fault-injection
+chaos subsystem (:mod:`repro.chaos`) that measures all of it under
+partitions, loss, duplication, reordering, delay spikes, clock steps,
+sync blackouts and shard crash/rejoin.
 
 Quickstart
 ----------

@@ -10,7 +10,7 @@ allowing the experiments to compare winner sets under different sequencers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -80,7 +80,10 @@ class SealedBidAuction:
         eligible = [bid for bid in considered if bid.amount >= self._reserve]
         if not eligible:
             return AuctionOutcome(
-                winner=None, clearing_price=0.0, considered=tuple(considered), rejected_late=tuple(rejected)
+                winner=None,
+                clearing_price=0.0,
+                considered=tuple(considered),
+                rejected_late=tuple(rejected),
             )
         ranked = sorted(eligible, key=lambda bid: (-bid.amount, bid.client_id))
         winner = ranked[0]

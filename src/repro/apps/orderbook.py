@@ -132,7 +132,9 @@ class LimitOrderBook:
         while remaining > 0 and book:
             resting_order, resting_remaining = book[0]
             crosses = (
-                incoming.price >= resting_order.price if is_buy else incoming.price <= resting_order.price
+                incoming.price >= resting_order.price
+                if is_buy
+                else incoming.price <= resting_order.price
             )
             if not crosses:
                 break

@@ -1,0 +1,261 @@
+"""The chaos controller: arms a fault schedule against a live run.
+
+The controller is the only stateful piece of the chaos subsystem.  It owns a
+seeded RNG (all loss/duplication/jitter draws flow from it, in event-loop
+order, so a run is reproducible bit-for-bit from the seed), interprets the
+:class:`~repro.chaos.faults.FaultSchedule` at three injection points, and
+counts everything it does in :class:`ChaosStats`:
+
+* **channels** — :meth:`channel_hook` returns the per-client hook a
+  :class:`~repro.network.channel.Channel` consults on every send
+  (:meth:`~repro.network.transport.Transport.install_chaos` wires it);
+* **clocks** — registered :class:`~repro.clocks.drift.SteppedDrift` models
+  receive their :class:`~repro.chaos.faults.ClockStep` offsets at arm time;
+* **cluster** — :class:`~repro.chaos.faults.ShardCrash` faults schedule
+  crash (and optional rejoin) events on the loop against the attached
+  :class:`~repro.cluster.sharded.ShardedSequencer`.
+
+Sync-probe blackouts are pull-based: whatever drives probes asks
+:meth:`probe_allowed` before feeding each one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.chaos.faults import (
+    ClientFault,
+    DelaySpike,
+    FaultSchedule,
+    LinkPartition,
+    MessageDuplication,
+    MessageLoss,
+    MessageReorder,
+    ShardCrash,
+)
+from repro.clocks.drift import SteppedDrift
+from repro.network.message import Heartbeat, TimestampedMessage
+from repro.simulation.event_loop import EventLoop
+
+Item = Union[TimestampedMessage, Heartbeat]
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the channel should do with one send.
+
+    ``copies`` counts total deliveries (1 = normal); ``extra_delay`` adds to
+    every copy's sampled delay; ``not_before`` floors the delivery time (the
+    hold-mode partition's heal time).
+    """
+
+    drop: bool = False
+    copies: int = 1
+    extra_delay: float = 0.0
+    not_before: Optional[float] = None
+
+
+@dataclass
+class ChaosStats:
+    """Counters for every injected fault effect (messages only, not heartbeats)."""
+
+    messages_dropped: int = 0
+    messages_held: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    clock_steps: int = 0
+    probes_suppressed: int = 0
+    shard_crashes: int = 0
+    shard_rejoins: int = 0
+    heartbeats_dropped: int = 0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, kind: str, amount: int = 1) -> None:
+        """Bump the per-fault-kind activation counter."""
+        self.per_kind[kind] = self.per_kind.get(kind, 0) + amount
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat view for reports and result metadata."""
+        return {
+            "messages_dropped": self.messages_dropped,
+            "messages_held": self.messages_held,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_delayed": self.messages_delayed,
+            "clock_steps": self.clock_steps,
+            "probes_suppressed": self.probes_suppressed,
+            "shard_crashes": self.shard_crashes,
+            "shard_rejoins": self.shard_rejoins,
+            "heartbeats_dropped": self.heartbeats_dropped,
+        }
+
+
+class ChaosController:
+    """Interprets one :class:`FaultSchedule` against one simulated run."""
+
+    def __init__(self, loop: EventLoop, schedule: FaultSchedule, seed: int = 0) -> None:
+        self._loop = loop
+        self._schedule = schedule
+        self._rng = np.random.default_rng(int(seed))
+        self._clocks: Dict[str, SteppedDrift] = {}
+        self._cluster = None
+        self._armed = False
+        self.stats = ChaosStats()
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        """The fault schedule being interpreted."""
+        return self._schedule
+
+    @property
+    def armed(self) -> bool:
+        """Whether :meth:`arm` has run."""
+        return self._armed
+
+    # ------------------------------------------------------------------ wiring
+    def register_clock(self, client_id: str, drift: SteppedDrift) -> None:
+        """Register the client's steppable drift model (clock-step target)."""
+        self._clocks[client_id] = drift
+
+    def attach_cluster(self, cluster) -> None:
+        """Attach the cluster shard-crash faults act on.
+
+        ``cluster`` must expose ``fail_shard`` / ``force_failover`` /
+        ``rejoin_shard`` plus a ``router`` and ``shards`` view — the
+        :class:`~repro.cluster.sharded.ShardedSequencer` interface.
+        """
+        self._cluster = cluster
+
+    def arm(self) -> None:
+        """Install clock steps and schedule shard crash/rejoin events.
+
+        Channel faults need no arming: the per-send hook evaluates the
+        schedule windows directly against the loop clock.  Arming twice is
+        an error (it would double-install the clock steps).
+        """
+        if self._armed:
+            raise ValueError("controller is already armed")
+        self._armed = True
+        for fault in self._schedule.clock_faults:
+            targets = fault.clients if fault.clients else tuple(sorted(self._clocks))
+            for client_id in targets:
+                drift = self._clocks.get(client_id)
+                if drift is None:
+                    raise KeyError(
+                        f"clock step targets client {client_id!r} but no SteppedDrift "
+                        "was registered for it"
+                    )
+                drift.add_step(fault.start, fault.step)
+                self.stats.clock_steps += 1
+                self.stats.count(fault.kind)
+        for fault in self._schedule.shard_faults:
+            if self._cluster is None:
+                raise ValueError("shard faults scheduled but no cluster attached")
+            if fault.shard >= self._cluster.num_shards:
+                raise ValueError(
+                    f"shard fault targets shard {fault.shard} but the cluster "
+                    f"has {self._cluster.num_shards}"
+                )
+            self._loop.schedule_at(
+                max(fault.start, self._loop.now), self._crash, fault, label="chaos"
+            )
+
+    # ----------------------------------------------------------- shard faults
+    def _crash(self, fault: ShardCrash) -> None:
+        victims = tuple(self._cluster.router.clients_of(fault.shard))
+        self._cluster.fail_shard(fault.shard)
+        self.stats.shard_crashes += 1
+        self.stats.count(fault.kind)
+        if fault.rejoin_after is not None:
+            self._loop.schedule_at(
+                fault.start + fault.rejoin_after, self._rejoin, fault, victims, label="chaos"
+            )
+
+    def _rejoin(self, fault: ShardCrash, victims: Tuple[str, ...]) -> None:
+        # rejoin_shard itself completes the failover first when the rejoin
+        # arrives before the heartbeat monitor noticed the crash
+        self._cluster.rejoin_shard(fault.shard, clients=victims)
+        self.stats.shard_rejoins += 1
+
+    # ---------------------------------------------------------- channel faults
+    def channel_hook(self, client_id: str) -> Callable[[Item, float], Optional[FaultDecision]]:
+        """The per-send fault hook for ``client_id``'s channel.
+
+        Resolution over active faults hitting the client: a drop-mode
+        partition or a loss draw drops the send outright (no further
+        draws); otherwise hold-mode partitions floor the delivery at the
+        latest heal time while duplication and the delay faults compose.
+        """
+        # the schedule is immutable: filter once per hook, not per send
+        client_faults = [
+            fault for fault in self._schedule.channel_faults if fault.applies_to(client_id)
+        ]
+
+        def decide(item: Item, now: float) -> Optional[FaultDecision]:
+            active: List[ClientFault] = [fault for fault in client_faults if fault.active_at(now)]
+            if not active:
+                return None
+            is_message = isinstance(item, TimestampedMessage)
+            # drop resolution first: a send killed by a partition or a loss
+            # draw must not consume duplication/jitter draws (nor count
+            # duplicated copies that never reach the wire)
+            for fault in active:
+                if isinstance(fault, LinkPartition) and fault.mode == "drop":
+                    self._note_drop(is_message, fault.kind)
+                    return FaultDecision(drop=True)
+                if isinstance(fault, MessageLoss) and self._rng.random() < fault.probability:
+                    self._note_drop(is_message, fault.kind)
+                    return FaultDecision(drop=True)
+            copies = 1
+            extra_delay = 0.0
+            not_before: Optional[float] = None
+            for fault in active:
+                if isinstance(fault, LinkPartition):  # mode == "hold"
+                    not_before = fault.end if not_before is None else max(not_before, fault.end)
+                elif isinstance(fault, MessageDuplication):
+                    if self._rng.random() < fault.probability:
+                        copies += fault.copies
+                        if is_message:
+                            self.stats.messages_duplicated += fault.copies
+                        self.stats.count(fault.kind, fault.copies)
+                elif isinstance(fault, MessageReorder):
+                    extra_delay += float(self._rng.uniform(0.0, fault.jitter))
+                    if is_message:
+                        self.stats.messages_delayed += 1
+                    self.stats.count(fault.kind)
+                elif isinstance(fault, DelaySpike):
+                    extra_delay += fault.extra_delay
+                    if is_message:
+                        self.stats.messages_delayed += 1
+                    self.stats.count(fault.kind)
+            if not_before is not None and is_message:
+                self.stats.messages_held += 1
+                self.stats.count("partition")
+            return FaultDecision(copies=copies, extra_delay=extra_delay, not_before=not_before)
+
+        return decide
+
+    def _note_drop(self, is_message: bool, kind: str) -> None:
+        if is_message:
+            self.stats.messages_dropped += 1
+        else:
+            self.stats.heartbeats_dropped += 1
+        self.stats.count(kind)
+
+    # ------------------------------------------------------------ probe faults
+    def probe_allowed(self, client_id: str, now: Optional[float] = None) -> bool:
+        """Whether a sync probe from ``client_id`` survives right now.
+
+        Probe drivers call this before each
+        :meth:`~repro.cluster.sharded.ShardedSequencer.observe_probe`;
+        a suppressed probe is counted and must simply not be fed.
+        """
+        when = self._loop.now if now is None else float(now)
+        for fault in self._schedule.probe_faults:
+            if fault.active_at(when) and fault.applies_to(client_id):
+                self.stats.probes_suppressed += 1
+                self.stats.count(fault.kind)
+                return False
+        return True

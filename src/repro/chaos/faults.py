@@ -1,0 +1,298 @@
+"""Composable, deterministic fault primitives and the schedule holding them.
+
+A fault is a *declarative* description of one degradation window — which
+clients (or shard) it hits, when it starts and how long it lasts.  The
+primitives cover the failure modes a cloud deployment of the fair sequencer
+actually sees:
+
+* :class:`LinkPartition` — a client's link to its shard goes dark; traffic
+  is either dropped or held and flushed at heal time.
+* :class:`MessageLoss` / :class:`MessageDuplication` — per-message loss and
+  duplication processes on the client channels.
+* :class:`MessageReorder` — random per-message extra delay (cross-client
+  reordering at the sequencer; per-client FIFO survives ordered channels).
+* :class:`DelaySpike` — a deterministic latency step (congestion episode).
+* :class:`ClockStep` — a client's clock jumps by a fixed amount (failed
+  sync, VM migration, leap-second style events).
+* :class:`SyncBlackout` — the client's sync-probe stream goes silent, so a
+  live-learning pipeline works from stale observations.
+* :class:`ShardCrash` — a shard process dies mid-stream (exercising
+  heartbeat failover and pending replay) and optionally rejoins later.
+
+Primitives carry no behaviour: the
+:class:`~repro.chaos.controller.ChaosController` interprets a
+:class:`FaultSchedule` against the simulation event loop, so the same
+schedule replayed with the same seed produces an identical run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True, kw_only=True)
+class Fault:
+    """Base fault: a half-open activity window ``[start, start + duration)``.
+
+    ``duration`` defaults to zero, which instantaneous faults (e.g.
+    :class:`ClockStep`) use; windowed faults must set it positive.
+    """
+
+    start: float
+    duration: float = 0.0
+
+    #: short identifier used in reports and stats
+    kind: str = "fault"
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.start) or self.start < 0:
+            raise ValueError(f"start must be finite and non-negative, got {self.start!r}")
+        if not math.isfinite(self.duration) or self.duration < 0:
+            raise ValueError(f"duration must be finite and non-negative, got {self.duration!r}")
+
+    @property
+    def end(self) -> float:
+        """The first instant at which the fault is no longer active."""
+        return self.start + self.duration
+
+    def active_at(self, now: float) -> bool:
+        """Whether the fault window covers true time ``now``."""
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True, kw_only=True)
+class ClientFault(Fault):
+    """A fault scoped to a set of clients (empty tuple = every client)."""
+
+    clients: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "clients", tuple(self.clients))
+
+    def applies_to(self, client_id: str) -> bool:
+        """Whether ``client_id`` is in the fault's blast radius."""
+        return not self.clients or client_id in self.clients
+
+
+@dataclass(frozen=True, kw_only=True)
+class LinkPartition(ClientFault):
+    """The affected clients' links go dark for the window.
+
+    ``mode="hold"`` models a partition that heals: traffic sent during the
+    window is buffered by the network and delivered (FIFO, after its normal
+    sampled delay) no earlier than the heal time.  ``mode="drop"`` models a
+    hard partition: everything sent during the window is lost.
+    """
+
+    mode: str = "hold"
+    kind: str = "partition"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mode not in ("hold", "drop"):
+            raise ValueError(f"mode must be 'hold' or 'drop', got {self.mode!r}")
+        if self.duration <= 0:
+            raise ValueError("a partition needs a positive duration")
+
+
+@dataclass(frozen=True, kw_only=True)
+class MessageLoss(ClientFault):
+    """Each affected send is independently dropped with ``probability``."""
+
+    probability: float = 0.5
+    kind: str = "loss"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability!r}")
+
+
+@dataclass(frozen=True, kw_only=True)
+class MessageDuplication(ClientFault):
+    """Each affected send is independently duplicated with ``probability``.
+
+    A duplicated send delivers ``1 + copies`` identical items, each with its
+    own sampled network delay.
+    """
+
+    probability: float = 0.5
+    copies: int = 1
+    kind: str = "duplication"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability!r}")
+        if self.copies < 1:
+            raise ValueError(f"copies must be at least 1, got {self.copies!r}")
+
+
+@dataclass(frozen=True, kw_only=True)
+class MessageReorder(ClientFault):
+    """Each affected send picks up uniform extra delay in ``[0, jitter)``.
+
+    On ordered channels the per-client FIFO survives (head-of-line
+    blocking); *cross-client* arrival order at the sequencer scrambles,
+    which is the reordering the probabilistic sequencer must absorb.
+    """
+
+    jitter: float = 0.01
+    kind: str = "reorder"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.jitter <= 0:
+            raise ValueError(f"jitter must be positive, got {self.jitter!r}")
+
+
+@dataclass(frozen=True, kw_only=True)
+class DelaySpike(ClientFault):
+    """Every affected send is delayed by an extra ``extra_delay`` seconds."""
+
+    extra_delay: float = 0.01
+    kind: str = "delay"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.extra_delay <= 0:
+            raise ValueError(f"extra_delay must be positive, got {self.extra_delay!r}")
+
+
+@dataclass(frozen=True, kw_only=True)
+class ClockStep(ClientFault):
+    """The affected clients' clocks jump by ``step`` seconds at ``start``.
+
+    The step is permanent (the clock stays offset until another step
+    compensates) and applies to every read at true time >= ``start`` —
+    installed on the clients' :class:`~repro.clocks.drift.SteppedDrift`
+    models when the controller arms, so query order cannot perturb it.
+    """
+
+    step: float = 0.0
+    kind: str = "clock_step"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not math.isfinite(self.step) or self.step == 0.0:
+            raise ValueError(f"step must be finite and non-zero, got {self.step!r}")
+
+
+@dataclass(frozen=True, kw_only=True)
+class SyncBlackout(ClientFault):
+    """The affected clients' sync-probe streams go silent for the window."""
+
+    kind: str = "blackout"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError("a sync blackout needs a positive duration")
+
+
+@dataclass(frozen=True, kw_only=True)
+class ShardCrash(Fault):
+    """Shard ``shard`` crashes at ``start``; optionally rejoins later.
+
+    The crash stops the shard's heartbeats and emission; the cluster's
+    heartbeat monitor detects the silence and fails the shard over (client
+    drain + pending replay).  With ``rejoin_after`` set, the shard rejoins
+    ``rejoin_after`` seconds after the crash with a fresh sequencer process
+    and reclaims the clients it owned at crash time — ``rejoin_after``
+    should exceed the cluster's heartbeat timeout so detection happens
+    first (the controller forces the failover otherwise).
+    """
+
+    shard: int = 0
+    rejoin_after: Optional[float] = None
+    kind: str = "crash"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.shard < 0:
+            raise ValueError(f"shard must be non-negative, got {self.shard!r}")
+        if self.rejoin_after is not None and self.rejoin_after <= 0:
+            raise ValueError(f"rejoin_after must be positive, got {self.rejoin_after!r}")
+
+
+#: Faults interpreted by the channel hook (loss, duplication, delay, ...).
+ChannelFault = Union[LinkPartition, MessageLoss, MessageDuplication, MessageReorder, DelaySpike]
+
+
+class FaultSchedule:
+    """An immutable, start-time-ordered composition of fault primitives.
+
+    The schedule is pure data; arm it against a run with a
+    :class:`~repro.chaos.controller.ChaosController`.  Primitives may
+    overlap arbitrarily — the controller resolves the per-message
+    interaction (partitions trump loss, loss trumps duplication, delays
+    compose additively).
+    """
+
+    def __init__(self, faults: Sequence[Fault] = ()) -> None:
+        for fault in faults:
+            if not isinstance(fault, Fault):
+                raise TypeError(f"not a Fault: {fault!r}")
+        self._faults: Tuple[Fault, ...] = tuple(
+            sorted(faults, key=lambda fault: (fault.start, fault.kind))
+        )
+
+    @property
+    def faults(self) -> Tuple[Fault, ...]:
+        """All faults, ordered by start time."""
+        return self._faults
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self):
+        return iter(self._faults)
+
+    @property
+    def horizon(self) -> float:
+        """Latest end time over all faults (0 for an empty schedule)."""
+        horizon = 0.0
+        for fault in self._faults:
+            horizon = max(horizon, fault.end)
+            if isinstance(fault, ShardCrash) and fault.rejoin_after is not None:
+                horizon = max(horizon, fault.start + fault.rejoin_after)
+        return horizon
+
+    @property
+    def channel_faults(self) -> List[ClientFault]:
+        """Faults the per-channel hook interprets, in schedule order."""
+        channel_kinds = (LinkPartition, MessageLoss, MessageDuplication, MessageReorder, DelaySpike)
+        return [fault for fault in self._faults if isinstance(fault, channel_kinds)]
+
+    @property
+    def clock_faults(self) -> List[ClockStep]:
+        """Clock-step faults, in schedule order."""
+        return [fault for fault in self._faults if isinstance(fault, ClockStep)]
+
+    @property
+    def probe_faults(self) -> List[SyncBlackout]:
+        """Sync-probe blackouts, in schedule order."""
+        return [fault for fault in self._faults if isinstance(fault, SyncBlackout)]
+
+    @property
+    def shard_faults(self) -> List[ShardCrash]:
+        """Shard crash/rejoin faults, in schedule order."""
+        return [fault for fault in self._faults if isinstance(fault, ShardCrash)]
+
+    def describe(self) -> List[str]:
+        """One human-readable line per fault (for reports and logs)."""
+        lines = []
+        for fault in self._faults:
+            window = f"[{fault.start:g}, {fault.end:g})" if fault.duration else f"@{fault.start:g}"
+            scope = ""
+            if isinstance(fault, ClientFault):
+                scope = f" clients={','.join(fault.clients)}" if fault.clients else " clients=*"
+            elif isinstance(fault, ShardCrash):
+                scope = f" shard={fault.shard}"
+                if fault.rejoin_after is not None:
+                    scope += f" rejoin_after={fault.rejoin_after:g}"
+            lines.append(f"{fault.kind} {window}{scope}")
+        return lines

@@ -10,6 +10,7 @@ Every paper artifact and ablation can be regenerated from the shell::
     python -m repro.cli learned
     python -m repro.cli scaling
     python -m repro.cli cluster --shards 4 --num-clients 64
+    python -m repro.cli chaos --shards 4 --fault partition
     python -m repro.cli all --csv-dir results/
 
 Each subcommand prints the same rows the corresponding benchmark target
@@ -30,14 +31,18 @@ from repro.experiments.ablations import (
     run_scaling_sweep,
     run_threshold_sweep,
 )
+from repro.experiments.chaos_sweep import run_chaos_sweep
 from repro.experiments.cluster_sweep import run_cluster_sweep
 from repro.experiments.figure5 import Figure5Settings, figure5_rows, run_figure5
 from repro.experiments.learned_sweep import run_learned_sweep
 from repro.experiments.reporting import format_table, rows_to_csv
+from repro.workloads.chaos import FAULT_NAMES
 
 
 def _figure5_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
-    settings = Figure5Settings(num_clients=args.num_clients, threshold=args.threshold, seed=args.seed)
+    settings = Figure5Settings(
+        num_clients=args.num_clients, threshold=args.threshold, seed=args.seed
+    )
     return figure5_rows(run_figure5(settings))
 
 
@@ -112,6 +117,33 @@ def _cluster_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
     )
 
 
+#: The chaos sweep drives the full live stack (transports, chaos hooks,
+#: heartbeat failover, streaming merge) once per fault cell; the client
+#: count is capped to keep the CLI responsive.
+CHAOS_MAX_CLIENTS = 32
+
+
+def _chaos_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
+    effective = min(args.num_clients, CHAOS_MAX_CLIENTS)
+    if effective != args.num_clients:
+        print(
+            f"warning: chaos runs the live cluster per fault cell and caps --num-clients "
+            f"at {CHAOS_MAX_CLIENTS} (requested {args.num_clients}, using {effective})",
+            file=sys.stderr,
+        )
+    # dict.fromkeys dedupes while keeping the control first (--fault none
+    # would otherwise emit the control row twice)
+    faults = FAULT_NAMES if args.fault == "all" else tuple(dict.fromkeys(("none", args.fault)))
+    return run_chaos_sweep(
+        faults=faults,
+        intensities=(args.intensity,),
+        shard_counts=(args.shards,),
+        num_clients=effective,
+        seed=args.seed,
+        streaming=not args.no_streaming_merge,
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], List[Dict[str, object]]]] = {
     "figure5": _figure5_rows,
     "thresholds": _threshold_rows,
@@ -121,6 +153,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], List[Dict[str, object]]]] 
     "learned": _learned_rows,
     "scaling": _scaling_rows,
     "cluster": _cluster_rows,
+    "chaos": _chaos_rows,
 }
 
 TITLES = {
@@ -132,6 +165,7 @@ TITLES = {
     "learned": "LEARNED: static-Gaussian vs live-learned online sequencing",
     "scaling": "ABL-SCALE: client-count scaling",
     "cluster": "CLUSTER: sharded fair sequencing, shard-count scaling",
+    "chaos": "CHAOS: fault injection on the live sharded cluster",
 }
 
 
@@ -146,10 +180,16 @@ def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate the evaluation of 'Beyond Lamport, Towards Probabilistic Fair Ordering'.",
+        description=(
+            "Regenerate the evaluation of 'Beyond Lamport, Towards Probabilistic Fair Ordering'."
+        ),
     )
-    parser.add_argument("--num-clients", type=int, default=60, help="clients per scenario (default 60)")
-    parser.add_argument("--threshold", type=float, default=0.75, help="batching threshold (default 0.75)")
+    parser.add_argument(
+        "--num-clients", type=int, default=60, help="clients per scenario (default 60)"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.75, help="batching threshold (default 0.75)"
+    )
     parser.add_argument("--seed", type=int, default=7, help="root random seed")
     parser.add_argument(
         "--shards",
@@ -160,10 +200,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-streaming-merge",
         action="store_true",
-        help="cluster sweep only: disable the live streaming cross-shard merge "
+        help="cluster/chaos sweeps: disable the live streaming cross-shard merge "
         "(skips the streaming_ms / streaming_parity columns)",
     )
-    parser.add_argument("--csv-dir", default=None, help="also write one CSV per experiment into this directory")
+    parser.add_argument(
+        "--fault",
+        choices=sorted(FAULT_NAMES) + ["all"],
+        default="all",
+        help="chaos sweep only: fault family to inject ('all' sweeps every family)",
+    )
+    parser.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="chaos sweep only: fault intensity knob (default 1.0)",
+    )
+    parser.add_argument(
+        "--csv-dir", default=None, help="also write one CSV per experiment into this directory"
+    )
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],

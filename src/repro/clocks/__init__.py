@@ -11,7 +11,7 @@ interval API used by the TrueTime baseline sequencer.
 """
 
 from repro.clocks.reference import ReferenceClock
-from repro.clocks.drift import ConstantDrift, DriftModel, NoDrift, RandomWalkDrift
+from repro.clocks.drift import ConstantDrift, DriftModel, NoDrift, RandomWalkDrift, SteppedDrift
 from repro.clocks.local import ClockReading, LocalClock
 from repro.clocks.truetime import TrueTimeClock, TrueTimeInterval
 
@@ -21,6 +21,7 @@ __all__ = [
     "NoDrift",
     "ConstantDrift",
     "RandomWalkDrift",
+    "SteppedDrift",
     "ClockReading",
     "LocalClock",
     "TrueTimeClock",

@@ -9,6 +9,8 @@ the learned offset distribution becomes stale.
 from __future__ import annotations
 
 import abc
+import math
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +51,52 @@ class ConstantDrift(DriftModel):
 
     def offset_at(self, true_time: float) -> float:
         return self._rate * (float(true_time) - self._start)
+
+
+class SteppedDrift(DriftModel):
+    """A base drift model plus scheduled instantaneous clock steps.
+
+    Every step ``(at, amount)`` shifts the clock permanently for all reads
+    at true time >= ``at`` — the fault-injection hook behind
+    :class:`~repro.chaos.faults.ClockStep` (failed resynchronizations, VM
+    migrations, leap-second style jumps).  Because the offset is a pure
+    function of query time, a step can be installed any time before the
+    first read past ``at`` without perturbing earlier reads, which keeps
+    chaos runs deterministic.
+    """
+
+    def __init__(self, base: Optional[DriftModel] = None) -> None:
+        self._base = base if base is not None else NoDrift()
+        self._steps: List[Tuple[float, float]] = []
+
+    @property
+    def base(self) -> DriftModel:
+        """The wrapped drift model."""
+        return self._base
+
+    @property
+    def steps(self) -> List[Tuple[float, float]]:
+        """Installed ``(at, amount)`` steps, ordered by time."""
+        return list(self._steps)
+
+    def add_step(self, at: float, amount: float) -> None:
+        """Install a permanent clock step of ``amount`` seconds at ``at``."""
+        if not math.isfinite(at) or not math.isfinite(amount):
+            raise ValueError(f"step time and amount must be finite, got ({at!r}, {amount!r})")
+        self._steps.append((float(at), float(amount)))
+        self._steps.sort(key=lambda step: step[0])
+
+    def offset_at(self, true_time: float) -> float:
+        total = self._base.offset_at(true_time)
+        for at, amount in self._steps:
+            if true_time < at:
+                break
+            total += amount
+        return total
+
+    def reset(self) -> None:
+        """Reset the wrapped model; installed steps are configuration and stay."""
+        self._base.reset()
 
 
 class RandomWalkDrift(DriftModel):

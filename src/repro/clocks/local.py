@@ -104,7 +104,9 @@ class LocalClock:
         offset = self._draw_offset()
         drift = self._drift.offset_at(true_time)
         jitter = (
-            float(self._rng.normal(0.0, self._read_jitter_std)) if self._read_jitter_std > 0 else 0.0
+            float(self._rng.normal(0.0, self._read_jitter_std))
+            if self._read_jitter_std > 0
+            else 0.0
         )
         self._reads += 1
         return ClockReading(

@@ -19,7 +19,7 @@ from repro.cluster.router import (
     ShardingPolicy,
     stable_shard_hash,
 )
-from repro.cluster.sharded import FailoverEvent, ShardedSequencer, ShardState
+from repro.cluster.sharded import FailoverEvent, RejoinEvent, ShardedSequencer, ShardState
 
 __all__ = [
     "ShardingPolicy",
@@ -35,6 +35,7 @@ __all__ = [
     "ShardedSequencer",
     "ShardState",
     "FailoverEvent",
+    "RejoinEvent",
     "ClusterTransport",
     "replay_scenario",
 ]

@@ -18,7 +18,7 @@ Two ways to drive a :class:`~repro.cluster.sharded.ShardedSequencer`:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Union
 
 import numpy as np
 
@@ -29,7 +29,9 @@ from repro.network.message import Heartbeat, TimestampedMessage
 from repro.network.transport import ClientEndpoint, Transport
 from repro.simulation.event_loop import EventLoop
 from repro.simulation.trace import TraceRecorder
-from repro.workloads.scenario import Scenario
+
+if TYPE_CHECKING:  # imported lazily: workloads.chaos drives this harness
+    from repro.workloads.scenario import Scenario
 
 
 class Receiver(Protocol):
@@ -112,6 +114,16 @@ class ClusterTransport:
         for transport in self._transports:
             merged.update(transport.clients)
         return merged
+
+    def install_chaos(self, controller) -> int:
+        """Install chaos fault hooks on every shard transport's channels.
+
+        Delegates to :meth:`repro.network.transport.Transport.install_chaos`
+        per shard and attaches the cluster to the controller so shard-crash
+        faults can act on it.  Returns the number of channels hooked.
+        """
+        controller.attach_cluster(self._cluster)
+        return sum(transport.install_chaos(controller) for transport in self._transports)
 
 
 def replay_scenario(

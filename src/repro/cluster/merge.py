@@ -46,12 +46,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
 
-from repro.core.cycles import resolve_cycles
+from repro.core.cycles import eades_linear_arrangement
 from repro.core.engine import EngineStats, PairTableCache, cross_probability_matrix
 from repro.core.probability import PrecedenceModel
 from repro.distributions.base import OffsetDistribution
@@ -150,6 +150,18 @@ class MergeOutcome:
     def batch_count(self) -> int:
         """Number of cluster-wide batches after merging."""
         return self.result.batch_count
+
+
+def merge_fingerprint(outcome: MergeOutcome) -> List[Tuple[int, Tuple[Tuple[str, int], ...]]]:
+    """Rank + message keys per merged batch — the canonical parity comparison.
+
+    Two merge outcomes are considered byte-identical (streaming vs offline,
+    fast vs reference) exactly when their fingerprints are equal.
+    """
+    return [
+        (batch.rank, tuple(message.key for message in batch.messages))
+        for batch in outcome.result.batches
+    ]
 
 
 def _pair_block_forward(
@@ -258,6 +270,61 @@ def _lexicographic_order(
     return order
 
 
+def _resolve_cycles_protected(
+    graph: nx.DiGraph,
+    cycle_policy: str,
+    rng: np.random.Generator,
+    protected: frozenset,
+) -> int:
+    """Break cycles like :func:`resolve_cycles`, never removing protected edges.
+
+    The within-shard chain edges encode order the shard already *committed*
+    by emitting; a cycle may never be resolved by inverting them.  Each
+    policy replays the unprotected implementation's choice (including its
+    RNG consumption) and only deviates when the original victim would have
+    been a protected edge — a case that previously produced an invalid
+    linearisation.  Every cycle contains at least one cross-shard edge (the
+    chains themselves are acyclic), so a removable candidate always exists.
+
+    Returns the number of removed edges; mutates ``graph`` in place.
+    """
+    if nx.is_directed_acyclic_graph(graph):
+        return 0
+    removed = 0
+    if cycle_policy == "eades":
+        order = eades_linear_arrangement(graph)
+        position = {node: index for index, node in enumerate(order)}
+        for source, target in list(graph.edges):
+            if position[source] > position[target] and (source, target) not in protected:
+                graph.remove_edge(source, target)
+                removed += 1
+        # a protected backward edge can leave residual cycles: fall through
+        # to the protected greedy loop below to finish the job
+    while True:
+        try:
+            cycle = [
+                (source, target)
+                for source, target, _direction in nx.find_cycle(graph, orientation="original")
+            ]
+        except nx.NetworkXNoCycle:
+            break
+        if cycle_policy == "stochastic":
+            weights = np.asarray(
+                [1.0 - float(graph.edges[edge]["probability"]) + 1e-6 for edge in cycle],
+                dtype=float,
+            )
+            weights = weights / weights.sum()
+            victim = cycle[int(rng.choice(len(cycle), p=weights))]
+        else:
+            victim = min(cycle, key=lambda edge: graph.edges[edge]["probability"])
+        if victim in protected:
+            candidates = [edge for edge in cycle if edge not in protected]
+            victim = min(candidates, key=lambda edge: graph.edges[edge]["probability"])
+        graph.remove_edge(*victim)
+        removed += 1
+    return removed
+
+
 def _resolve_order_via_graph(
     streams: Sequence[Sequence[SequencedBatch]],
     nodes: Sequence[BatchNode],
@@ -271,13 +338,19 @@ def _resolve_order_via_graph(
     Node and edge insertion replays the original pairwise merger verbatim
     (within-shard chains first, then cross pairs in shard-major order), so
     cycle detection, cycle-breaking and the topological tie-break walk the
-    graph exactly like the frozen reference implementation.
+    graph exactly like the frozen reference implementation — except that
+    within-shard chain edges are protected from cycle breaking (the frozen
+    path could invert a shard's committed emission order when a saturated
+    cycle made a chain edge the removal victim, which the coalescing stage
+    rejects as an invariant violation).
     """
     graph = nx.DiGraph()
     graph.add_nodes_from(nodes)
+    chain_edges = []
     for shard, stream in enumerate(streams):
         for index in range(len(stream) - 1):
             graph.add_edge((shard, index), (shard, index + 1), probability=1.0)
+            chain_edges.append(((shard, index), (shard, index + 1)))
     num_shards = len(streams)
     for shard_a in range(num_shards):
         for shard_b in range(shard_a + 1, num_shards):
@@ -291,14 +364,16 @@ def _resolve_order_via_graph(
                         graph.add_edge(node_a, node_b, probability=float(forward))
                     else:
                         graph.add_edge(node_b, node_a, probability=float(1.0 - forward))
-    resolution = resolve_cycles(graph, cycle_policy, rng=rng)
+    cycles_broken = _resolve_cycles_protected(
+        graph, cycle_policy, rng, frozenset(chain_edges)
+    )
     out_degree = dict(graph.out_degree())
     order = list(
         nx.lexicographical_topological_sort(
             graph, key=lambda node: (-out_degree.get(node, 0), node)
         )
     )
-    return order, len(resolution.removed_edges)
+    return order, cycles_broken
 
 
 def _merge_from_matrix(
@@ -667,6 +742,7 @@ class StreamingMerger:
         self._pruned_pair = np.zeros((self._capacity, self._capacity), dtype=bool)
         self._cross_pairs_evaluated = 0
         self._cross_pairs_pruned = 0
+        self._refresh_pairs_skipped = 0
 
     # ------------------------------------------------------------- properties
     @property
@@ -748,14 +824,18 @@ class StreamingMerger:
         if lower_kernel:
             # canonical orientation: existing (lower-shard) messages precede
             forwards = self._kernel_row(
-                [self._node_messages[other] for other in lower_kernel], batch.messages, rows_first=True
+                [self._node_messages[other] for other in lower_kernel],
+                batch.messages,
+                rows_first=True,
             )
             for other, forward in zip(lower_kernel, forwards):
                 self._matrix[other, position] = forward
                 self._matrix[position, other] = 1.0 - forward
         if higher_kernel:
             forwards = self._kernel_row(
-                [self._node_messages[other] for other in higher_kernel], batch.messages, rows_first=False
+                [self._node_messages[other] for other in higher_kernel],
+                batch.messages,
+                rows_first=False,
             )
             for other, forward in zip(higher_kernel, forwards):
                 self._matrix[position, other] = forward
@@ -805,12 +885,25 @@ class StreamingMerger:
         sizes = np.asarray([len(messages) for messages in partner_messages], dtype=np.int64)
         return sums / (sizes * len(new_list))
 
-    def refresh_client(self, client_id: str) -> int:
-        """Reprice every maintained pair involving ``client_id``.
+    @property
+    def refresh_pairs_skipped(self) -> int:
+        """Pairs left untouched by window pruning across every refresh."""
+        return self._refresh_pairs_skipped
+
+    def refresh_client(self, client_id: str, full: bool = False) -> int:
+        """Reprice maintained pairs involving ``client_id``.
 
         Call after the client's distribution was re-registered on the model
         (the shared table cache and certainty windows detect the new version
-        themselves).  Returns the number of repriced node pairs.
+        themselves).  Only pairs the refresh can actually change are
+        repriced: a pair that was window-pruned before and remains
+        window-pruned in the same direction keeps its exact 0/1 entry, so
+        the kernel (and even the cheap 0/1 rewrite) is skipped — with
+        time-localised streams the bulk of a long run's history prunes
+        against the refreshed batches, turning the refresh from O(history)
+        kernel work into O(overlapping window).  ``full=True`` forces the
+        pre-pruning behaviour of repricing every pair (the parity oracle
+        for tests).  Returns the number of repriced node pairs.
         """
         self._windows.invalidate_client(client_id)
         affected = [
@@ -835,12 +928,6 @@ class StreamingMerger:
                     a, b = position, other
                 else:
                     a, b = other, position
-                # replace, don't double-count: retract the pair's previous
-                # classification before repricing it
-                if self._pruned_pair[a, b]:
-                    self._cross_pairs_pruned -= 1
-                else:
-                    self._cross_pairs_evaluated -= 1
                 if self._earliest[b] > self._latest[a]:
                     forward = 1.0
                     now_pruned = True
@@ -848,6 +935,25 @@ class StreamingMerger:
                     forward = 0.0
                     now_pruned = True
                 else:
+                    forward = None
+                    now_pruned = False
+                if (
+                    not full
+                    and now_pruned
+                    and self._pruned_pair[a, b]
+                    and self._matrix[a, b] == forward
+                ):
+                    # window-overlap status unchanged and the stored entry is
+                    # already the exact saturated float: nothing can move
+                    self._refresh_pairs_skipped += 1
+                    continue
+                # replace, don't double-count: retract the pair's previous
+                # classification before repricing it
+                if self._pruned_pair[a, b]:
+                    self._cross_pairs_pruned -= 1
+                else:
+                    self._cross_pairs_evaluated -= 1
+                if forward is None:
                     forward = _pair_block_forward(
                         self._node_messages[a],
                         self._node_messages[b],
@@ -855,7 +961,6 @@ class StreamingMerger:
                         self._stats,
                         self._tables,
                     )
-                    now_pruned = False
                 if now_pruned:
                     self._cross_pairs_pruned += 1
                     self._stats.pruned_pairs += 1

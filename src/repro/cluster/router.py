@@ -144,7 +144,8 @@ class ShardRouter:
         shard = self._policy.assign(client_id, self._num_shards, self._loads)
         if not 0 <= shard < self._num_shards:
             raise ValueError(
-                f"policy {self._policy.name!r} returned shard {shard} outside [0, {self._num_shards})"
+                f"policy {self._policy.name!r} returned shard {shard} "
+                f"outside [0, {self._num_shards})"
             )
         self._shard_of[client_id] = shard
         self._loads[shard] += 1

@@ -20,7 +20,7 @@ cluster history and participate in the final merge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.cluster.merge import CrossShardMerger, MergeOutcome, StreamingMerger
 from repro.cluster.router import ShardingPolicy, ShardRouter
@@ -48,6 +48,15 @@ class FailoverEvent:
     messages_replayed: int
 
 
+@dataclass(frozen=True)
+class RejoinEvent:
+    """Record of one shard rejoining the cluster after a crash."""
+
+    shard: int
+    rejoined_at: float
+    clients_reclaimed: int
+
+
 @dataclass
 class ShardState:
     """Mutable per-shard bookkeeping."""
@@ -58,6 +67,11 @@ class ShardState:
     crashed: bool = False
     last_heartbeat: float = 0.0
     backlog: List[Union[TimestampedMessage, Heartbeat]] = field(default_factory=list)
+    #: batches emitted by previous incarnations of this shard (before a
+    #: crash + rejoin); they stay part of the cluster history and the merge
+    retired: List[EmittedBatch] = field(default_factory=list)
+    #: how many times the shard has rejoined with a fresh sequencer process
+    generation: int = 0
 
 
 class ShardedSequencer(Entity):
@@ -77,6 +91,7 @@ class ShardedSequencer(Entity):
         name: str = "cluster",
         use_engine: bool = True,
         streaming_merge: bool = True,
+        dedupe_intake: bool = False,
     ) -> None:
         super().__init__(loop, name)
         if heartbeat_interval is not None and heartbeat_interval <= 0:
@@ -106,7 +121,9 @@ class ShardedSequencer(Entity):
                 name=f"{name}-shard-{index}",
                 use_engine=use_engine,
             )
-            self._shards.append(ShardState(index=index, sequencer=sequencer, last_heartbeat=loop.now))
+            self._shards.append(
+                ShardState(index=index, sequencer=sequencer, last_heartbeat=loop.now)
+            )
 
         merge_model = PrecedenceModel(
             method=self._config.probability_method,
@@ -131,18 +148,31 @@ class ShardedSequencer(Entity):
                 shard.sequencer.subscribe_emissions(self._emission_observer(shard.index))
 
         self._failover_events: List[FailoverEvent] = []
+        self._rejoin_events: List[RejoinEvent] = []
+        self._retired_engine_stats = EngineStats()
         self._refresh_loop: Optional[DistributionRefreshLoop] = None
         self._distribution_refreshes = 0
+        # exactly-once intake: with dedupe enabled, a (client, message) key
+        # is accepted at the cluster boundary once; faulty networks that
+        # duplicate deliveries cannot double-sequence a message.  The seen
+        # set grows with the total message count — safe pruning needs a
+        # delivery-horizon bound (a duplicate can arrive after its original
+        # was emitted), which is a ROADMAP follow-up
+        self._dedupe = bool(dedupe_intake)
+        self._seen_keys: Set[Tuple[str, int]] = set()
+        self._duplicates_suppressed = 0
         self._heartbeat_interval = heartbeat_interval
         self._heartbeat_timeout = (
             heartbeat_timeout
             if heartbeat_timeout is not None
             else (3.0 * heartbeat_interval if heartbeat_interval is not None else None)
         )
+        self._monitor_running = False
         if heartbeat_interval is not None:
             for shard in self._shards:
                 self.call_after(heartbeat_interval, self._shard_heartbeat_tick, shard.index)
             self.call_after(heartbeat_interval, self._monitor_tick)
+            self._monitor_running = True
 
     # ------------------------------------------------------------- properties
     @property
@@ -296,6 +326,27 @@ class ShardedSequencer(Entity):
         return target
 
     # ----------------------------------------------------------------- intake
+    @property
+    def duplicates_suppressed(self) -> int:
+        """Messages rejected by the exactly-once intake gate so far."""
+        return self._duplicates_suppressed
+
+    def _is_duplicate(self, item: Union[TimestampedMessage, Heartbeat]) -> bool:
+        """Exactly-once gate at the cluster boundary (messages only).
+
+        Heartbeats are idempotent and pass through.  Internal routing and
+        failover replay bypass this gate (:meth:`_route` and friends): a
+        replayed pending message was already admitted once and must reach
+        its new owner.
+        """
+        if not self._dedupe or not isinstance(item, TimestampedMessage):
+            return False
+        if item.key in self._seen_keys:
+            self._duplicates_suppressed += 1
+            return True
+        self._seen_keys.add(item.key)
+        return False
+
     def receive(
         self, item: Union[TimestampedMessage, Heartbeat], arrival_time: Optional[float] = None
     ) -> None:
@@ -305,7 +356,9 @@ class ShardedSequencer(Entity):
         :meth:`repro.core.online.OnlineTommySequencer.receive`, so a cluster
         can replace a single sequencer wherever one is wired in.
         """
-        self.receive_at(self._live_owner(item.client_id), item, arrival_time)
+        if self._is_duplicate(item):
+            return
+        self._route(item, arrival_time)
 
     def receive_at(
         self,
@@ -320,17 +373,9 @@ class ShardedSequencer(Entity):
         item (replayed at failover); a drained shard forwards through the
         router to the client's new owner.
         """
-        shard = self._shards[shard_index]
-        if shard.crashed and shard.alive:
-            # down but not yet detected: the item is in the dead shard's inbox
-            shard.backlog.append(item)
+        if self._is_duplicate(item):
             return
-        if not shard.alive:
-            # already failed over: reroute to the client's live owner (which
-            # may itself be crashed-but-undetected, in which case it backlogs)
-            self.receive_at(self._live_owner(item.client_id), item, arrival_time)
-            return
-        shard.sequencer.receive(item, arrival_time)
+        self._route_at(shard_index, item, arrival_time)
 
     def receive_many(
         self,
@@ -345,11 +390,8 @@ class ShardedSequencer(Entity):
         vectorized block append and one emission check per shard instead of
         one per message.
         """
-        by_shard: Dict[int, List[Union[TimestampedMessage, Heartbeat]]] = {}
-        for item in items:
-            by_shard.setdefault(self._live_owner(item.client_id), []).append(item)
-        for shard_index, shard_items in by_shard.items():
-            self.receive_many_at(shard_index, shard_items, arrival_time)
+        burst = [item for item in items if not self._is_duplicate(item)]
+        self._route_many(burst, arrival_time)
 
     def receive_many_at(
         self,
@@ -364,6 +406,61 @@ class ShardedSequencer(Entity):
         :class:`~repro.network.transport.Transport` endpoints wire their
         burst callback here.
         """
+        burst = [item for item in items if not self._is_duplicate(item)]
+        self._route_many_at(shard_index, burst, arrival_time)
+
+    def _route(
+        self, item: Union[TimestampedMessage, Heartbeat], arrival_time: Optional[float] = None
+    ) -> None:
+        self._route_at(self._live_owner(item.client_id), item, arrival_time)
+
+    def _route_at(
+        self,
+        shard_index: int,
+        item: Union[TimestampedMessage, Heartbeat],
+        arrival_time: Optional[float] = None,
+    ) -> None:
+        shard = self._shards[shard_index]
+        if shard.crashed and shard.alive:
+            # down but not yet detected: the item is in the dead shard's inbox
+            shard.backlog.append(item)
+            return
+        if not shard.alive:
+            # already failed over: reroute to the client's live owner (which
+            # may itself be crashed-but-undetected, in which case it backlogs)
+            self._route_at(self._live_owner(item.client_id), item, arrival_time)
+            return
+        if not shard.sequencer.model.has_client(item.client_id):
+            # stale channel: after a crash + rejoin the shard is alive again
+            # but did not reclaim this client — respect the router instead of
+            # handing the fresh sequencer a client it never registered
+            owner = self._live_owner(item.client_id)
+            if owner != shard_index:
+                self._route_at(owner, item, arrival_time)
+                return
+            if item.client_id in self._distributions:
+                shard.sequencer.register_client(
+                    item.client_id, self._distributions[item.client_id]
+                )
+        shard.sequencer.receive(item, arrival_time)
+
+    def _route_many(
+        self,
+        items: Iterable[Union[TimestampedMessage, Heartbeat]],
+        arrival_time: Optional[float] = None,
+    ) -> None:
+        by_shard: Dict[int, List[Union[TimestampedMessage, Heartbeat]]] = {}
+        for item in items:
+            by_shard.setdefault(self._live_owner(item.client_id), []).append(item)
+        for shard_index, shard_items in by_shard.items():
+            self._route_many_at(shard_index, shard_items, arrival_time)
+
+    def _route_many_at(
+        self,
+        shard_index: int,
+        items: Iterable[Union[TimestampedMessage, Heartbeat]],
+        arrival_time: Optional[float] = None,
+    ) -> None:
         burst = list(items)
         if not burst:
             return
@@ -372,8 +469,21 @@ class ShardedSequencer(Entity):
             shard.backlog.extend(burst)
             return
         if not shard.alive:
-            self.receive_many(burst, arrival_time)
+            self._route_many(burst, arrival_time)
             return
+        if any(not shard.sequencer.model.has_client(item.client_id) for item in burst):
+            # stale channel after a rejoin: peel off items whose clients this
+            # shard no longer owns (see _route_at) and deliver the rest as
+            # one burst
+            deliverable: List[Union[TimestampedMessage, Heartbeat]] = []
+            for item in burst:
+                if shard.sequencer.model.has_client(item.client_id):
+                    deliverable.append(item)
+                else:
+                    self._route_at(shard_index, item, arrival_time)
+            burst = deliverable
+            if not burst:
+                return
         shard.sequencer.receive_many(burst, arrival_time)
 
     # --------------------------------------------------------------- failover
@@ -394,12 +504,18 @@ class ShardedSequencer(Entity):
         self.fail_shard(shard_index)
         return self._failover(shard_index)
 
-    def _shard_heartbeat_tick(self, shard_index: int) -> None:
+    def _shard_heartbeat_tick(self, shard_index: int, generation: int = 0) -> None:
         shard = self._shards[shard_index]
-        if shard.crashed or not shard.alive:
+        # a tick armed for a previous incarnation must not re-arm: a rejoin
+        # starts its own loop, and without the generation guard a pre-crash
+        # tick still pending at rejoin time would run a second, permanent
+        # heartbeat loop for the shard
+        if shard.generation != generation or shard.crashed or not shard.alive:
             return
         shard.last_heartbeat = self.now
-        self.call_after(self._heartbeat_interval, self._shard_heartbeat_tick, shard_index)
+        self.call_after(
+            self._heartbeat_interval, self._shard_heartbeat_tick, shard_index, generation
+        )
 
     def _monitor_tick(self) -> None:
         for shard in self._shards:
@@ -413,6 +529,8 @@ class ShardedSequencer(Entity):
                     self._failover(shard.index)
         if any(shard.alive for shard in self._shards):
             self.call_after(self._heartbeat_interval, self._monitor_tick)
+        else:
+            self._monitor_running = False
 
     def _failover(self, shard_index: int) -> FailoverEvent:
         shard = self._shards[shard_index]
@@ -442,14 +560,15 @@ class ShardedSequencer(Entity):
             )
 
         # the dead shard is never flushed again, so replaying its pending and
-        # backlogged items into the survivors cannot double-count them;
-        # routing through receive() respects a crashed target's backlog
+        # backlogged items into the survivors cannot double-count them; the
+        # replay bypasses the exactly-once gate (the items were already
+        # admitted once) but still respects a crashed target's backlog
         replayed = 0
         backlog = shard.backlog
         shard.backlog = []
         for item in list(shard.sequencer.pending_messages) + backlog:
             replayed += int(isinstance(item, TimestampedMessage))
-            self.receive(item, self.now)
+            self._route(item, self.now)
 
         event = FailoverEvent(
             shard=shard_index,
@@ -458,6 +577,72 @@ class ShardedSequencer(Entity):
             messages_replayed=replayed,
         )
         self._failover_events.append(event)
+        return event
+
+    @property
+    def rejoin_events(self) -> List[RejoinEvent]:
+        """Shard rejoins performed so far."""
+        return list(self._rejoin_events)
+
+    def rejoin_shard(self, shard_index: int, clients: Sequence[str] = ()) -> RejoinEvent:
+        """Bring a failed-over shard back with a fresh sequencer process.
+
+        The crashed incarnation's emitted batches are retired into the
+        shard's history (they remain part of the cluster-wide merge); the
+        fresh sequencer starts empty and, when ``clients`` are given, those
+        clients are reclaimed from their failover owners (new arrivals route
+        here; messages already pending on the temporary owner are emitted
+        there and ordered by the cross-shard merge).  Heartbeats and — when
+        streaming merge is on — the emission subscription are re-armed.
+        """
+        shard = self._shards[shard_index]
+        if shard.alive and not shard.crashed:
+            raise ValueError(f"shard {shard_index} is alive; nothing to rejoin")
+        if shard.alive and shard.crashed:
+            # crashed but not yet detected: complete the failover first so
+            # pending and backlog replay onto the survivors, not the fresh
+            # process (which never saw them)
+            self._failover(shard_index)
+
+        self._retired_engine_stats = self._retired_engine_stats.merge(
+            shard.sequencer.engine_stats()
+        )
+        shard.retired.extend(shard.sequencer.emitted_batches)
+        shard.generation += 1
+
+        reclaimed = [client_id for client_id in clients if client_id in self._distributions]
+        sequencer = OnlineTommySequencer(
+            self._loop,
+            {client_id: self._distributions[client_id] for client_id in reclaimed},
+            config=self._config,
+            known_clients=reclaimed,
+            name=f"{self.name}-shard-{shard_index}-gen{shard.generation}",
+            use_engine=self._use_engine,
+        )
+        shard.sequencer = sequencer
+        shard.backlog = []
+        shard.alive = True
+        shard.crashed = False
+        shard.last_heartbeat = self.now
+        for client_id in reclaimed:
+            self._router.reassign(client_id, shard_index)
+        if self._streaming is not None:
+            sequencer.subscribe_emissions(self._emission_observer(shard_index))
+        if self._heartbeat_interval is not None:
+            self.call_after(
+                self._heartbeat_interval,
+                self._shard_heartbeat_tick,
+                shard_index,
+                shard.generation,
+            )
+            if not self._monitor_running:
+                self.call_after(self._heartbeat_interval, self._monitor_tick)
+                self._monitor_running = True
+
+        event = RejoinEvent(
+            shard=shard_index, rejoined_at=self.now, clients_reclaimed=len(reclaimed)
+        )
+        self._rejoin_events.append(event)
         return event
 
     # ---------------------------------------------------------------- results
@@ -476,22 +661,29 @@ class ShardedSequencer(Entity):
                 shard.sequencer.flush()
 
     def shard_batches(self) -> List[List[SequencedBatch]]:
-        """Per-shard emitted batch streams (inputs to the merge)."""
+        """Per-shard emitted batch streams (inputs to the merge).
+
+        A shard that crashed and rejoined contributes its retired history
+        followed by the fresh incarnation's emissions — the same stream the
+        streaming merger observed live.
+        """
         return [
-            [emitted.batch for emitted in shard.sequencer.emitted_batches]
+            [emitted.batch for emitted in shard.retired]
+            + [emitted.batch for emitted in shard.sequencer.emitted_batches]
             for shard in self._shards
         ]
 
     def emitted_counts(self) -> List[int]:
-        """Number of messages emitted by each shard."""
+        """Number of messages emitted by each shard (all incarnations)."""
         return [
-            sum(emitted.batch.size for emitted in shard.sequencer.emitted_batches)
+            sum(emitted.batch.size for emitted in shard.retired)
+            + sum(emitted.batch.size for emitted in shard.sequencer.emitted_batches)
             for shard in self._shards
         ]
 
     def engine_stats(self) -> EngineStats:
         """Cluster-wide engine counters: every shard plus the merger."""
-        combined = EngineStats()
+        combined = self._retired_engine_stats
         for shard in self._shards:
             combined = combined.merge(shard.sequencer.engine_stats())
         return combined.merge(self._merger.engine_stats)
@@ -526,6 +718,8 @@ class ShardedSequencer(Entity):
                 "num_shards": self.num_shards,
                 "policy": self._router.policy.name,
                 "failovers": len(self._failover_events),
+                "rejoins": len(self._rejoin_events),
+                "duplicates_suppressed": self._duplicates_suppressed,
                 "engine": self.engine_stats().as_dict(),
                 "learning": self.learning_stats(),
             }
@@ -533,9 +727,11 @@ class ShardedSequencer(Entity):
         return SequencingResult(batches=outcome.result.batches, metadata=metadata)
 
     def emission_latencies(self) -> List[float]:
-        """Generation-to-emission latencies across every shard."""
+        """Generation-to-emission latencies across every shard (all incarnations)."""
         latencies: List[float] = []
         for shard in self._shards:
+            for emitted in shard.retired:
+                latencies.extend(emitted.emission_latencies())
             latencies.extend(shard.sequencer.emission_latencies())
         return latencies
 
@@ -543,5 +739,6 @@ class ShardedSequencer(Entity):
         """All per-shard emitted batches (unmerged), shard-major order."""
         batches: List[EmittedBatch] = []
         for shard in self._shards:
+            batches.extend(shard.retired)
             batches.extend(shard.sequencer.emitted_batches)
         return batches

@@ -8,8 +8,8 @@ confidently share a batch; batches receive consecutive ranks starting at 0.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.core.relation import LikelyHappenedBefore, MessageKey
 from repro.network.message import SequencedBatch, TimestampedMessage
@@ -47,7 +47,9 @@ class BatchingOutcome:
         return singles / len(self.batches)
 
 
-def _strict_boundary_strengths(order: Sequence[MessageKey], relation: LikelyHappenedBefore) -> List[float]:
+def _strict_boundary_strengths(
+    order: Sequence[MessageKey], relation: LikelyHappenedBefore
+) -> List[float]:
     """Strength of every potential boundary under the strict (all-pairs) rule.
 
     The strength of the boundary after position ``k`` is

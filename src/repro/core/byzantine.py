@@ -134,7 +134,9 @@ class ByzantineAuditor:
         self._verdicts.append(verdict)
         return verdict
 
-    def sanitize(self, message: TimestampedMessage, arrival_time: float) -> Optional[TimestampedMessage]:
+    def sanitize(
+        self, message: TimestampedMessage, arrival_time: float
+    ) -> Optional[TimestampedMessage]:
         """Audit and mitigate: clamp implausible timestamps, drop excluded clients.
 
         Returns ``None`` when the client is excluded, the original message

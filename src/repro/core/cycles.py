@@ -19,8 +19,8 @@ provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -63,7 +63,9 @@ def break_cycles_greedy(graph: nx.DiGraph) -> CycleResolution:
         weakest = min(cycle, key=lambda edge: graph.edges[edge]["probability"])
         probability = float(graph.edges[weakest]["probability"])
         graph.remove_edge(*weakest)
-        removed.append(PairProbability(source=weakest[0], target=weakest[1], probability=probability))
+        removed.append(
+            PairProbability(source=weakest[0], target=weakest[1], probability=probability)
+        )
     return CycleResolution(removed_edges=tuple(removed), policy="greedy", was_cyclic=was_cyclic)
 
 

@@ -26,7 +26,7 @@ the parity oracle for tests and benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -106,7 +106,9 @@ class OnlineTommySequencer(Entity):
             if use_engine
             else None
         )
-        self._known_clients = set(known_clients) if known_clients is not None else set(client_distributions)
+        self._known_clients = (
+            set(known_clients) if known_clients is not None else set(client_distributions)
+        )
         self._pending: List[TimestampedMessage] = []
         self._arrival_times: Dict[Tuple[str, int], float] = {}
         self._latest_client_timestamp: Dict[str, float] = {}
@@ -215,7 +217,9 @@ class OnlineTommySequencer(Entity):
         rebuilds) once, so refreshing many clients costs one rebuild instead
         of one per client.
         """
-        unknown = [client_id for client_id in distributions if not self._model.has_client(client_id)]
+        unknown = [
+            client_id for client_id in distributions if not self._model.has_client(client_id)
+        ]
         if unknown:
             raise KeyError(
                 f"clients {unknown!r} are not registered; use register_client for new clients"
@@ -233,7 +237,9 @@ class OnlineTommySequencer(Entity):
             self._schedule_check()
 
     # ---------------------------------------------------------------- intake
-    def receive(self, item: Union[TimestampedMessage, Heartbeat], arrival_time: Optional[float] = None) -> None:
+    def receive(
+        self, item: Union[TimestampedMessage, Heartbeat], arrival_time: Optional[float] = None
+    ) -> None:
         """Handle an arriving message or heartbeat.
 
         Designed to be wired directly into
@@ -244,7 +250,9 @@ class OnlineTommySequencer(Entity):
             self._note_client_progress(item.client_id, item.timestamp)
         elif isinstance(item, TimestampedMessage):
             if not self._model.has_client(item.client_id):
-                raise KeyError(f"client {item.client_id!r} has no registered clock-error distribution")
+                raise KeyError(
+                    f"client {item.client_id!r} has no registered clock-error distribution"
+                )
             self._pending.append(item)
             if self._engine is not None:
                 self._engine.add_message(item)
@@ -356,7 +364,9 @@ class OnlineTommySequencer(Entity):
                 self._engine.safe_emission_time(message, self._config.p_safe)
                 for message in batch
             )
-        return max(self._model.safe_emission_time(message, self._config.p_safe) for message in batch)
+        return max(
+            self._model.safe_emission_time(message, self._config.p_safe) for message in batch
+        )
 
     def _completeness_floor(self) -> float:
         """Minimum latest-heard timestamp over the known clients.

@@ -123,7 +123,9 @@ class PrecedenceModel:
         try:
             return self._distributions[client_id]
         except KeyError:
-            raise KeyError(f"no clock-error distribution registered for client {client_id!r}") from None
+            raise KeyError(
+                f"no clock-error distribution registered for client {client_id!r}"
+            ) from None
 
     # --------------------------------------------------------- probabilities
     def pair_difference(self, client_i: str, client_j: str) -> DifferenceDistribution:
@@ -157,7 +159,9 @@ class PrecedenceModel:
             return None
         return self.pair_difference(client_i, client_j).cdf_table()
 
-    def preceding_probability(self, message_i: TimestampedMessage, message_j: TimestampedMessage) -> float:
+    def preceding_probability(
+        self, message_i: TimestampedMessage, message_j: TimestampedMessage
+    ) -> float:
         """``P(message_i generated before message_j)`` from timestamps alone."""
         return self.preceding_probability_for(
             message_i.client_id, message_i.timestamp, message_j.client_id, message_j.timestamp

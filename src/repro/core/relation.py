@@ -40,8 +40,14 @@ class PairProbability:
 class LikelyHappenedBefore:
     """All pairwise likely-happened-before probabilities for a message set."""
 
-    def __init__(self, messages: Sequence[TimestampedMessage], probabilities: Dict[Tuple[MessageKey, MessageKey], float]) -> None:
-        self._messages: Dict[MessageKey, TimestampedMessage] = {message.key: message for message in messages}
+    def __init__(
+        self,
+        messages: Sequence[TimestampedMessage],
+        probabilities: Dict[Tuple[MessageKey, MessageKey], float],
+    ) -> None:
+        self._messages: Dict[MessageKey, TimestampedMessage] = {
+            message.key: message for message in messages
+        }
         if len(self._messages) != len(messages):
             raise ValueError("duplicate message keys in relation")
         self._probabilities = dict(probabilities)
@@ -93,7 +99,8 @@ class LikelyHappenedBefore:
                 backward = probabilities[(messages[j].key, messages[i].key)]
                 if abs(forward + backward - 1.0) > 1e-6:
                     raise ValueError(
-                        f"matrix entries ({i},{j}) and ({j},{i}) must sum to 1, got {forward} + {backward}"
+                        f"matrix entries ({i},{j}) and ({j},{i}) must sum to 1, "
+                        f"got {forward} + {backward}"
                     )
         return cls(messages, probabilities)
 

@@ -100,7 +100,9 @@ class TommySequencer(OfflineSequencer):
         transitive = tournament.is_transitive_tournament()
         resolution = resolve_cycles(tournament.graph, self._config.cycle_policy, rng=self._rng)
         order = tournament.topological_order()
-        outcome = form_batches(order, relation, self._config.threshold, mode=self._config.batching_mode)
+        outcome = form_batches(
+            order, relation, self._config.threshold, mode=self._config.batching_mode
+        )
         metadata = {
             "sequencer": self.name,
             "threshold": self._config.threshold,

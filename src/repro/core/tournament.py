@@ -11,7 +11,7 @@ and a cycle-breaking policy from :mod:`repro.core.cycles` is applied first.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import networkx as nx
 
@@ -29,7 +29,9 @@ class TournamentGraph:
 
     # ------------------------------------------------------------- factories
     @classmethod
-    def from_relation(cls, relation: LikelyHappenedBefore, tie_epsilon: float = 0.0) -> "TournamentGraph":
+    def from_relation(
+        cls, relation: LikelyHappenedBefore, tie_epsilon: float = 0.0
+    ) -> "TournamentGraph":
         """Keep, for every unordered pair, the direction with probability >= 0.5.
 
         Probabilities within ``tie_epsilon`` of 0.5 are counted as ties and

@@ -87,7 +87,9 @@ class OffsetDistribution(abc.ABC):
         spread = self.std if self.std > 0 else 1e-9
         return (self.mean - k * spread, self.mean + k * spread)
 
-    def grid(self, num_points: int = 4096, coverage: float = 1.0 - 1e-9) -> Tuple[np.ndarray, np.ndarray]:
+    def grid(
+        self, num_points: int = 4096, coverage: float = 1.0 - 1e-9
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Discretise the PDF on an evenly spaced grid covering the support."""
         if num_points < 8:
             raise DistributionError("grid needs at least 8 points")

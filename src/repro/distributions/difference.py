@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
-from scipy import stats
 
 from repro.distributions.base import DistributionError, OffsetDistribution
 from repro.distributions.convolution import convolve_direct, convolve_fft
@@ -98,7 +97,9 @@ class DifferenceDistribution:
         return self._distribution.quantile(q)
 
 
-def gaussian_difference(dist_i: GaussianDistribution, dist_j: GaussianDistribution) -> DifferenceDistribution:
+def gaussian_difference(
+    dist_i: GaussianDistribution, dist_j: GaussianDistribution
+) -> DifferenceDistribution:
     """Closed-form difference for independent Gaussian errors.
 
     ``eps_j - eps_i ~ N(mu_j - mu_i, sigma_i^2 + sigma_j^2)``.
@@ -129,7 +130,9 @@ def difference_distribution(
     if method not in {"auto", "gaussian", "fft", "direct"}:
         raise DistributionError(f"unknown method {method!r}")
 
-    both_gaussian = isinstance(dist_i, GaussianDistribution) and isinstance(dist_j, GaussianDistribution)
+    both_gaussian = isinstance(dist_i, GaussianDistribution) and isinstance(
+        dist_j, GaussianDistribution
+    )
     if method == "gaussian" and not both_gaussian:
         raise DistributionError("gaussian method requires Gaussian inputs")
     if method in {"auto", "gaussian"} and both_gaussian:

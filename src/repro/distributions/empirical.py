@@ -20,7 +20,9 @@ class EmpiricalDistribution(SampledDistribution):
 
     family = "empirical"
 
-    def __init__(self, grid_x: np.ndarray, density: np.ndarray, samples: Optional[np.ndarray] = None) -> None:
+    def __init__(
+        self, grid_x: np.ndarray, density: np.ndarray, samples: Optional[np.ndarray] = None
+    ) -> None:
         grid_x = np.asarray(grid_x, dtype=float)
         density = np.asarray(density, dtype=float)
         if grid_x.ndim != 1 or density.ndim != 1 or grid_x.size != density.size:
@@ -48,7 +50,9 @@ class EmpiricalDistribution(SampledDistribution):
 
     # ------------------------------------------------------------- factories
     @classmethod
-    def from_samples(cls, samples: np.ndarray, bins: int = 128, padding: float = 0.05) -> "EmpiricalDistribution":
+    def from_samples(
+        cls, samples: np.ndarray, bins: int = 128, padding: float = 0.05
+    ) -> "EmpiricalDistribution":
         """Build a histogram-based density from raw offset samples."""
         samples = np.asarray(samples, dtype=float)
         if samples.size < 2:
@@ -70,7 +74,9 @@ class EmpiricalDistribution(SampledDistribution):
         return cls(np.asarray(grid_x, dtype=float), np.asarray(density, dtype=float))
 
     @classmethod
-    def from_kde(cls, samples: np.ndarray, num_points: int = 512, bandwidth: Optional[float] = None) -> "EmpiricalDistribution":
+    def from_kde(
+        cls, samples: np.ndarray, num_points: int = 512, bandwidth: Optional[float] = None
+    ) -> "EmpiricalDistribution":
         """Gaussian kernel density estimate over ``samples``."""
         samples = np.asarray(samples, dtype=float)
         if samples.size < 2:
@@ -85,7 +91,9 @@ class EmpiricalDistribution(SampledDistribution):
         hi = float(samples.max()) + 4 * bandwidth
         xs = np.linspace(lo, hi, num_points)
         diffs = (xs[:, None] - samples[None, :]) / bandwidth
-        density = np.exp(-0.5 * diffs ** 2).sum(axis=1) / (samples.size * bandwidth * np.sqrt(2 * np.pi))
+        density = np.exp(-0.5 * diffs**2).sum(axis=1) / (
+            samples.size * bandwidth * np.sqrt(2 * np.pi)
+        )
         return cls(xs, density, samples=samples)
 
     # ------------------------------------------------------------ properties

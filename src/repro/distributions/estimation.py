@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
-from scipy import stats
 
 from repro.distributions.base import DistributionError, OffsetDistribution
 from repro.distributions.empirical import EmpiricalDistribution
@@ -113,7 +112,9 @@ def estimate_lognormal(samples: np.ndarray) -> DistributionEstimate:
     return DistributionEstimate(dist, "shifted-lognormal", samples.size, ll, 2 * 3 - 2 * ll)
 
 
-def estimate_empirical(samples: np.ndarray, bins: int = 64, kde: bool = False) -> DistributionEstimate:
+def estimate_empirical(
+    samples: np.ndarray, bins: int = 64, kde: bool = False
+) -> DistributionEstimate:
     """Non-parametric estimate (histogram by default, KDE when ``kde=True``)."""
     samples = _require_samples(samples, 2)
     if kde:
@@ -126,7 +127,9 @@ def estimate_empirical(samples: np.ndarray, bins: int = 64, kde: bool = False) -
     return DistributionEstimate(dist, "empirical", samples.size, ll, 2 * k - 2 * ll)
 
 
-def fit_best_distribution(samples: np.ndarray, candidates: Optional[Dict[str, bool]] = None) -> DistributionEstimate:
+def fit_best_distribution(
+    samples: np.ndarray, candidates: Optional[Dict[str, bool]] = None
+) -> DistributionEstimate:
     """Fit several families and return the lowest-AIC estimate.
 
     ``candidates`` maps family name to a boolean enabling that family; by

@@ -186,10 +186,14 @@ class StudentTDistribution(OffsetDistribution):
         return self._scale ** 2 * self._dof / (self._dof - 2.0)
 
     def pdf(self, x: np.ndarray) -> np.ndarray:
-        return stats.t.pdf(np.asarray(x, dtype=float), df=self._dof, loc=self._mean, scale=self._scale)
+        return stats.t.pdf(
+            np.asarray(x, dtype=float), df=self._dof, loc=self._mean, scale=self._scale
+        )
 
     def cdf(self, x: np.ndarray) -> np.ndarray:
-        return stats.t.cdf(np.asarray(x, dtype=float), df=self._dof, loc=self._mean, scale=self._scale)
+        return stats.t.cdf(
+            np.asarray(x, dtype=float), df=self._dof, loc=self._mean, scale=self._scale
+        )
 
     def quantile(self, q: float) -> float:
         if not 0.0 <= q <= 1.0:
@@ -202,7 +206,9 @@ class StudentTDistribution(OffsetDistribution):
     def support(self, coverage: float = 1.0 - 1e-9) -> Tuple[float, float]:
         tail = (1.0 - coverage) / 2.0
         lo = float(stats.t.ppf(max(tail, 1e-300), df=self._dof, loc=self._mean, scale=self._scale))
-        hi = float(stats.t.ppf(min(1.0 - tail, 1.0), df=self._dof, loc=self._mean, scale=self._scale))
+        hi = float(
+            stats.t.ppf(min(1.0 - tail, 1.0), df=self._dof, loc=self._mean, scale=self._scale)
+        )
         if not np.isfinite(lo) or not np.isfinite(hi):
             lo, hi = self._mean - 50 * self._scale, self._mean + 50 * self._scale
         return (lo, hi)
@@ -256,5 +262,7 @@ class ShiftedLogNormalDistribution(OffsetDistribution):
 
     def support(self, coverage: float = 1.0 - 1e-9) -> Tuple[float, float]:
         tail = 1.0 - coverage
-        hi = self._shift + float(stats.lognorm.ppf(1.0 - tail, s=self._sigma, scale=np.exp(self._mu)))
+        hi = self._shift + float(
+            stats.lognorm.ppf(1.0 - tail, s=self._sigma, scale=np.exp(self._mu))
+        )
         return (self._shift, hi)

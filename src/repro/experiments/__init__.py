@@ -31,10 +31,12 @@ from repro.experiments.cluster_sweep import (
     run_cluster_scenario,
     run_cluster_sweep,
 )
+from repro.experiments.chaos_sweep import run_chaos_sweep
 from repro.experiments.learned_sweep import run_learned_sweep
 from repro.experiments.reporting import format_table, rows_to_csv
 
 __all__ = [
+    "run_chaos_sweep",
     "ClusterRunOutcome",
     "run_cluster_scenario",
     "run_cluster_sweep",

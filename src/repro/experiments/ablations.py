@@ -8,7 +8,7 @@ and EXPERIMENTS.md generation share one code path.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -21,11 +21,10 @@ from repro.distributions.parametric import (
     ShiftedLogNormalDistribution,
 )
 from repro.experiments.online_runner import OnlineExperimentSettings, run_online_experiment
-from repro.experiments.runner import evaluate_result, run_comparison
+from repro.experiments.runner import evaluate_result
 from repro.sequencers.fifo import FifoSequencer
 from repro.sequencers.truetime import TrueTimeSequencer
 from repro.sequencers.wfo import WaitsForOneSequencer
-from repro.sync.estimator import OffsetEstimator
 from repro.sync.learner import OffsetDistributionLearner
 from repro.workloads.arrivals import BurstArrivals, UniformGapArrivals
 from repro.workloads.scenario import Scenario, ScenarioConfig, build_scenario
@@ -45,7 +44,9 @@ def _default_scenario(
     return build_scenario(
         ScenarioConfig(
             num_clients=num_clients,
-            arrivals=UniformGapArrivals(messages_per_client=messages_per_client, gap=gap, jitter_fraction=0.2),
+            arrivals=UniformGapArrivals(
+                messages_per_client=messages_per_client, gap=gap, jitter_fraction=0.2
+            ),
             distribution_factory=factory,
             seed=seed,
         )
@@ -116,7 +117,10 @@ def run_distribution_ablation(
     def mixture_factory(index: int, rng: np.random.Generator):
         sigma = max(float(rng.uniform(0.5, 1.5)) * clock_std, 1e-9)
         return MixtureDistribution(
-            [GaussianDistribution(-0.5 * sigma, 0.4 * sigma), LaplaceDistribution(0.8 * sigma, 0.3 * sigma)],
+            [
+                GaussianDistribution(-0.5 * sigma, 0.4 * sigma),
+                LaplaceDistribution(0.8 * sigma, 0.3 * sigma),
+            ],
             [0.7, 0.3],
         )
 
@@ -204,9 +208,13 @@ def run_scaling_sweep(
     """Sequencer cost and fairness as the number of clients grows."""
     rows: List[Dict[str, object]] = []
     for num_clients in client_counts:
-        scenario = _default_scenario(num_clients=num_clients, gap=gap, clock_std=clock_std, seed=seed)
+        scenario = _default_scenario(
+            num_clients=num_clients, gap=gap, clock_std=clock_std, seed=seed
+        )
         messages = list(scenario.messages)
-        sequencer = TommySequencer(client_distributions=scenario.client_distributions, config=TommyConfig())
+        sequencer = TommySequencer(
+            client_distributions=scenario.client_distributions, config=TommyConfig()
+        )
         start = time.perf_counter()
         result = sequencer.sequence(messages)
         elapsed = time.perf_counter() - start

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.harness import replay_scenario
-from repro.cluster.merge import MergeOutcome
+from repro.cluster.merge import MergeOutcome, merge_fingerprint
 from repro.cluster.router import HashSharding, ShardingPolicy
 from repro.cluster.sharded import ShardedSequencer
 from repro.core.config import TommyConfig
@@ -130,11 +130,7 @@ def run_cluster_scenario(
         streaming_start = time.perf_counter()
         live = cluster.live_merge()
         streaming_wall = time.perf_counter() - streaming_start
-        fingerprint = lambda outcome: [
-            (batch.rank, tuple(message.key for message in batch.messages))
-            for batch in outcome.result.batches
-        ]
-        streaming_parity = fingerprint(live) == fingerprint(merge)
+        streaming_parity = merge_fingerprint(live) == merge_fingerprint(merge)
     messages = list(scenario.messages)
     comparison = evaluate_result(f"cluster@{num_shards}", merge.result, messages)
     return ClusterRunOutcome(

@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from repro.clocks.local import LocalClock
 from repro.core.config import TommyConfig
 from repro.core.online import OnlineTommySequencer
@@ -75,7 +73,9 @@ class OnlineExperimentOutcome:
         return row
 
 
-def run_online_experiment(settings: Optional[OnlineExperimentSettings] = None) -> OnlineExperimentOutcome:
+def run_online_experiment(
+    settings: Optional[OnlineExperimentSettings] = None,
+) -> OnlineExperimentOutcome:
     """Simulate clients on a jittery network feeding the online sequencer."""
     settings = settings if settings is not None else OnlineExperimentSettings()
     loop = EventLoop()

@@ -18,7 +18,10 @@ def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
         if list(row.keys()) != headers:
             raise ValueError("all rows must have the same keys in the same order")
     columns = {header: [str(row[header]) for row in rows] for header in headers}
-    widths = {header: max(len(header), *(len(value) for value in columns[header])) for header in headers}
+    widths = {
+        header: max(len(header), *(len(value) for value in columns[header]))
+        for header in headers
+    }
 
     def render_row(values: Sequence[str]) -> str:
         return "  ".join(value.ljust(widths[header]) for header, value in zip(headers, values))

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.metrics.batching_stats import BatchStatistics, batch_statistics
 from repro.metrics.kendall import kendall_tau_from_result

@@ -8,7 +8,6 @@ companion to RAS when sweeping the confidence threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

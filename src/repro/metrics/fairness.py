@@ -9,9 +9,8 @@ the omniscient order.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.network.message import TimestampedMessage
 from repro.sequencers.base import SequencingResult
@@ -30,7 +29,12 @@ class ClientFairness:
     @property
     def total_pairs(self) -> int:
         """All comparable pairs involving this client."""
-        return self.advantaged_pairs + self.disadvantaged_pairs + self.correct_pairs + self.indifferent_pairs
+        return (
+            self.advantaged_pairs
+            + self.disadvantaged_pairs
+            + self.correct_pairs
+            + self.indifferent_pairs
+        )
 
     @property
     def disadvantage_rate(self) -> float:

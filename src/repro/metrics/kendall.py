@@ -8,7 +8,7 @@ complementary view to RAS's neutral score of 0 for indifference.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.network.message import TimestampedMessage
 from repro.sequencers.base import SequencingResult
@@ -41,7 +41,9 @@ def kendall_tau_distance(true_order: Sequence[float], ranks: Sequence[float]) ->
     return discordant / comparable
 
 
-def kendall_tau_from_result(result: SequencingResult, messages: Sequence[TimestampedMessage]) -> float:
+def kendall_tau_from_result(
+    result: SequencingResult, messages: Sequence[TimestampedMessage]
+) -> float:
     """Kendall distance of a sequencing result versus ground-truth times."""
     rank_map = result.rank_of()
     true_times: List[float] = []

@@ -25,12 +25,16 @@ class PairwiseStats:
             raise ValueError("pairwise rates must sum to 1")
 
 
-def pairwise_stats(result: SequencingResult, messages: Sequence[TimestampedMessage]) -> PairwiseStats:
+def pairwise_stats(
+    result: SequencingResult, messages: Sequence[TimestampedMessage]
+) -> PairwiseStats:
     """Fraction of comparable pairs ordered correctly / inverted / left indifferent."""
     breakdown = rank_agreement_score(result, messages)
     total = breakdown.total_pairs
     if total == 0:
-        return PairwiseStats(accuracy=0.0, inversion_rate=0.0, indifference_rate=0.0, comparable_pairs=0)
+        return PairwiseStats(
+            accuracy=0.0, inversion_rate=0.0, indifference_rate=0.0, comparable_pairs=0
+        )
     return PairwiseStats(
         accuracy=breakdown.correct_pairs / total,
         inversion_rate=breakdown.incorrect_pairs / total,

@@ -16,7 +16,7 @@ so different message counts can be compared on one axis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

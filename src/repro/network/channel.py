@@ -22,6 +22,11 @@ from repro.simulation.trace import TraceRecorder
 
 DeliveryCallback = Callable[[Any], None]
 
+#: Chaos hook signature: ``hook(item, now)`` returns a decision object with
+#: ``drop`` / ``copies`` / ``extra_delay`` / ``not_before`` attributes (see
+#: :class:`repro.chaos.controller.FaultDecision`) or ``None`` for no fault.
+FaultHook = Callable[[Any, float], Optional[Any]]
+
 
 class Channel(Entity, abc.ABC):
     """A unidirectional channel from one sender to one receiver callback."""
@@ -44,9 +49,12 @@ class Channel(Entity, abc.ABC):
         self._deliver = deliver
         self._trace = trace
         self._drop_probability = float(drop_probability)
+        self._fault_hook: Optional[FaultHook] = None
         self._sent = 0
         self._delivered = 0
         self._dropped = 0
+        self._fault_dropped = 0
+        self._fault_copies = 0
 
     @property
     def sent(self) -> int:
@@ -60,19 +68,51 @@ class Channel(Entity, abc.ABC):
 
     @property
     def dropped(self) -> int:
-        """Messages dropped by the loss process."""
+        """Messages dropped by the loss process or an injected fault."""
         return self._dropped
+
+    @property
+    def fault_dropped(self) -> int:
+        """Messages dropped by the fault hook specifically."""
+        return self._fault_dropped
+
+    @property
+    def fault_copies(self) -> int:
+        """Extra deliveries injected by fault-hook duplication."""
+        return self._fault_copies
+
+    def set_fault_hook(self, hook: Optional[FaultHook]) -> None:
+        """Install (or clear) the chaos fault hook consulted on every send.
+
+        Without a hook the send path consumes exactly the same RNG draws as
+        before the hook existed, so fault-free runs stay bit-identical.
+        """
+        self._fault_hook = hook
 
     def send(self, item: Any) -> None:
         """Transmit ``item``; it is delivered (or dropped) asynchronously."""
         self._sent += 1
+        decision = self._fault_hook(item, self.now) if self._fault_hook is not None else None
+        if decision is not None and decision.drop:
+            self._dropped += 1
+            self._fault_dropped += 1
+            if self._trace is not None:
+                self._trace.record(self.now, self.name, "fault-drop", item=item)
+            return
         if self._drop_probability > 0 and self._rng.random() < self._drop_probability:
             self._dropped += 1
             if self._trace is not None:
                 self._trace.record(self.now, self.name, "drop", item=item)
             return
-        delay = max(float(self._delay_model.sample(self._rng)), 0.0)
-        self._enqueue(item, delay)
+        copies = 1 if decision is None else max(int(decision.copies), 1)
+        self._fault_copies += copies - 1
+        for _ in range(copies):
+            delay = max(float(self._delay_model.sample(self._rng)), 0.0)
+            if decision is not None:
+                delay += max(float(decision.extra_delay), 0.0)
+                if decision.not_before is not None:
+                    delay = max(delay, float(decision.not_before) - self.now)
+            self._enqueue(item, delay)
 
     @abc.abstractmethod
     def _enqueue(self, item: Any, delay: float) -> None:

@@ -56,7 +56,9 @@ class UniformJitterDelay(DelayModel):
         return self._base + self._jitter / 2.0
 
     def sample(self, rng: np.random.Generator) -> float:
-        return self._base + float(rng.uniform(0.0, self._jitter)) if self._jitter > 0 else self._base
+        if self._jitter > 0:
+            return self._base + float(rng.uniform(0.0, self._jitter))
+        return self._base
 
 
 class LogNormalDelay(DelayModel):

@@ -238,6 +238,18 @@ class Transport:
         """The channel carrying ``client_id``'s traffic to the sequencer."""
         return self._channels[client_id]
 
+    def install_chaos(self, controller: Any) -> int:
+        """Install ``controller``'s per-client fault hooks on every channel.
+
+        ``controller`` is a :class:`~repro.chaos.controller.ChaosController`
+        (anything exposing ``channel_hook(client_id)``).  Clients added
+        *after* this call are not hooked — wire clients first, then arm
+        chaos.  Returns the number of channels hooked.
+        """
+        for client_id, channel in self._channels.items():
+            channel.set_fault_hook(controller.channel_hook(client_id))
+        return len(self._channels)
+
     def add_client(
         self,
         client_id: str,

@@ -25,7 +25,8 @@ class SequencingResult:
         for index, batch in enumerate(self.batches):
             if batch.rank != index:
                 raise ValueError(
-                    f"batch at position {index} has rank {batch.rank}; ranks must be 0..n-1 in order"
+                    f"batch at position {index} has rank {batch.rank}; "
+                    "ranks must be 0..n-1 in order"
                 )
 
     @property
@@ -59,7 +60,9 @@ class SequencingResult:
         return flattened
 
 
-def batches_from_groups(groups: Sequence[Sequence[TimestampedMessage]]) -> Tuple[SequencedBatch, ...]:
+def batches_from_groups(
+    groups: Sequence[Sequence[TimestampedMessage]],
+) -> Tuple[SequencedBatch, ...]:
     """Build rank-assigned batches from an ordered sequence of message groups."""
     batches = []
     for rank, group in enumerate(groups):

@@ -43,4 +43,6 @@ class FifoSequencer(OfflineSequencer):
             ordered[start : start + self._batch_size]
             for start in range(0, len(ordered), self._batch_size)
         ]
-        return SequencingResult(batches=batches_from_groups(groups), metadata={"sequencer": self.name})
+        return SequencingResult(
+            batches=batches_from_groups(groups), metadata={"sequencer": self.name}
+        )

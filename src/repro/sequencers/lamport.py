@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Tuple
 
 _EVENT_COUNTER = itertools.count()
 
@@ -116,7 +116,9 @@ def concurrent(a: LamportEvent, b: LamportEvent) -> bool:
     return not happened_before(a, b) and not happened_before(b, a)
 
 
-def causal_order(events: Iterable[LamportEvent]) -> Tuple[Tuple[LamportEvent, ...], FrozenSet[Tuple[int, int]]]:
+def causal_order(
+    events: Iterable[LamportEvent],
+) -> Tuple[Tuple[LamportEvent, ...], FrozenSet[Tuple[int, int]]]:
     """Partial order summary for a set of events.
 
     Returns the events sorted by Lamport time (a linearisation consistent
@@ -129,5 +131,7 @@ def causal_order(events: Iterable[LamportEvent]) -> Tuple[Tuple[LamportEvent, ..
         for b in events:
             if a is not b and happened_before(a, b):
                 ordered_pairs.add((a.event_id, b.event_id))
-    linearised = tuple(sorted(events, key=lambda event: (event.lamport_time, event.process, event.event_id)))
+    linearised = tuple(
+        sorted(events, key=lambda event: (event.lamport_time, event.process, event.event_id))
+    )
     return linearised, frozenset(ordered_pairs)

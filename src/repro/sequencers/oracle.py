@@ -29,4 +29,6 @@ class OracleSequencer(OfflineSequencer):
                 )
         ordered = sorted(messages, key=lambda message: (message.true_time, message.message_id))
         groups = [[message] for message in ordered]
-        return SequencingResult(batches=batches_from_groups(groups), metadata={"sequencer": self.name})
+        return SequencingResult(
+            batches=batches_from_groups(groups), metadata={"sequencer": self.name}
+        )

@@ -11,7 +11,7 @@ union.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.clocks.truetime import TrueTimeInterval
 from repro.distributions.base import OffsetDistribution

@@ -14,7 +14,7 @@ the baseline benchmarks.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 from typing import Deque, Dict, List, Sequence
 
 from repro.network.message import TimestampedMessage
@@ -28,11 +28,18 @@ class WaitsForOneSequencer(OfflineSequencer):
 
     def sequence(self, messages: Sequence[TimestampedMessage]) -> SequencingResult:
         messages = self._validate(messages)
-        ordered = sorted(messages, key=lambda message: (message.timestamp, message.client_id, message.message_id))
+        ordered = sorted(
+            messages,
+            key=lambda message: (message.timestamp, message.client_id, message.message_id),
+        )
         groups = [[message] for message in ordered]
-        return SequencingResult(batches=batches_from_groups(groups), metadata={"sequencer": self.name})
+        return SequencingResult(
+            batches=batches_from_groups(groups), metadata={"sequencer": self.name}
+        )
 
-    def release_order(self, per_client_streams: Dict[str, Sequence[TimestampedMessage]]) -> List[TimestampedMessage]:
+    def release_order(
+        self, per_client_streams: Dict[str, Sequence[TimestampedMessage]]
+    ) -> List[TimestampedMessage]:
         """Replay the online WFO algorithm on per-client in-order streams.
 
         At every step the algorithm looks at the head of every non-empty
@@ -51,7 +58,10 @@ class WaitsForOneSequencer(OfflineSequencer):
         released: List[TimestampedMessage] = []
         while any(queues.values()):
             heads = [queue[0] for queue in queues.values() if queue]
-            winner = min(heads, key=lambda message: (message.timestamp, message.client_id, message.message_id))
+            winner = min(
+                heads,
+                key=lambda message: (message.timestamp, message.client_id, message.message_id),
+            )
             queues[winner.client_id].popleft()
             released.append(winner)
         return released

@@ -34,11 +34,15 @@ class Entity:
         """Current true simulation time."""
         return self._loop.now
 
-    def call_at(self, when: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+    def call_at(
+        self, when: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Event:
         """Schedule ``callback`` at absolute true time ``when``."""
         return self._loop.schedule_at(when, callback, *args, label=self._name, **kwargs)
 
-    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+    def call_after(
+        self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Event:
         """Schedule ``callback`` after ``delay`` seconds of true time."""
         return self._loop.schedule_after(delay, callback, *args, label=self._name, **kwargs)
 

@@ -9,7 +9,7 @@ and periodically publishes updated distribution estimates to the sequencer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 

@@ -33,8 +33,20 @@ from repro.workloads.learned import (
     build_learned_workload,
     synthesize_probe,
 )
+from repro.workloads.chaos import (
+    FAULT_NAMES,
+    ChaosReport,
+    ChaosSettings,
+    run_chaos_scenario,
+    standard_fault_schedule,
+)
 
 __all__ = [
+    "FAULT_NAMES",
+    "ChaosReport",
+    "ChaosSettings",
+    "run_chaos_scenario",
+    "standard_fault_schedule",
     "ArrivalProcess",
     "UniformGapArrivals",
     "PoissonArrivals",

@@ -50,7 +50,9 @@ class UniformGapArrivals(ArrivalProcess):
         """Mean spacing between consecutive events across all clients."""
         return self._gap
 
-    def generate(self, client_ids: Sequence[str], rng: np.random.Generator) -> Dict[str, List[float]]:
+    def generate(
+        self, client_ids: Sequence[str], rng: np.random.Generator
+    ) -> Dict[str, List[float]]:
         client_ids = list(client_ids)
         total = self._per_client * len(client_ids)
         times: Dict[str, List[float]] = {client: [] for client in client_ids}
@@ -78,7 +80,9 @@ class PoissonArrivals(ArrivalProcess):
         self._horizon = float(horizon)
         self._start = float(start_time)
 
-    def generate(self, client_ids: Sequence[str], rng: np.random.Generator) -> Dict[str, List[float]]:
+    def generate(
+        self, client_ids: Sequence[str], rng: np.random.Generator
+    ) -> Dict[str, List[float]]:
         times: Dict[str, List[float]] = {}
         for client in client_ids:
             arrivals: List[float] = []
@@ -128,7 +132,9 @@ class BurstArrivals(ArrivalProcess):
         """True time of the broadcast event triggering the burst."""
         return self._event_time
 
-    def generate(self, client_ids: Sequence[str], rng: np.random.Generator) -> Dict[str, List[float]]:
+    def generate(
+        self, client_ids: Sequence[str], rng: np.random.Generator
+    ) -> Dict[str, List[float]]:
         times: Dict[str, List[float]] = {}
         for client in client_ids:
             reaction = float(rng.lognormal(np.log(self._median), self._sigma))

@@ -20,14 +20,13 @@ generates exactly that situation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 
 from repro.distributions.base import OffsetDistribution
 from repro.distributions.mixtures import MixtureDistribution
 from repro.distributions.parametric import GaussianDistribution
-from repro.network.message import TimestampedMessage
 from repro.sync.probe import SyncProbe
 from repro.workloads.arrivals import UniformGapArrivals
 from repro.workloads.scenario import Scenario, ScenarioConfig, build_scenario

@@ -11,7 +11,7 @@ sequencer's region.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,7 +19,7 @@ import numpy as np
 from repro.distributions.base import OffsetDistribution
 from repro.distributions.parametric import GaussianDistribution
 from repro.network.link import DelayModel, LogNormalDelay
-from repro.workloads.scenario import ClientSpec, Scenario, ScenarioConfig, build_scenario
+from repro.workloads.scenario import Scenario, ScenarioConfig, build_scenario
 from repro.workloads.arrivals import ArrivalProcess, BurstArrivals
 
 
@@ -79,7 +79,14 @@ class RegionProfile:
 #: paper's single-DC vs multi-region contrast.
 DEFAULT_REGIONS: Tuple[RegionProfile, ...] = (
     RegionProfile(name="local", clock_std=20e-6, delay_median=200e-6, delay_sigma=0.2, weight=1.0),
-    RegionProfile(name="remote", clock_std=2e-3, clock_bias=0.5e-3, delay_median=30e-3, delay_sigma=0.3, weight=1.0),
+    RegionProfile(
+        name="remote",
+        clock_std=2e-3,
+        clock_bias=0.5e-3,
+        delay_median=30e-3,
+        delay_sigma=0.3,
+        weight=1.0,
+    ),
 )
 
 
@@ -102,7 +109,9 @@ class MultiRegionScenario:
 
     def delay_model_for(self, client_id: str) -> DelayModel:
         """One-way delay model for ``client_id``'s region."""
-        profile = next(region for region in self.regions if region.name == self.region_of[client_id])
+        profile = next(
+            region for region in self.regions if region.name == self.region_of[client_id]
+        )
         return profile.delay_model()
 
 
@@ -143,7 +152,11 @@ def build_multiregion_scenario(
 
     config = ScenarioConfig(
         num_clients=num_clients,
-        arrivals=arrivals if arrivals is not None else BurstArrivals(reaction_median=500e-6, reaction_sigma=0.5),
+        arrivals=(
+            arrivals
+            if arrivals is not None
+            else BurstArrivals(reaction_median=500e-6, reaction_sigma=0.5)
+        ),
         distribution_factory=factory,
         seed=seed,
     )

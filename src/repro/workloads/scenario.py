@@ -10,7 +10,7 @@ are retained on the message for scoring.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,7 +52,9 @@ class ScenarioConfig:
     """
 
     num_clients: int = 500
-    arrivals: ArrivalProcess = field(default_factory=lambda: UniformGapArrivals(messages_per_client=1, gap=1.0))
+    arrivals: ArrivalProcess = field(
+        default_factory=lambda: UniformGapArrivals(messages_per_client=1, gap=1.0)
+    )
     distribution_factory: Optional[DistributionFactory] = None
     default_sigma: float = 10.0
     seed: int = 0
@@ -88,7 +90,9 @@ class Scenario:
 
     def messages_by_client(self) -> Dict[str, List[TimestampedMessage]]:
         """Messages grouped per client, each group in true-time order."""
-        grouped: Dict[str, List[TimestampedMessage]] = {client_id: [] for client_id in self.client_ids}
+        grouped: Dict[str, List[TimestampedMessage]] = {
+            client_id: [] for client_id in self.client_ids
+        }
         for message in self.messages_by_true_time():
             grouped[message.client_id].append(message)
         return grouped

@@ -1,0 +1,155 @@
+"""ChaosController behaviour at the channel, clock and probe hooks."""
+
+import numpy as np
+import pytest
+
+from repro.chaos.controller import ChaosController
+from repro.chaos.faults import (
+    ClockStep,
+    DelaySpike,
+    FaultSchedule,
+    LinkPartition,
+    MessageDuplication,
+    MessageLoss,
+    SyncBlackout,
+)
+from repro.clocks.drift import SteppedDrift
+from repro.network.channel import UnorderedChannel
+from repro.network.link import ConstantDelay
+from repro.network.message import TimestampedMessage
+from repro.simulation.event_loop import EventLoop
+
+
+def message(client="a", timestamp=0.0):
+    return TimestampedMessage(client_id=client, timestamp=timestamp, true_time=timestamp)
+
+
+def channel_with(loop, hook, delay=0.01):
+    delivered = []
+    channel = UnorderedChannel(
+        loop,
+        "chan:test",
+        ConstantDelay(delay),
+        np.random.default_rng(0),
+        delivered.append,
+    )
+    channel.set_fault_hook(hook)
+    return channel, delivered
+
+
+def test_partition_hold_floors_delivery_at_heal_time():
+    loop = EventLoop()
+    schedule = FaultSchedule([LinkPartition(start=0.0, duration=1.0, mode="hold")])
+    controller = ChaosController(loop, schedule)
+    channel, delivered = channel_with(loop, controller.channel_hook("a"))
+    channel.send(message())
+    loop.run()
+    assert delivered and loop.now >= 1.0
+    assert controller.stats.messages_held == 1
+
+
+def test_partition_drop_loses_traffic_and_heals():
+    loop = EventLoop()
+    schedule = FaultSchedule([LinkPartition(start=0.0, duration=1.0, mode="drop")])
+    controller = ChaosController(loop, schedule)
+    channel, delivered = channel_with(loop, controller.channel_hook("a"))
+    channel.send(message())
+    loop.run(until=2.0)
+    assert delivered == []
+    assert channel.fault_dropped == 1
+    # after heal the link behaves normally again
+    channel.send(message(timestamp=2.0))
+    loop.run()
+    assert len(delivered) == 1
+    assert controller.stats.messages_dropped == 1
+
+
+def test_partition_scoped_to_other_client_is_transparent():
+    loop = EventLoop()
+    schedule = FaultSchedule(
+        [LinkPartition(start=0.0, duration=1.0, clients=("b",), mode="drop")]
+    )
+    controller = ChaosController(loop, schedule)
+    channel, delivered = channel_with(loop, controller.channel_hook("a"))
+    channel.send(message())
+    loop.run()
+    assert len(delivered) == 1
+
+
+def test_loss_and_duplication_are_seed_deterministic():
+    def run(seed):
+        loop = EventLoop()
+        schedule = FaultSchedule(
+            [
+                MessageLoss(start=0.0, duration=10.0, probability=0.4),
+                MessageDuplication(start=0.0, duration=10.0, probability=0.4),
+            ]
+        )
+        controller = ChaosController(loop, schedule, seed=seed)
+        channel, delivered = channel_with(loop, controller.channel_hook("a"))
+        for index in range(50):
+            channel.send(message(timestamp=float(index)))
+        loop.run()
+        return len(delivered), controller.stats.messages_dropped, controller.stats.messages_duplicated
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+    delivered, dropped, duplicated = run(7)
+    assert dropped > 0 and duplicated > 0
+    assert delivered == 50 - dropped + duplicated
+
+
+def test_delay_spike_adds_exactly_the_extra_delay():
+    loop = EventLoop()
+    schedule = FaultSchedule([DelaySpike(start=0.0, duration=1.0, extra_delay=0.5)])
+    controller = ChaosController(loop, schedule)
+    channel, delivered = channel_with(loop, controller.channel_hook("a"), delay=0.01)
+    channel.send(message())
+    loop.run()
+    assert delivered
+    assert loop.now == pytest.approx(0.51)
+
+
+def test_no_active_fault_means_no_decision_and_identical_rng_use():
+    loop = EventLoop()
+    controller = ChaosController(loop, FaultSchedule([DelaySpike(start=5.0, duration=1.0, extra_delay=1.0)]))
+    hooked, hooked_delivered = channel_with(loop, controller.channel_hook("a"))
+    bare, bare_delivered = channel_with(loop, None)
+    hooked.send(message())
+    bare.send(message())
+    loop.run()
+    assert len(hooked_delivered) == len(bare_delivered) == 1
+
+
+def test_clock_steps_install_at_arm_time():
+    loop = EventLoop()
+    drift = SteppedDrift()
+    schedule = FaultSchedule([ClockStep(start=2.0, clients=("a",), step=0.125)])
+    controller = ChaosController(loop, schedule)
+    controller.register_clock("a", drift)
+    controller.arm()
+    assert drift.offset_at(1.0) == 0.0
+    assert drift.offset_at(2.5) == 0.125
+    assert controller.stats.clock_steps == 1
+    with pytest.raises(ValueError):
+        controller.arm()  # double-arm would double-install the steps
+
+
+def test_clock_step_without_registered_clock_raises():
+    loop = EventLoop()
+    controller = ChaosController(
+        loop, FaultSchedule([ClockStep(start=0.0, clients=("ghost",), step=0.1)])
+    )
+    with pytest.raises(KeyError):
+        controller.arm()
+
+
+def test_probe_blackout_window():
+    loop = EventLoop()
+    schedule = FaultSchedule([SyncBlackout(start=1.0, duration=1.0, clients=("a",))])
+    controller = ChaosController(loop, schedule)
+    assert controller.probe_allowed("a", 0.5)
+    assert not controller.probe_allowed("a", 1.5)
+    assert controller.probe_allowed("b", 1.5)
+    assert controller.probe_allowed("a", 2.5)
+    assert controller.stats.probes_suppressed == 1

@@ -1,0 +1,95 @@
+"""Fault primitives, schedule composition, and the steppable drift model."""
+
+import pytest
+
+from repro.chaos.faults import (
+    ClockStep,
+    DelaySpike,
+    FaultSchedule,
+    LinkPartition,
+    MessageDuplication,
+    MessageLoss,
+    MessageReorder,
+    ShardCrash,
+    SyncBlackout,
+)
+from repro.clocks.drift import ConstantDrift, SteppedDrift
+
+
+def test_fault_window_is_half_open():
+    fault = MessageLoss(start=1.0, duration=2.0, probability=0.5)
+    assert not fault.active_at(0.999)
+    assert fault.active_at(1.0)
+    assert fault.active_at(2.999)
+    assert not fault.active_at(3.0)
+
+
+def test_client_scoping_empty_means_everyone():
+    fault = DelaySpike(start=0.0, duration=1.0, extra_delay=0.01)
+    assert fault.applies_to("anyone")
+    scoped = DelaySpike(start=0.0, duration=1.0, clients=("a", "b"), extra_delay=0.01)
+    assert scoped.applies_to("a")
+    assert not scoped.applies_to("c")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        lambda: MessageLoss(start=-1.0, duration=1.0),
+        lambda: MessageLoss(start=0.0, duration=-1.0),
+        lambda: MessageLoss(start=0.0, duration=1.0, probability=1.5),
+        lambda: MessageDuplication(start=0.0, duration=1.0, copies=0),
+        lambda: MessageReorder(start=0.0, duration=1.0, jitter=0.0),
+        lambda: DelaySpike(start=0.0, duration=1.0, extra_delay=0.0),
+        lambda: LinkPartition(start=0.0, duration=1.0, mode="sideways"),
+        lambda: LinkPartition(start=0.0, duration=0.0),
+        lambda: ClockStep(start=0.0, step=0.0),
+        lambda: SyncBlackout(start=0.0, duration=0.0),
+        lambda: ShardCrash(start=0.0, shard=-1),
+        lambda: ShardCrash(start=0.0, shard=0, rejoin_after=0.0),
+    ],
+)
+def test_primitive_validation(bad):
+    with pytest.raises(ValueError):
+        bad()
+
+
+def test_schedule_orders_by_start_and_reports_horizon():
+    schedule = FaultSchedule(
+        [
+            MessageLoss(start=5.0, duration=1.0, probability=0.1),
+            ShardCrash(start=1.0, shard=0, rejoin_after=9.0),
+            ClockStep(start=3.0, clients=("a",), step=0.5),
+        ]
+    )
+    assert [fault.kind for fault in schedule] == ["crash", "clock_step", "loss"]
+    assert schedule.horizon == 10.0  # crash at 1 + rejoin after 9
+    assert len(schedule.channel_faults) == 1
+    assert len(schedule.clock_faults) == 1
+    assert len(schedule.shard_faults) == 1
+    assert len(schedule.describe()) == 3
+
+
+def test_schedule_rejects_non_faults():
+    with pytest.raises(TypeError):
+        FaultSchedule(["not a fault"])
+
+
+def test_stepped_drift_composes_base_and_steps():
+    drift = SteppedDrift(ConstantDrift(rate_ppm=10.0))
+    drift.add_step(5.0, 0.25)
+    drift.add_step(2.0, -0.1)
+    base = 1e-5
+    assert drift.offset_at(1.0) == pytest.approx(base * 1.0)
+    assert drift.offset_at(3.0) == pytest.approx(base * 3.0 - 0.1)
+    assert drift.offset_at(6.0) == pytest.approx(base * 6.0 - 0.1 + 0.25)
+    # query order cannot change anything: offsets are pure functions of time
+    assert drift.offset_at(1.0) == pytest.approx(base * 1.0)
+    assert drift.steps == [(2.0, -0.1), (5.0, 0.25)]
+
+
+def test_stepped_drift_reset_keeps_steps():
+    drift = SteppedDrift()
+    drift.add_step(1.0, 0.5)
+    drift.reset()
+    assert drift.offset_at(2.0) == 0.5

@@ -250,3 +250,66 @@ def test_cluster_streaming_can_be_disabled():
     assert cluster.streaming_merger is None
     with pytest.raises(ValueError, match="streaming merge is disabled"):
         cluster.live_merge()
+
+
+@pytest.mark.parametrize("seed", [3, 4, 5])
+def test_refresh_pruning_is_bitwise_identical_to_full_repricing(seed):
+    # window pruning must only skip pairs whose stored entry cannot move: a
+    # pruned refresh and a full refresh end in bitwise-identical state, and
+    # both equal a fresh offline merge over the refreshed model
+    states = {}
+    for full in (False, True):
+        model, shard_clients = build_model(3, 2, np.random.default_rng(seed))
+        # time-localised long streams: most history prunes against a refresh
+        streams = build_streams(shard_clients, 24, np.random.default_rng(seed + 100), gap=0.05)
+        streaming = CrossShardMerger(model, seed=seed).streaming_merger(num_shards=3)
+        for shard, batch in random_interleaving(streams, np.random.default_rng(seed + 200)):
+            streaming.observe_batch(shard, batch)
+        refreshed = "s0-c0"
+        model.register_client(refreshed, GaussianDistribution(0.001, 0.005))
+        repriced = streaming.refresh_client(refreshed, full=full)
+        count = streaming.node_count
+        states[full] = (
+            fingerprint(streaming.result()),
+            streaming._matrix[:count, :count].copy(),
+            streaming._pruned_pair[:count, :count].copy(),
+            streaming.cross_pairs_evaluated,
+            streaming.cross_pairs_pruned,
+            repriced,
+            streaming.refresh_pairs_skipped,
+            model,
+            streams,
+        )
+    pruned_state, full_state = states[False], states[True]
+    assert pruned_state[0] == full_state[0]
+    assert np.array_equal(pruned_state[1], full_state[1], equal_nan=True)
+    assert np.array_equal(pruned_state[2], full_state[2])
+    assert pruned_state[3] == full_state[3] and pruned_state[4] == full_state[4]
+    # the pruned refresh did strictly less work and counted the skips
+    assert pruned_state[5] < full_state[5]
+    assert pruned_state[6] > 0 and full_state[6] == 0
+    assert pruned_state[5] + pruned_state[6] == full_state[5]
+    # both equal the offline oracle over the refreshed model
+    oracle = CrossShardMerger(pruned_state[7], seed=seed).merge(pruned_state[8])
+    assert pruned_state[0] == fingerprint(oracle)
+
+
+def test_refresh_pruning_tracks_window_status_flips():
+    # a refresh that *changes* a pair's overlap status (certain -> uncertain)
+    # must reprice it even though it was pruned before
+    rng = np.random.default_rng(2)
+    model, shard_clients = build_model(2, 1, rng)
+    streams = build_streams(shard_clients, 6, rng, gap=1.0, spread=0.1)  # far apart: all pruned
+    streaming = CrossShardMerger(model, seed=2).streaming_merger(num_shards=2)
+    for shard, batch in random_interleaving(streams, rng):
+        streaming.observe_batch(shard, batch)
+    assert streaming.cross_pairs_pruned > 0
+    before_pruned = streaming.cross_pairs_pruned
+    # a huge clock error makes every window overlap: nothing may stay pruned
+    model.register_client("s0-c0", GaussianDistribution(0.0, 50.0))
+    repriced = streaming.refresh_client("s0-c0")
+    assert repriced > 0
+    assert streaming.cross_pairs_pruned < before_pruned
+    oracle = CrossShardMerger(model, seed=2).merge(streams)
+    assert fingerprint(streaming.result()) == fingerprint(oracle)
+    assert streaming.result().cross_pairs_pruned == oracle.cross_pairs_pruned
