@@ -38,6 +38,7 @@ from repro.chaos.faults import (
 )
 from repro.clocks.drift import SteppedDrift
 from repro.network.message import Heartbeat, TimestampedMessage
+from repro.obs.telemetry import Telemetry, resolve
 from repro.simulation.event_loop import EventLoop
 
 Item = Union[TimestampedMessage, Heartbeat]
@@ -95,7 +96,13 @@ class ChaosStats:
 class ChaosController:
     """Interprets one :class:`FaultSchedule` against one simulated run."""
 
-    def __init__(self, loop: EventLoop, schedule: FaultSchedule, seed: int = 0) -> None:
+    def __init__(
+        self,
+        loop: EventLoop,
+        schedule: FaultSchedule,
+        seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self._loop = loop
         self._schedule = schedule
         self._rng = np.random.default_rng(int(seed))
@@ -103,6 +110,9 @@ class ChaosController:
         self._cluster = None
         self._armed = False
         self.stats = ChaosStats()
+        self._obs = resolve(telemetry)
+        if self._obs.enabled:
+            self._obs.attach("chaos", self.stats)
 
     @property
     def schedule(self) -> FaultSchedule:
@@ -150,6 +160,10 @@ class ChaosController:
                 drift.add_step(fault.start, fault.step)
                 self.stats.clock_steps += 1
                 self.stats.count(fault.kind)
+                if self._obs.enabled:
+                    self._obs.event(
+                        "fault", fault.kind, fault.start, client_id=client_id, step=fault.step
+                    )
         for fault in self._schedule.shard_faults:
             if self._cluster is None:
                 raise ValueError("shard faults scheduled but no cluster attached")
@@ -168,6 +182,8 @@ class ChaosController:
         self._cluster.fail_shard(fault.shard)
         self.stats.shard_crashes += 1
         self.stats.count(fault.kind)
+        if self._obs.enabled:
+            self._obs.event("fault", "shard_crash", self._loop.now, shard=fault.shard)
         if fault.rejoin_after is not None:
             self._loop.schedule_at(
                 fault.start + fault.rejoin_after, self._rejoin, fault, victims, label="chaos"
@@ -178,6 +194,8 @@ class ChaosController:
         # arrives before the heartbeat monitor noticed the crash
         self._cluster.rejoin_shard(fault.shard, clients=victims)
         self.stats.shard_rejoins += 1
+        if self._obs.enabled:
+            self._obs.event("fault", "shard_rejoin", self._loop.now, shard=fault.shard)
 
     # ---------------------------------------------------------- channel faults
     def channel_hook(self, client_id: str) -> Callable[[Item, float], Optional[FaultDecision]]:
@@ -203,10 +221,10 @@ class ChaosController:
             # duplicated copies that never reach the wire)
             for fault in active:
                 if isinstance(fault, LinkPartition) and fault.mode == "drop":
-                    self._note_drop(is_message, fault.kind)
+                    self._note_drop(is_message, fault.kind, client_id, now)
                     return FaultDecision(drop=True)
                 if isinstance(fault, MessageLoss) and self._rng.random() < fault.probability:
-                    self._note_drop(is_message, fault.kind)
+                    self._note_drop(is_message, fault.kind, client_id, now)
                     return FaultDecision(drop=True)
             copies = 1
             extra_delay = 0.0
@@ -220,29 +238,43 @@ class ChaosController:
                         if is_message:
                             self.stats.messages_duplicated += fault.copies
                         self.stats.count(fault.kind, fault.copies)
+                        if self._obs.enabled:
+                            self._obs.event(
+                                "fault", fault.kind, now, client_id=client_id, copies=fault.copies
+                            )
                 elif isinstance(fault, MessageReorder):
                     extra_delay += float(self._rng.uniform(0.0, fault.jitter))
                     if is_message:
                         self.stats.messages_delayed += 1
                     self.stats.count(fault.kind)
+                    if self._obs.enabled:
+                        self._obs.event("fault", fault.kind, now, client_id=client_id)
                 elif isinstance(fault, DelaySpike):
                     extra_delay += fault.extra_delay
                     if is_message:
                         self.stats.messages_delayed += 1
                     self.stats.count(fault.kind)
+                    if self._obs.enabled:
+                        self._obs.event("fault", fault.kind, now, client_id=client_id)
             if not_before is not None and is_message:
                 self.stats.messages_held += 1
                 self.stats.count("partition")
+                if self._obs.enabled:
+                    self._obs.event(
+                        "fault", "partition_hold", now, client_id=client_id, until=not_before
+                    )
             return FaultDecision(copies=copies, extra_delay=extra_delay, not_before=not_before)
 
         return decide
 
-    def _note_drop(self, is_message: bool, kind: str) -> None:
+    def _note_drop(self, is_message: bool, kind: str, client_id: str, now: float) -> None:
         if is_message:
             self.stats.messages_dropped += 1
         else:
             self.stats.heartbeats_dropped += 1
         self.stats.count(kind)
+        if self._obs.enabled:
+            self._obs.event("fault", kind, now, client_id=client_id, dropped_message=is_message)
 
     # ------------------------------------------------------------ probe faults
     def probe_allowed(self, client_id: str, now: Optional[float] = None) -> bool:
@@ -257,5 +289,7 @@ class ChaosController:
             if fault.active_at(when) and fault.applies_to(client_id):
                 self.stats.probes_suppressed += 1
                 self.stats.count(fault.kind)
+                if self._obs.enabled:
+                    self._obs.event("fault", "probe_suppressed", when, client_id=client_id)
                 return False
         return True

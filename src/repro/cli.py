@@ -11,6 +11,7 @@ Every paper artifact and ablation can be regenerated from the shell::
     python -m repro.cli scaling
     python -m repro.cli cluster --shards 4 --num-clients 64
     python -m repro.cli chaos --shards 4 --fault partition
+    python -m repro.cli telemetry --workload cluster --trace-out trace.json
     python -m repro.cli all --csv-dir results/
 
 Each subcommand prints the same rows the corresponding benchmark target
@@ -36,6 +37,9 @@ from repro.experiments.cluster_sweep import run_cluster_sweep
 from repro.experiments.figure5 import Figure5Settings, figure5_rows, run_figure5
 from repro.experiments.learned_sweep import run_learned_sweep
 from repro.experiments.reporting import format_table, rows_to_csv
+from repro.obs.export import write_chrome_trace, write_metrics_json
+from repro.obs.spans import stage_latency_rows
+from repro.obs.workload import WORKLOAD_NAMES, run_instrumented_workload
 from repro.workloads.chaos import FAULT_NAMES
 
 
@@ -144,6 +148,39 @@ def _chaos_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
     )
 
 
+def _telemetry_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
+    effective = min(args.num_clients, CHAOS_MAX_CLIENTS)
+    if effective != args.num_clients:
+        print(
+            f"warning: telemetry runs the live cluster and caps --num-clients at "
+            f"{CHAOS_MAX_CLIENTS} (requested {args.num_clients}, using {effective})",
+            file=sys.stderr,
+        )
+    fault = args.fault
+    if args.workload == "chaos" and fault == "all":
+        fault = "delay"
+        print(
+            "warning: telemetry instruments one fault family at a time; "
+            "--fault all falls back to 'delay'",
+            file=sys.stderr,
+        )
+    run = run_instrumented_workload(
+        workload=args.workload,
+        num_shards=args.shards,
+        num_clients=effective,
+        seed=args.seed,
+        fault=fault,
+        intensity=args.intensity,
+    )
+    if args.trace_out:
+        count = write_chrome_trace(run.telemetry, args.trace_out)
+        print(f"wrote {args.trace_out} ({count} trace events; open in ui.perfetto.dev)")
+    if args.metrics_out:
+        write_metrics_json(run.telemetry, args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    return stage_latency_rows(run.telemetry)
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], List[Dict[str, object]]]] = {
     "figure5": _figure5_rows,
     "thresholds": _threshold_rows,
@@ -154,6 +191,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], List[Dict[str, object]]]] 
     "scaling": _scaling_rows,
     "cluster": _cluster_rows,
     "chaos": _chaos_rows,
+    "telemetry": _telemetry_rows,
 }
 
 TITLES = {
@@ -166,6 +204,7 @@ TITLES = {
     "scaling": "ABL-SCALE: client-count scaling",
     "cluster": "CLUSTER: sharded fair sequencing, shard-count scaling",
     "chaos": "CHAOS: fault injection on the live sharded cluster",
+    "telemetry": "TELEMETRY: message-lifecycle stage latency on an instrumented run",
 }
 
 
@@ -214,6 +253,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="chaos sweep only: fault intensity knob (default 1.0)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=WORKLOAD_NAMES,
+        default="cluster",
+        help="telemetry only: which workload to instrument (default cluster)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="telemetry only: write a perfetto-loadable Chrome trace_event JSON here",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="telemetry only: write the structured JSON metrics snapshot here",
     )
     parser.add_argument(
         "--csv-dir", default=None, help="also write one CSV per experiment into this directory"

@@ -27,6 +27,7 @@ from repro.cluster.sharded import ShardedSequencer
 from repro.network.link import DelayModel
 from repro.network.message import Heartbeat, TimestampedMessage
 from repro.network.transport import ClientEndpoint, Transport
+from repro.obs.telemetry import Telemetry
 from repro.simulation.event_loop import EventLoop
 from repro.simulation.trace import TraceRecorder
 
@@ -52,12 +53,15 @@ class ClusterTransport:
         rng_factory: Callable[[str], np.random.Generator],
         trace: Optional[TraceRecorder] = None,
         coalesce_bursts: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._loop = loop
         self._cluster = cluster
         self._transports: List[Transport] = []
         for shard_index in range(cluster.num_shards):
-            transport = Transport(loop, rng_factory, trace, coalesce_bursts=coalesce_bursts)
+            transport = Transport(
+                loop, rng_factory, trace, coalesce_bursts=coalesce_bursts, telemetry=telemetry
+            )
             transport.sequencer.on_arrival(self._fan_in(shard_index))
             if coalesce_bursts:
                 # same-instant deliveries reach the shard as one burst: one

@@ -56,6 +56,7 @@ from repro.core.engine import EngineStats, PairTableCache, cross_probability_mat
 from repro.core.probability import PrecedenceModel
 from repro.distributions.base import OffsetDistribution
 from repro.network.message import SequencedBatch, TimestampedMessage
+from repro.obs.telemetry import NO_TELEMETRY, Telemetry, resolve
 from repro.sequencers.base import SequencingResult
 
 #: A batch node: (shard index, position of the batch in that shard's stream).
@@ -387,6 +388,7 @@ def _merge_from_matrix(
     start: float,
     stats: Optional[EngineStats] = None,
     layout: Optional[_NodeLayout] = None,
+    obs=NO_TELEMETRY,
 ) -> MergeOutcome:
     """Linearise + coalesce a node-level forward-probability matrix.
 
@@ -463,13 +465,26 @@ def _merge_from_matrix(
             for shard, index in group
             if streams[shard][index].emitted_at is not None
         ]
+        commit_time = max(emitted) if emitted else None
         batches.append(
             SequencedBatch(
                 rank=rank,
                 messages=messages,
-                emitted_at=max(emitted) if emitted else None,
+                emitted_at=commit_time,
             )
         )
+        if obs.enabled:
+            # a message's commit time is when its merged batch became final:
+            # the latest source-batch emission inside the group (sim time, so
+            # reruns with the same seed stamp identical commits)
+            for shard, index in group:
+                for message in streams[shard][index].messages:
+                    obs.stage(
+                        "merge_commit",
+                        message,
+                        commit_time if commit_time is not None else 0.0,
+                        shard=shard,
+                    )
 
     wall = time.perf_counter() - start
     result = SequencingResult(
@@ -505,6 +520,7 @@ class CrossShardMerger:
         threshold: float = 0.75,
         cycle_policy: str = "greedy",
         seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not 0.5 <= threshold < 1.0:
             raise ValueError(f"threshold must be in [0.5, 1), got {threshold!r}")
@@ -512,6 +528,8 @@ class CrossShardMerger:
         self._threshold = float(threshold)
         self._cycle_policy = cycle_policy
         self._seed = int(seed)
+        self._telemetry = telemetry
+        self._obs = resolve(telemetry)
         self._rng = np.random.default_rng(seed)
         self._engine_stats = EngineStats()
         # difference-CDF tables shared across every batch_precedence call, so
@@ -564,6 +582,7 @@ class CrossShardMerger:
             stats=self._engine_stats,
             windows=self._windows,
             num_shards=num_shards,
+            telemetry=self._telemetry,
         )
 
     # ---------------------------------------------------------- probabilities
@@ -680,6 +699,7 @@ class CrossShardMerger:
             start,
             stats=self._engine_stats,
             layout=layout,
+            obs=self._obs,
         )
 
 
@@ -711,6 +731,7 @@ class StreamingMerger:
         stats: Optional[EngineStats] = None,
         windows: Optional[CertaintyWindows] = None,
         num_shards: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not 0.5 <= threshold < 1.0:
             raise ValueError(f"threshold must be in [0.5, 1), got {threshold!r}")
@@ -718,6 +739,7 @@ class StreamingMerger:
         self._threshold = float(threshold)
         self._cycle_policy = cycle_policy
         self._seed = int(seed)
+        self._obs = resolve(telemetry)
         self._stats = stats if stats is not None else EngineStats()
         self._tables = tables if tables is not None else PairTableCache(model, stats=self._stats)
         self._windows = windows if windows is not None else CertaintyWindows(model)
@@ -848,6 +870,11 @@ class StreamingMerger:
         self._node_shard.append(shard)
         self._earliest.append(earliest)
         self._latest.append(latest)
+        if self._obs.enabled:
+            observed_at = batch.emitted_at if batch.emitted_at is not None else 0.0
+            for message in batch.messages:
+                self._obs.stage("merge_observe", message, observed_at, shard=shard)
+            self._obs.count("merge.batches_observed")
         return node
 
     def _kernel_row(
@@ -999,4 +1026,5 @@ class StreamingMerger:
             self._cross_pairs_pruned,
             start,
             stats=self._stats,
+            obs=self._obs,
         )

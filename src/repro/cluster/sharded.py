@@ -30,6 +30,7 @@ from repro.core.online import EmittedBatch, OnlineTommySequencer
 from repro.core.probability import PrecedenceModel
 from repro.distributions.base import OffsetDistribution
 from repro.network.message import Heartbeat, SequencedBatch, TimestampedMessage
+from repro.obs.telemetry import Telemetry, resolve
 from repro.sequencers.base import SequencingResult
 from repro.simulation.entity import Entity
 from repro.simulation.event_loop import EventLoop
@@ -92,12 +93,15 @@ class ShardedSequencer(Entity):
         use_engine: bool = True,
         streaming_merge: bool = True,
         dedupe_intake: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         super().__init__(loop, name)
         if heartbeat_interval is not None and heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive when given")
         self._config = config if config is not None else TommyConfig()
         self._use_engine = use_engine
+        self._telemetry = telemetry
+        self._obs = resolve(telemetry)
         self._distributions = dict(client_distributions)
         if router is not None:
             if router.num_shards != num_shards:
@@ -120,6 +124,8 @@ class ShardedSequencer(Entity):
                 known_clients=shard_clients,
                 name=f"{name}-shard-{index}",
                 use_engine=use_engine,
+                telemetry=telemetry,
+                shard_index=index,
             )
             self._shards.append(
                 ShardState(index=index, sequencer=sequencer, last_heartbeat=loop.now)
@@ -136,6 +142,7 @@ class ShardedSequencer(Entity):
             threshold=self._config.threshold if merge_threshold is None else merge_threshold,
             cycle_policy=self._config.cycle_policy,
             seed=self._config.seed if self._config.seed is not None else 0,
+            telemetry=telemetry,
         )
         # live merged order: every shard emission streams into an incremental
         # merger, so draining the cluster is a linearisation of maintained
@@ -173,6 +180,12 @@ class ShardedSequencer(Entity):
                 self.call_after(heartbeat_interval, self._shard_heartbeat_tick, shard.index)
             self.call_after(heartbeat_interval, self._monitor_tick)
             self._monitor_running = True
+        if self._obs.enabled:
+            # fold the pre-existing stats surfaces into registry snapshots
+            # (re-read at snapshot time, so they track the live cluster)
+            self._obs.attach("cluster.engine", self.engine_stats)
+            self._obs.attach("cluster.learning", self.learning_stats)
+            self._obs.attach("cluster.loop", loop)
 
     # ------------------------------------------------------------- properties
     @property
@@ -279,6 +292,7 @@ class ShardedSequencer(Entity):
             refresh_every=refresh_every,
             min_observations=min_observations,
             estimator=estimator,
+            telemetry=self._telemetry,
         )
         return self._refresh_loop
 
@@ -343,6 +357,15 @@ class ShardedSequencer(Entity):
             return False
         if item.key in self._seen_keys:
             self._duplicates_suppressed += 1
+            if self._obs.enabled:
+                self._obs.count("cluster.duplicates_suppressed")
+                self._obs.event(
+                    "gate",
+                    "duplicate_suppressed",
+                    self.now,
+                    client_id=item.client_id,
+                    sequence=int(item.sequence_number),
+                )
             return True
         self._seen_keys.add(item.key)
         return False
@@ -442,6 +465,8 @@ class ShardedSequencer(Entity):
                 shard.sequencer.register_client(
                     item.client_id, self._distributions[item.client_id]
                 )
+        if self._obs.enabled and isinstance(item, TimestampedMessage):
+            self._obs.stage("shard_intake", item, self.now, shard=shard_index)
         shard.sequencer.receive(item, arrival_time)
 
     def _route_many(
@@ -484,6 +509,10 @@ class ShardedSequencer(Entity):
             burst = deliverable
             if not burst:
                 return
+        if self._obs.enabled:
+            for item in burst:
+                if isinstance(item, TimestampedMessage):
+                    self._obs.stage("shard_intake", item, self.now, shard=shard_index)
         shard.sequencer.receive_many(burst, arrival_time)
 
     # --------------------------------------------------------------- failover
@@ -618,6 +647,8 @@ class ShardedSequencer(Entity):
             known_clients=reclaimed,
             name=f"{self.name}-shard-{shard_index}-gen{shard.generation}",
             use_engine=self._use_engine,
+            telemetry=self._telemetry,
+            shard_index=shard_index,
         )
         shard.sequencer = sequencer
         shard.backlog = []
@@ -742,3 +773,29 @@ class ShardedSequencer(Entity):
             batches.extend(shard.retired)
             batches.extend(shard.sequencer.emitted_batches)
         return batches
+
+    def observability_report(self) -> Dict[str, object]:
+        """One unified snapshot of every stats surface the cluster owns.
+
+        Folds the engine counters, learning accounting, event-loop stats and
+        cluster topology into a single nested dictionary; with telemetry
+        injected, the full metrics-registry snapshot (including any attached
+        chaos/refresh sources) rides along under ``"telemetry"``.
+        """
+        report: Dict[str, object] = {
+            "cluster": {
+                "num_shards": self.num_shards,
+                "alive_shards": self.alive_shards,
+                "policy": self._router.policy.name,
+                "failovers": len(self._failover_events),
+                "rejoins": len(self._rejoin_events),
+                "duplicates_suppressed": self._duplicates_suppressed,
+                "emitted_counts": self.emitted_counts(),
+            },
+            "engine": self.engine_stats().as_dict(),
+            "learning": self.learning_stats(),
+            "loop": self._loop.as_dict(),
+        }
+        if self._obs.enabled and self._obs.registry is not None:
+            report["telemetry"] = self._obs.registry.snapshot()
+        return report

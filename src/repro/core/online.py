@@ -26,6 +26,7 @@ the parity oracle for tests and benchmarks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -40,6 +41,7 @@ from repro.core.relation import LikelyHappenedBefore
 from repro.core.tournament import TournamentGraph
 from repro.distributions.base import OffsetDistribution
 from repro.network.message import Heartbeat, SequencedBatch, TimestampedMessage
+from repro.obs.telemetry import Telemetry, resolve
 from repro.sequencers.base import SequencingResult
 from repro.simulation.entity import Entity
 from repro.simulation.event_loop import Event, EventLoop
@@ -84,9 +86,14 @@ class OnlineTommySequencer(Entity):
         name: str = "tommy-online",
         use_engine: bool = True,
         engine_pair_tables: bool = True,
+        telemetry: Optional[Telemetry] = None,
+        shard_index: Optional[int] = None,
     ) -> None:
         super().__init__(loop, name)
         self._config = config if config is not None else TommyConfig()
+        self._obs = resolve(telemetry)
+        self._shard_index = shard_index
+        self._check_wall: Optional[float] = None
         self._model = PrecedenceModel(
             method=self._config.probability_method,
             convolution_points=self._config.convolution_points,
@@ -258,6 +265,8 @@ class OnlineTommySequencer(Entity):
                 self._engine.add_message(item)
             self._arrival_times[item.key] = arrival
             self._note_client_progress(item.client_id, item.timestamp)
+            if self._obs.enabled:
+                self._obs.stage("engine_append", item, arrival, shard=self._shard_index)
         else:
             raise TypeError(f"unsupported item type {type(item).__name__}")
         self._schedule_check()
@@ -299,6 +308,9 @@ class OnlineTommySequencer(Entity):
             for message in messages:
                 self._arrival_times[message.key] = arrival
                 self._note_client_progress(message.client_id, message.timestamp)
+            if self._obs.enabled:
+                for message in messages:
+                    self._obs.stage("engine_append", message, arrival, shard=self._shard_index)
         self._schedule_check()
 
     def _note_client_progress(self, client_id: str, timestamp: float) -> None:
@@ -428,6 +440,23 @@ class OnlineTommySequencer(Entity):
         return self.now - min(arrivals)
 
     def _emission_check(self) -> None:
+        if not self._obs.enabled:
+            self._run_emission_check()
+            return
+        # stamp the check's start so emitted messages can attribute their
+        # "emission_check" stage to the decision that released them
+        self._check_wall = time.perf_counter()
+        self._obs.count("sequencer.emission_checks")
+        try:
+            self._run_emission_check()
+        finally:
+            self._obs.observe(
+                "sequencer.emission_check_wall_ms",
+                (time.perf_counter() - self._check_wall) * 1e3,
+            )
+            self._check_wall = None
+
+    def _run_emission_check(self) -> None:
         self._check_event = None
         emitted_any = True
         while emitted_any and self._pending:
@@ -489,6 +518,18 @@ class OnlineTommySequencer(Entity):
             self._arrival_times.pop(key, None)
         if self._engine is not None:
             self._engine.remove_messages(emitted_keys)
+        if self._obs.enabled:
+            for message in candidate:
+                self._obs.stage(
+                    "emission_check",
+                    message,
+                    self.now,
+                    shard=self._shard_index,
+                    wall=self._check_wall,
+                )
+                self._obs.stage("batch_emit", message, self.now, shard=self._shard_index)
+            self._obs.count("sequencer.batches_emitted")
+            self._obs.observe("sequencer.batch_size", len(candidate))
         if self._on_emit is not None:
             self._on_emit(emitted)
 

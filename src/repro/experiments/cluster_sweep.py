@@ -43,6 +43,8 @@ class ClusterRunOutcome:
     failovers: int
     streaming_wall_seconds: Optional[float] = None
     streaming_parity: Optional[bool] = None
+    #: Unified stats snapshot (:meth:`ShardedSequencer.observability_report`).
+    observability: Optional[Dict[str, object]] = None
 
     @property
     def per_shard_throughput(self) -> float:
@@ -133,6 +135,8 @@ def run_cluster_scenario(
         streaming_parity = merge_fingerprint(live) == merge_fingerprint(merge)
     messages = list(scenario.messages)
     comparison = evaluate_result(f"cluster@{num_shards}", merge.result, messages)
+    observability = cluster.observability_report()
+    cluster_snapshot = observability["cluster"]
     return ClusterRunOutcome(
         comparison=comparison,
         merge=merge,
@@ -141,10 +145,11 @@ def run_cluster_scenario(
         policy_name=policy.name,
         run_wall_seconds=run_wall,
         message_count=len(messages),
-        per_shard_emitted=cluster.emitted_counts(),
-        failovers=len(cluster.failover_events),
+        per_shard_emitted=list(cluster_snapshot["emitted_counts"]),
+        failovers=int(cluster_snapshot["failovers"]),
         streaming_wall_seconds=streaming_wall,
         streaming_parity=streaming_parity,
+        observability=observability,
     )
 
 

@@ -16,6 +16,8 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from repro.network.link import DelayModel
+from repro.network.message import TimestampedMessage
+from repro.obs.telemetry import Telemetry, resolve
 from repro.simulation.entity import Entity
 from repro.simulation.event_loop import EventLoop
 from repro.simulation.trace import TraceRecorder
@@ -40,6 +42,7 @@ class Channel(Entity, abc.ABC):
         deliver: DeliveryCallback,
         trace: Optional[TraceRecorder] = None,
         drop_probability: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         super().__init__(loop, name)
         if not 0.0 <= drop_probability < 1.0:
@@ -48,6 +51,7 @@ class Channel(Entity, abc.ABC):
         self._rng = rng
         self._deliver = deliver
         self._trace = trace
+        self._obs = resolve(telemetry)
         self._drop_probability = float(drop_probability)
         self._fault_hook: Optional[FaultHook] = None
         self._sent = 0
@@ -98,14 +102,20 @@ class Channel(Entity, abc.ABC):
             self._fault_dropped += 1
             if self._trace is not None:
                 self._trace.record(self.now, self.name, "fault-drop", item=item)
+            if self._obs.enabled:
+                self._obs.count("channel.fault_dropped")
             return
         if self._drop_probability > 0 and self._rng.random() < self._drop_probability:
             self._dropped += 1
             if self._trace is not None:
                 self._trace.record(self.now, self.name, "drop", item=item)
+            if self._obs.enabled:
+                self._obs.count("channel.dropped")
             return
         copies = 1 if decision is None else max(int(decision.copies), 1)
         self._fault_copies += copies - 1
+        if copies > 1 and self._obs.enabled:
+            self._obs.count("channel.fault_copies", copies - 1)
         for _ in range(copies):
             delay = max(float(self._delay_model.sample(self._rng)), 0.0)
             if decision is not None:
@@ -122,6 +132,8 @@ class Channel(Entity, abc.ABC):
         self._delivered += 1
         if self._trace is not None:
             self._trace.record(self.now, self.name, "deliver", item=item)
+        if self._obs.enabled and isinstance(item, TimestampedMessage):
+            self._obs.stage("channel_deliver", item, self.now)
         self._deliver(item)
 
 

@@ -16,6 +16,7 @@ from repro.clocks.local import LocalClock
 from repro.network.channel import Channel, OrderedChannel, UnorderedChannel
 from repro.network.link import ConstantDelay, DelayModel
 from repro.network.message import Heartbeat, TimestampedMessage
+from repro.obs.telemetry import Telemetry, resolve
 from repro.simulation.entity import Entity
 from repro.simulation.event_loop import EventLoop
 from repro.simulation.trace import TraceRecorder
@@ -125,6 +126,7 @@ class ClientEndpoint(Entity):
         clock: LocalClock,
         channel: Channel,
         heartbeat_interval: Optional[float] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         super().__init__(loop, client_id)
         if heartbeat_interval is not None and heartbeat_interval <= 0:
@@ -133,6 +135,7 @@ class ClientEndpoint(Entity):
         self._clock = clock
         self._channel = channel
         self._heartbeat_interval = heartbeat_interval
+        self._obs = resolve(telemetry)
         self._sequence_number = 0
         self._sent_messages: List[TimestampedMessage] = []
         self._heartbeats_sent = 0
@@ -170,6 +173,8 @@ class ClientEndpoint(Entity):
             sequence_number=self._sequence_number,
         )
         self._sent_messages.append(message)
+        if self._obs.enabled:
+            self._obs.stage("client_send", message, self.now)
         self._channel.send(message)
         return message
 
@@ -216,10 +221,12 @@ class Transport:
         rng_factory: Callable[[str], np.random.Generator],
         trace: Optional[TraceRecorder] = None,
         coalesce_bursts: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._loop = loop
         self._rng_factory = rng_factory
         self._trace = trace
+        self._telemetry = telemetry
         self._sequencer = SequencerEndpoint(loop, coalesce_bursts=coalesce_bursts)
         self._clients: Dict[str, ClientEndpoint] = {}
         self._channels: Dict[str, Channel] = {}
@@ -272,6 +279,7 @@ class Transport:
             self._sequencer.receive,
             trace=self._trace,
             drop_probability=drop_probability,
+            telemetry=self._telemetry,
         )
         client = ClientEndpoint(
             self._loop,
@@ -279,6 +287,7 @@ class Transport:
             clock,
             channel,
             heartbeat_interval=heartbeat_interval,
+            telemetry=self._telemetry,
         )
         self._clients[client_id] = client
         self._channels[client_id] = channel

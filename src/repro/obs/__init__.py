@@ -1,0 +1,74 @@
+"""repro.obs — the unified telemetry layer.
+
+Message-lifecycle tracing, a cluster-wide metrics registry, perfetto-ready
+trace export and an instrumented-workload runner.  Everything is opt-in:
+components default to the :data:`~repro.obs.telemetry.NO_TELEMETRY` no-op
+singleton, and the disabled path is parity-tested bitwise against
+uninstrumented runs.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SnapshotSource,
+    StatsSnapshot,
+)
+from repro.obs.telemetry import (
+    LIFECYCLE_STAGES,
+    NO_TELEMETRY,
+    EventRecord,
+    NullTelemetry,
+    StageRecord,
+    Telemetry,
+    resolve,
+)
+from repro.obs.spans import Transition, message_timelines, stage_latency_rows, transitions
+from repro.obs.export import (
+    chrome_trace_events,
+    metrics_snapshot,
+    write_chrome_trace,
+    write_metrics_json,
+)
+
+#: Workload-runner symbols resolved lazily (PEP 562): ``obs.workload`` pulls
+#: in the live chaos harness, whose network layer itself imports
+#: ``repro.obs.telemetry`` — an eager import here would be circular.
+_LAZY_WORKLOAD = ("WORKLOAD_NAMES", "InstrumentedRun", "run_instrumented_workload")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_WORKLOAD:
+        from repro.obs import workload
+
+        return getattr(workload, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SnapshotSource",
+    "StatsSnapshot",
+    "LIFECYCLE_STAGES",
+    "NO_TELEMETRY",
+    "EventRecord",
+    "NullTelemetry",
+    "StageRecord",
+    "Telemetry",
+    "resolve",
+    "Transition",
+    "message_timelines",
+    "stage_latency_rows",
+    "transitions",
+    "chrome_trace_events",
+    "metrics_snapshot",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "WORKLOAD_NAMES",
+    "InstrumentedRun",
+    "run_instrumented_workload",
+]

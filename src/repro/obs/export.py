@@ -1,0 +1,173 @@
+"""Telemetry exporters: Chrome ``trace_event`` files and JSON snapshots.
+
+The trace exporter emits the Chrome/perfetto ``trace_event`` format
+(https://ui.perfetto.dev loads the output directly): one process track per
+shard plus one for the client fleet and one for the merge pipeline, one
+thread track per client, duration ("X") slices for each stage-to-stage hop
+of every message and instant ("i") events for faults, refreshes and
+dedupe-gate hits.  Timestamps are *simulated* microseconds, so the timeline
+matches the discrete-event schedule rather than host jitter.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.spans import message_timelines, stage_latency_rows
+from repro.obs.telemetry import Telemetry
+
+#: pid used for tracks that belong to no particular shard.
+_CLIENTS_PID = 1
+_MERGE_PID = 2
+_CONTROL_PID = 3
+_SHARD_PID_BASE = 10
+
+#: Stages whose slice belongs on the client track rather than a shard track.
+_CLIENT_STAGES = frozenset({"client_send", "channel_deliver"})
+_MERGE_STAGES = frozenset({"merge_observe", "merge_commit"})
+
+
+def _micros(sim_time: float) -> float:
+    return sim_time * 1e6
+
+
+def _pid_for(stage: str, shard: Optional[int]) -> int:
+    if stage in _CLIENT_STAGES:
+        return _CLIENTS_PID
+    if stage in _MERGE_STAGES:
+        return _MERGE_PID
+    if shard is not None:
+        return _SHARD_PID_BASE + shard
+    return _CONTROL_PID
+
+
+def chrome_trace_events(telemetry: Telemetry) -> List[Dict[str, object]]:
+    """Render the recorded telemetry as a list of ``trace_event`` dicts.
+
+    Deterministic for a fixed seed: events are derived from the sim-time
+    projection only (wall-clock stamps are carried in ``args`` for human
+    inspection but never drive ordering or timestamps).
+    """
+    events: List[Dict[str, object]] = []
+    pids_seen: Dict[int, str] = {}
+    tids_seen: Dict[Tuple[int, int], str] = {}
+    client_tids: Dict[str, int] = {}
+
+    def tid_for(client_id: Optional[str]) -> int:
+        if client_id is None:
+            return 0
+        tid = client_tids.get(client_id)
+        if tid is None:
+            tid = client_tids[client_id] = len(client_tids) + 1
+        return tid
+
+    def note_track(pid: int, pid_name: str, tid: int, tid_name: str) -> None:
+        pids_seen.setdefault(pid, pid_name)
+        tids_seen.setdefault((pid, tid), tid_name)
+
+    for (client_id, sequence), timeline in sorted(
+        message_timelines(telemetry.stage_records).items()
+    ):
+        tid = tid_for(client_id)
+        for earlier, later in zip(timeline, timeline[1:]):
+            shard = later.shard if later.shard is not None else earlier.shard
+            pid = _pid_for(later.stage, shard)
+            pid_name = (
+                "clients"
+                if pid == _CLIENTS_PID
+                else "merge"
+                if pid == _MERGE_PID
+                else "control"
+                if pid == _CONTROL_PID
+                else f"shard-{pid - _SHARD_PID_BASE}"
+            )
+            note_track(pid, pid_name, tid, client_id)
+            events.append(
+                {
+                    "name": later.stage,
+                    "cat": "lifecycle",
+                    "ph": "X",
+                    "ts": _micros(earlier.sim_time),
+                    "dur": _micros(later.sim_time - earlier.sim_time),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "client": client_id,
+                        "sequence": sequence,
+                        "shard": shard,
+                        "wall_ms": round((later.wall_time - earlier.wall_time) * 1e3, 6),
+                    },
+                }
+            )
+
+    for record in telemetry.event_records:
+        pid = _CONTROL_PID if record.shard is None else _SHARD_PID_BASE + record.shard
+        pid_name = "control" if record.shard is None else f"shard-{record.shard}"
+        tid = tid_for(record.client_id)
+        note_track(pid, pid_name, tid, record.client_id or record.kind)
+        events.append(
+            {
+                "name": f"{record.kind}:{record.name}",
+                "cat": record.kind,
+                "ph": "i",
+                "s": "g",
+                "ts": _micros(record.sim_time),
+                "pid": pid,
+                "tid": tid,
+                "args": dict(record.details),
+            }
+        )
+
+    metadata: List[Dict[str, object]] = []
+    for pid, pid_name in sorted(pids_seen.items()):
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": pid_name},
+            }
+        )
+    for (pid, tid), tid_name in sorted(tids_seen.items()):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tid_name},
+            }
+        )
+    return metadata + events
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str) -> int:
+    """Write a perfetto-loadable ``trace_event`` JSON file; returns #events."""
+    events = chrome_trace_events(telemetry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+    return len(events)
+
+
+def metrics_snapshot(telemetry: Telemetry) -> Dict[str, object]:
+    """Structured JSON-serialisable snapshot of the whole telemetry run."""
+    return {
+        "registry": telemetry.registry.snapshot(),
+        "stage_latency": stage_latency_rows(telemetry),
+        "stage_latency_by_shard": stage_latency_rows(telemetry, group_by="shard"),
+        "records": {
+            "stages": len(telemetry.stage_records),
+            "events": len(telemetry.event_records),
+            "dropped_stages": telemetry.dropped_stages,
+            "dropped_events": telemetry.dropped_events,
+        },
+    }
+
+
+def write_metrics_json(telemetry: Telemetry, path: str) -> None:
+    """Write :func:`metrics_snapshot` to ``path`` as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics_snapshot(telemetry), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,146 @@
+"""Message-lifecycle span analysis: per-stage latency breakdowns.
+
+Turns the flat stream of :class:`~repro.obs.telemetry.StageRecord`s into
+per-message timelines and aggregated stage-transition latency tables (the
+``repro telemetry`` CLI output).  All latencies here are *simulated-time*
+deltas — the quantity the paper's pipeline controls — with the wall-clock
+stamps carried alongside for profiling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.obs.telemetry import LIFECYCLE_STAGES, STAGE_ORDER, StageRecord, Telemetry
+
+#: Identity of one message in the lifecycle tracker.
+MessageKey = Tuple[str, int]
+
+
+class Transition(NamedTuple):
+    """One message moving from one lifecycle stage to the next recorded one."""
+
+    name: str
+    client_id: str
+    sequence: int
+    shard: Optional[int]
+    sim_delta: float
+    wall_delta: float
+
+
+def message_timelines(records: Sequence[StageRecord]) -> Dict[MessageKey, List[StageRecord]]:
+    """Group stage records per message, ordered by pipeline stage.
+
+    A message replayed through a second shard (failover) or committed by
+    both the offline and the streaming merge produces duplicate stage
+    records; the *first* record per stage wins — it is the one the original
+    delivery produced.
+    """
+    per_message: Dict[MessageKey, Dict[str, StageRecord]] = {}
+    for record in records:
+        if record.stage not in STAGE_ORDER:
+            continue
+        stages = per_message.setdefault((record.client_id, record.sequence), {})
+        if record.stage not in stages:
+            stages[record.stage] = record
+    return {
+        key: [stages[stage] for stage in LIFECYCLE_STAGES if stage in stages]
+        for key, stages in per_message.items()
+    }
+
+
+def transitions(telemetry: Telemetry) -> List[Transition]:
+    """Per-message latencies between consecutive *recorded* stages.
+
+    The transition is attributed to the destination stage's shard (falling
+    back to the source stage's), so per-shard breakdowns group sequencing
+    work under the shard that performed it.
+    """
+    result: List[Transition] = []
+    for (client_id, sequence), timeline in sorted(
+        message_timelines(telemetry.stage_records).items()
+    ):
+        for earlier, later in zip(timeline, timeline[1:]):
+            shard = later.shard if later.shard is not None else earlier.shard
+            result.append(
+                Transition(
+                    name=f"{earlier.stage}->{later.stage}",
+                    client_id=client_id,
+                    sequence=sequence,
+                    shard=shard,
+                    sim_delta=later.sim_time - earlier.sim_time,
+                    wall_delta=later.wall_time - earlier.wall_time,
+                )
+            )
+        if len(timeline) >= 2:
+            first, last = timeline[0], timeline[-1]
+            result.append(
+                Transition(
+                    name=f"total ({first.stage}->{last.stage})",
+                    client_id=client_id,
+                    sequence=sequence,
+                    shard=last.shard if last.shard is not None else first.shard,
+                    sim_delta=last.sim_time - first.sim_time,
+                    wall_delta=last.wall_time - first.wall_time,
+                )
+            )
+    return result
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[rank]
+
+
+def _transition_sort_key(name: str) -> Tuple[int, int, str]:
+    if name.startswith("total"):
+        return (1, len(LIFECYCLE_STAGES), name)
+    source = name.split("->", 1)[0]
+    return (0, STAGE_ORDER.get(source, len(LIFECYCLE_STAGES)), name)
+
+
+def stage_latency_rows(
+    telemetry: Telemetry, group_by: Optional[str] = None
+) -> List[Dict[str, object]]:
+    """Aggregate transition latencies into printable table rows.
+
+    One row per stage transition (plus an end-to-end ``total`` row), with
+    count / mean / p50 / p95 / max of the simulated-time latency in
+    milliseconds.  ``group_by`` may be ``"shard"`` or ``"client"`` to add a
+    grouping column (one row per transition per group).
+    """
+    if group_by not in (None, "shard", "client"):
+        raise ValueError(f"group_by must be None, 'shard' or 'client', got {group_by!r}")
+    groups: Dict[Tuple[object, str], List[Transition]] = {}
+    for transition in transitions(telemetry):
+        if group_by == "shard":
+            group: object = transition.shard
+        elif group_by == "client":
+            group = transition.client_id
+        else:
+            group = ""
+        groups.setdefault((group, transition.name), []).append(transition)
+
+    rows: List[Dict[str, object]] = []
+    ordered_keys = sorted(groups, key=lambda key: (str(key[0]), _transition_sort_key(key[1])))
+    for group, name in ordered_keys:
+        sims = sorted(t.sim_delta * 1e3 for t in groups[(group, name)])
+        walls = [t.wall_delta * 1e3 for t in groups[(group, name)]]
+        row: Dict[str, object] = {}
+        if group_by is not None:
+            row[group_by] = group
+        row.update(
+            {
+                "stage": name,
+                "count": len(sims),
+                "sim_mean_ms": round(sum(sims) / len(sims), 4),
+                "sim_p50_ms": round(_percentile(sims, 0.50), 4),
+                "sim_p95_ms": round(_percentile(sims, 0.95), 4),
+                "sim_max_ms": round(max(sims), 4),
+                "wall_mean_ms": round(sum(walls) / len(walls), 4),
+            }
+        )
+        rows.append(row)
+    return rows

@@ -1,0 +1,67 @@
+"""Run an existing workload with full instrumentation switched on.
+
+The ``repro telemetry`` CLI subcommand and the nightly trace-artifact job
+both funnel through :func:`run_instrumented_workload`, which maps the three
+workload names onto the live chaos harness (the only runner that exercises
+every lifecycle stage — replay workloads bypass the transports entirely):
+
+* ``cluster`` — the healthy sharded cluster (``fault="none"``, no learning);
+* ``learned`` — the same cluster with the probe-driven learning loop on;
+* ``chaos``   — any named fault family at a given intensity, learning on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.obs.telemetry import Telemetry
+from repro.workloads.chaos import ChaosReport, ChaosSettings, run_chaos_scenario
+
+#: Workload names accepted by :func:`run_instrumented_workload`.
+WORKLOAD_NAMES: Tuple[str, ...] = ("cluster", "learned", "chaos")
+
+
+@dataclass(frozen=True)
+class InstrumentedRun:
+    """One instrumented workload run: the report plus its telemetry."""
+
+    workload: str
+    report: ChaosReport
+    telemetry: Telemetry
+
+
+def run_instrumented_workload(
+    workload: str = "cluster",
+    num_shards: int = 4,
+    num_clients: int = 24,
+    messages_per_client: int = 4,
+    seed: int = 7,
+    fault: str = "delay",
+    intensity: float = 1.0,
+) -> InstrumentedRun:
+    """Run the named workload with a fresh :class:`Telemetry` hub injected."""
+    if workload not in WORKLOAD_NAMES:
+        raise ValueError(f"unknown workload {workload!r}; expected one of {WORKLOAD_NAMES}")
+    settings = ChaosSettings(
+        num_clients=num_clients,
+        num_shards=num_shards,
+        messages_per_client=messages_per_client,
+        seed=seed,
+    )
+    telemetry = Telemetry()
+    if workload == "cluster":
+        fault, intensity, learning = "none", 1.0, False
+    elif workload == "learned":
+        fault, intensity, learning = "none", 1.0, True
+    else:
+        learning = True
+    report = run_chaos_scenario(
+        fault=fault,
+        intensity=intensity,
+        settings=settings,
+        streaming=True,
+        learning=learning,
+        telemetry=telemetry,
+    )
+    return InstrumentedRun(workload=workload, report=report, telemetry=telemetry)

@@ -100,6 +100,15 @@ class EventLoop:
         """Return scheduling statistics (scheduled / cancelled / executed / compactions)."""
         return dict(self._stats)
 
+    def as_dict(self) -> Dict[str, int]:
+        """Alias of :meth:`stats` — the common stats-snapshot protocol.
+
+        Lets the loop be attached directly as a
+        :class:`repro.obs.MetricsRegistry` source alongside the other
+        ``as_dict()`` stats objects (engine / chaos / refresh).
+        """
+        return self.stats()
+
     # ------------------------------------------------------------- scheduling
     def schedule_at(
         self,

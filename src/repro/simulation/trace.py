@@ -7,8 +7,9 @@ by tests (to assert on causality and timing) and by the experiment harness
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -22,16 +23,36 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceEvent` records during a simulation run."""
+    """Collects :class:`TraceEvent` records during a simulation run.
 
-    def __init__(self, enabled: bool = True) -> None:
-        self._events: List[TraceEvent] = []
+    With ``capacity`` set, the recorder keeps only the *newest* ``capacity``
+    events (a ring buffer) and counts the rest in :attr:`dropped_events`, so
+    long chaos runs cannot grow a trace without bound.  Unbounded by
+    default, preserving the historical behaviour.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive when given, got {capacity!r}")
+        self._capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._enabled = bool(enabled)
+        self._dropped = 0
 
     @property
     def enabled(self) -> bool:
         """Whether the recorder currently accepts events."""
         return self._enabled
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Maximum retained events (``None`` = unbounded)."""
+        return self._capacity
+
+    @property
+    def dropped_events(self) -> int:
+        """Events evicted from the ring buffer because capacity was reached."""
+        return self._dropped
 
     def enable(self) -> None:
         """Start accepting events."""
@@ -44,6 +65,8 @@ class TraceRecorder:
     def record(self, time: float, source: str, kind: str, **details: Any) -> None:
         """Append an event if the recorder is enabled."""
         if self._enabled:
+            if self._capacity is not None and len(self._events) == self._capacity:
+                self._dropped += 1
             self._events.append(TraceEvent(time=time, source=source, kind=kind, details=details))
 
     def __len__(self) -> int:
@@ -54,13 +77,14 @@ class TraceRecorder:
 
     def events(self, kind: Optional[str] = None, source: Optional[str] = None) -> List[TraceEvent]:
         """Return recorded events, optionally filtered by kind and source."""
-        result = self._events
+        result: List[TraceEvent] = list(self._events)
         if kind is not None:
             result = [event for event in result if event.kind == kind]
         if source is not None:
             result = [event for event in result if event.source == source]
-        return list(result)
+        return result
 
     def clear(self) -> None:
-        """Discard all recorded events."""
-        self._events = []
+        """Discard all recorded events (the dropped counter is reset too)."""
+        self._events = deque(maxlen=self._capacity)
+        self._dropped = 0

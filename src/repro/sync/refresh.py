@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.distributions.estimation import DistributionEstimate
+from repro.obs.telemetry import Telemetry, resolve
 from repro.sync.estimator import OffsetEstimator
 from repro.sync.learner import OffsetDistributionLearner
 from repro.sync.probe import SyncProbe
@@ -78,6 +79,7 @@ class DistributionRefreshLoop:
         refresh_every: int = 32,
         min_observations: int = 8,
         estimator: Optional[OffsetEstimator] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if refresh_every < 1:
             raise ValueError(f"refresh_every must be at least 1, got {refresh_every!r}")
@@ -96,6 +98,12 @@ class DistributionRefreshLoop:
         self._learners: Dict[str, OffsetDistributionLearner] = {}
         self._since_refresh: Dict[str, int] = {}
         self.stats = RefreshStats()
+        self._obs = resolve(telemetry)
+        # sim-time anchor for refresh trace events: the sequencer-side
+        # transmit time (t3, true time) of the client's most recent probe
+        self._last_probe_time: Dict[str, float] = {}
+        if self._obs.enabled:
+            self._obs.attach("refresh", self.stats)
 
     # ------------------------------------------------------------- properties
     @property
@@ -128,6 +136,9 @@ class DistributionRefreshLoop:
         learner = self.learner_for(probe.client_id)
         learner.observe_probe(probe)
         self.stats.probes_observed += 1
+        if self._obs.enabled:
+            self._last_probe_time[probe.client_id] = probe.t3
+            self._obs.count("refresh.probes_observed")
         self._since_refresh[probe.client_id] += 1
         if self._since_refresh[probe.client_id] >= self._refresh_every:
             return self.refresh_client(probe.client_id)
@@ -159,6 +170,15 @@ class DistributionRefreshLoop:
             self.stats.per_client_refreshes.get(client_id, 0) + 1
         )
         self.stats.last_family[client_id] = estimate.family
+        if self._obs.enabled:
+            self._obs.count("refresh.refreshes")
+            self._obs.event(
+                "refresh",
+                "distribution_refresh",
+                self._last_probe_time.get(client_id, 0.0),
+                client_id=client_id,
+                family=estimate.family,
+            )
         return estimate
 
     def refresh_all(self) -> Dict[str, DistributionEstimate]:

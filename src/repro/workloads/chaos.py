@@ -224,6 +224,7 @@ def run_chaos_scenario(
     settings: Optional[ChaosSettings] = None,
     streaming: bool = True,
     learning: bool = True,
+    telemetry=None,
 ) -> ChaosReport:
     """Run one live cluster scenario under the named fault and score it.
 
@@ -231,6 +232,11 @@ def run_chaos_scenario(
     of the messages that *reached* it — lost messages are reported, not
     scored — and checked for exactly-once delivery plus streaming/offline
     merge parity.  Deterministic: same arguments, same report.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) is measurement-only: it
+    is threaded into every instrumented component but consumes no RNG draws
+    and alters no scheduling, so the report is bit-identical with or without
+    it (parity-tested in ``tests/obs``).
     """
     settings = settings if settings is not None else ChaosSettings()
     source = RandomSource(settings.seed)
@@ -266,10 +272,13 @@ def run_chaos_scenario(
         heartbeat_timeout=3.0 * heartbeat,
         streaming_merge=streaming,
         dedupe_intake=True,
+        telemetry=telemetry,
     )
-    transport = ClusterTransport(loop, cluster, source.stream)
+    transport = ClusterTransport(loop, cluster, source.stream, telemetry=telemetry)
     drifts: Dict[str, SteppedDrift] = {}
-    controller = ChaosController(loop, schedule, seed=source.spawn("chaos:faults").seed)
+    controller = ChaosController(
+        loop, schedule, seed=source.spawn("chaos:faults").seed, telemetry=telemetry
+    )
     for client_id in client_ids:
         drift = SteppedDrift()
         drifts[client_id] = drift
@@ -335,6 +344,9 @@ def run_chaos_scenario(
     ras = rank_agreement_score(merge.result, delivered_messages)
 
     stats = controller.stats
+    obs_report = cluster.observability_report()
+    cluster_snapshot = obs_report["cluster"]
+    learning_snapshot = obs_report["learning"]
     return ChaosReport(
         fault=fault,
         intensity=float(intensity),
@@ -345,14 +357,14 @@ def run_chaos_scenario(
         messages_delivered=len(delivered_messages),
         messages_lost=len(sent_messages) - len(delivered_messages),
         messages_duplicated=stats.messages_duplicated,
-        duplicates_suppressed=cluster.duplicates_suppressed,
+        duplicates_suppressed=int(cluster_snapshot["duplicates_suppressed"]),
         messages_held=stats.messages_held,
         messages_delayed=stats.messages_delayed,
         clock_steps=stats.clock_steps,
         probes_suppressed=stats.probes_suppressed,
-        distribution_refreshes=int(cluster.learning_stats()["distribution_refreshes"]),
-        failovers=len(cluster.failover_events),
-        rejoins=len(cluster.rejoin_events),
+        distribution_refreshes=int(learning_snapshot["distribution_refreshes"]),
+        failovers=int(cluster_snapshot["failovers"]),
+        rejoins=int(cluster_snapshot["rejoins"]),
         messages_replayed=sum(event.messages_replayed for event in cluster.failover_events),
         merged_batches=merge.batch_count,
         merged_cross_shard=merge.merged_cross_shard,

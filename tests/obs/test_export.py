@@ -1,0 +1,99 @@
+"""Tests for the Chrome trace_event and JSON snapshot exporters."""
+
+import json
+
+from repro.network.message import TimestampedMessage
+from repro.obs.export import (
+    chrome_trace_events,
+    metrics_snapshot,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.telemetry import Telemetry
+
+
+def _message(client="client-000", sequence=0):
+    return TimestampedMessage(client_id=client, timestamp=0.0, sequence_number=sequence)
+
+
+def _populated_telemetry():
+    telemetry = Telemetry()
+    message = _message()
+    telemetry.stage("client_send", message, 0.010, wall=1.0)
+    telemetry.stage("channel_deliver", message, 0.012, wall=1.1)
+    telemetry.stage("shard_intake", message, 0.012, shard=1, wall=1.2)
+    telemetry.event("fault", "delay", 0.011, client_id="client-000", extra=5.0)
+    telemetry.count("channel.dropped", 2)
+    return telemetry
+
+
+def test_metadata_events_come_first_and_name_every_track():
+    events = chrome_trace_events(_populated_telemetry())
+    metadata = [event for event in events if event["ph"] == "M"]
+    assert events[: len(metadata)] == metadata
+    names = {event["name"] for event in metadata}
+    assert names == {"process_name", "thread_name"}
+    process_names = {
+        event["args"]["name"] for event in metadata if event["name"] == "process_name"
+    }
+    assert "clients" in process_names
+    assert "shard-1" in process_names
+
+
+def test_duration_slices_use_simulated_microseconds():
+    events = chrome_trace_events(_populated_telemetry())
+    slices = [event for event in events if event["ph"] == "X"]
+    assert [event["name"] for event in slices] == ["channel_deliver", "shard_intake"]
+    deliver = slices[0]
+    assert deliver["ts"] == 10_000.0  # 0.010 s in us
+    assert deliver["dur"] == 2_000.0
+    assert deliver["cat"] == "lifecycle"
+    assert deliver["args"]["client"] == "client-000"
+    intake = slices[1]
+    assert intake["dur"] == 0.0
+    assert intake["pid"] == 10 + 1  # shard pid block
+
+
+def test_instant_events_are_global_scoped():
+    events = chrome_trace_events(_populated_telemetry())
+    (instant,) = [event for event in events if event["ph"] == "i"]
+    assert instant["name"] == "fault:delay"
+    assert instant["s"] == "g"
+    assert instant["ts"] == 11_000.0
+    assert instant["args"] == {"extra": 5.0}
+
+
+def test_write_chrome_trace_is_json_loadable(tmp_path):
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(_populated_telemetry(), str(path))
+    data = json.loads(path.read_text())
+    assert data["displayTimeUnit"] == "ms"
+    assert len(data["traceEvents"]) == count
+    assert all("ph" in event for event in data["traceEvents"])
+
+
+def test_metrics_snapshot_structure_and_json_file(tmp_path):
+    telemetry = _populated_telemetry()
+    snapshot = metrics_snapshot(telemetry)
+    assert set(snapshot) == {
+        "registry",
+        "stage_latency",
+        "stage_latency_by_shard",
+        "records",
+    }
+    assert snapshot["records"]["stages"] == 3
+    assert snapshot["records"]["events"] == 1
+    assert snapshot["registry"]["counters"] == {"channel.dropped": 2}
+    path = tmp_path / "metrics.json"
+    write_metrics_json(telemetry, str(path))
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(snapshot)
+    )  # fully JSON-serialisable
+
+
+def test_trace_is_deterministic_given_equal_sim_streams():
+    first = chrome_trace_events(_populated_telemetry())
+    second = chrome_trace_events(_populated_telemetry())
+    for event in first + second:
+        event.get("args", {}).pop("wall_ms", None)
+    assert first == second

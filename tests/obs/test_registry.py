@@ -1,0 +1,118 @@
+"""Tests for the metrics registry and the common snapshot protocol."""
+
+import pytest
+
+from repro.chaos.controller import ChaosStats
+from repro.core.engine import EngineStats
+from repro.obs.registry import Histogram, MetricsRegistry, StatsSnapshot
+from repro.simulation.event_loop import EventLoop
+from repro.sync.refresh import RefreshStats
+
+
+def test_counter_get_or_create_and_increment():
+    registry = MetricsRegistry()
+    counter = registry.counter("a")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("a") is counter
+    assert registry.snapshot()["counters"] == {"a": 5}
+
+
+def test_gauge_last_write_wins():
+    registry = MetricsRegistry()
+    registry.gauge("g").set(1.5)
+    registry.gauge("g").set(2.5)
+    assert registry.snapshot()["gauges"] == {"g": 2.5}
+
+
+def test_histogram_exact_aggregates_and_percentiles():
+    histogram = Histogram("h")
+    for value in (3.0, 1.0, 2.0, 4.0):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 4
+    assert summary["total"] == 10.0
+    assert summary["mean"] == 2.5
+    assert summary["min"] == 1.0
+    assert summary["max"] == 4.0
+    assert summary["p50"] == 3.0  # nearest rank over [1, 2, 3, 4]
+    assert summary["dropped_samples"] == 0
+
+
+def test_histogram_capacity_keeps_exact_aggregates():
+    histogram = Histogram("h", capacity=2)
+    for value in range(10):
+        histogram.observe(float(value))
+    summary = histogram.summary()
+    assert summary["count"] == 10
+    assert summary["max"] == 9.0  # exact even though the sample was dropped
+    assert summary["dropped_samples"] == 8
+
+
+def test_histogram_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        Histogram("h", capacity=0)
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("h", capacity=-1)
+
+
+def test_empty_histogram_summary_is_all_zero():
+    assert Histogram("h").summary()["count"] == 0
+    assert Histogram("h").percentile(0.5) == 0.0
+
+
+def test_snapshot_is_sorted_and_nested():
+    registry = MetricsRegistry()
+    registry.counter("z").inc()
+    registry.counter("a").inc()
+    snapshot = registry.snapshot()
+    assert list(snapshot) == ["counters", "gauges", "histograms", "sources"]
+    assert list(snapshot["counters"]) == ["a", "z"]
+
+
+@pytest.mark.parametrize(
+    "stats", [EngineStats(), ChaosStats(), RefreshStats()], ids=["engine", "chaos", "refresh"]
+)
+def test_stats_objects_satisfy_the_snapshot_protocol(stats):
+    assert isinstance(stats, StatsSnapshot)
+    registry = MetricsRegistry()
+    registry.attach("stats", stats)
+    assert registry.snapshot()["sources"]["stats"] == stats.as_dict()
+
+
+def test_event_loop_is_attachable_as_source():
+    loop = EventLoop()
+    loop.schedule_at(1.0, lambda: None)
+    loop.run()
+    registry = MetricsRegistry()
+    registry.attach("loop", loop)
+    source = registry.snapshot()["sources"]["loop"]
+    assert source["scheduled"] == 1
+    assert source["executed"] == 1
+    assert source == loop.stats()
+
+
+def test_callable_sources_are_reevaluated_at_snapshot_time():
+    registry = MetricsRegistry()
+    stats = EngineStats()
+    registry.attach("engine", lambda: stats)
+    registry.attach("plain", lambda: {"value": stats.rows_appended})
+    stats.rows_appended = 7
+    snapshot = registry.snapshot()["sources"]
+    assert snapshot["engine"]["rows_appended"] == 7
+    assert snapshot["plain"] == {"value": 7}
+
+
+def test_detach_removes_source_and_tolerates_missing_names():
+    registry = MetricsRegistry()
+    registry.attach("x", lambda: {})
+    registry.detach("x")
+    registry.detach("never-attached")
+    assert registry.source_names == []
+
+
+def test_bad_source_raises_type_error():
+    registry = MetricsRegistry()
+    registry.attach("bad", lambda: 42)
+    with pytest.raises(TypeError):
+        registry.snapshot()

@@ -1,0 +1,102 @@
+"""Tests for span analysis: timelines, transitions and latency tables."""
+
+import pytest
+
+from repro.network.message import TimestampedMessage
+from repro.obs.spans import message_timelines, stage_latency_rows, transitions
+from repro.obs.telemetry import Telemetry
+
+
+def _message(client, sequence):
+    return TimestampedMessage(client_id=client, timestamp=0.0, sequence_number=sequence)
+
+
+def _record_pipeline(telemetry, client, sequence, start, step, shard=0):
+    for index, stage in enumerate(("client_send", "channel_deliver", "shard_intake")):
+        telemetry.stage(
+            stage,
+            _message(client, sequence),
+            start + index * step,
+            shard=shard if stage == "shard_intake" else None,
+            wall=100.0 + index,
+        )
+
+
+def test_first_record_per_stage_wins():
+    telemetry = Telemetry()
+    message = _message("a", 0)
+    telemetry.stage("shard_intake", message, 1.0, shard=0)
+    telemetry.stage("shard_intake", message, 9.0, shard=1)  # failover replay
+    timelines = message_timelines(telemetry.stage_records)
+    (timeline,) = timelines.values()
+    assert len(timeline) == 1
+    assert timeline[0].sim_time == 1.0
+    assert timeline[0].shard == 0
+
+
+def test_timelines_are_pipeline_ordered_even_when_recorded_out_of_order():
+    telemetry = Telemetry()
+    message = _message("a", 0)
+    telemetry.stage("shard_intake", message, 2.0, shard=0)
+    telemetry.stage("client_send", message, 0.0)
+    timeline = message_timelines(telemetry.stage_records)[("a", 0)]
+    assert [record.stage for record in timeline] == ["client_send", "shard_intake"]
+
+
+def test_unknown_stages_are_ignored():
+    telemetry = Telemetry()
+    telemetry.stage("not_a_stage", _message("a", 0), 0.0)
+    assert message_timelines(telemetry.stage_records) == {}
+
+
+def test_transitions_have_deltas_and_total_row():
+    telemetry = Telemetry()
+    _record_pipeline(telemetry, "a", 0, start=1.0, step=0.5, shard=3)
+    result = transitions(telemetry)
+    names = [transition.name for transition in result]
+    assert names == [
+        "client_send->channel_deliver",
+        "channel_deliver->shard_intake",
+        "total (client_send->shard_intake)",
+    ]
+    hop = result[1]
+    assert hop.sim_delta == pytest.approx(0.5)
+    assert hop.shard == 3  # attributed to the destination stage's shard
+    total = result[-1]
+    assert total.sim_delta == pytest.approx(1.0)
+    assert total.wall_delta == pytest.approx(2.0)
+
+
+def test_single_stage_message_produces_no_transitions():
+    telemetry = Telemetry()
+    telemetry.stage("client_send", _message("a", 0), 0.0)
+    assert transitions(telemetry) == []
+
+
+def test_stage_latency_rows_share_keys_and_are_pipeline_sorted():
+    telemetry = Telemetry()
+    _record_pipeline(telemetry, "a", 0, start=0.0, step=0.25)
+    _record_pipeline(telemetry, "b", 0, start=1.0, step=0.75)
+    rows = stage_latency_rows(telemetry)
+    keys = [tuple(row) for row in rows]
+    assert len(set(keys)) == 1  # format_table requires uniform keys
+    assert [row["stage"] for row in rows] == [
+        "client_send->channel_deliver",
+        "channel_deliver->shard_intake",
+        "total (client_send->shard_intake)",
+    ]
+    first = rows[0]
+    assert first["count"] == 2
+    assert first["sim_mean_ms"] == pytest.approx(500.0)  # mean of 250ms and 750ms
+
+
+def test_stage_latency_rows_group_by_client_and_shard():
+    telemetry = Telemetry()
+    _record_pipeline(telemetry, "a", 0, start=0.0, step=0.25, shard=0)
+    _record_pipeline(telemetry, "b", 0, start=0.0, step=0.25, shard=1)
+    by_client = stage_latency_rows(telemetry, group_by="client")
+    assert {row["client"] for row in by_client} == {"a", "b"}
+    by_shard = stage_latency_rows(telemetry, group_by="shard")
+    assert {row["shard"] for row in by_shard} >= {0, 1}
+    with pytest.raises(ValueError):
+        stage_latency_rows(telemetry, group_by="nope")

@@ -1,0 +1,109 @@
+"""Tests for the telemetry hub: stage/event intake and the no-op fast path."""
+
+import pytest
+
+from repro.network.message import TimestampedMessage
+from repro.obs.telemetry import (
+    LIFECYCLE_STAGES,
+    NO_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    resolve,
+)
+
+
+def _message(client="client-000", sequence=3):
+    return TimestampedMessage(client_id=client, timestamp=1.0, sequence_number=sequence)
+
+
+def test_stage_records_identity_and_times():
+    telemetry = Telemetry()
+    telemetry.stage("shard_intake", _message(), 0.25, shard=2)
+    (record,) = telemetry.stage_records
+    assert record.stage == "shard_intake"
+    assert record.client_id == "client-000"
+    assert record.sequence == 3
+    assert record.shard == 2
+    assert record.sim_time == 0.25
+    assert record.wall_time > 0.0
+
+
+def test_stage_wall_override_is_respected():
+    telemetry = Telemetry()
+    telemetry.stage("emission_check", _message(), 0.5, wall=123.0)
+    assert telemetry.stage_records[0].wall_time == 123.0
+
+
+def test_event_details_are_sorted_for_determinism():
+    telemetry = Telemetry()
+    telemetry.event("fault", "delay", 0.1, client_id="c", zeta=1, alpha=2)
+    (record,) = telemetry.event_records
+    assert record.details == (("alpha", 2), ("zeta", 1))
+
+
+def test_stage_capacity_drops_and_counts():
+    telemetry = Telemetry(stage_capacity=2)
+    for sequence in range(5):
+        telemetry.stage("client_send", _message(sequence=sequence), float(sequence))
+    assert len(telemetry.stage_records) == 2
+    assert telemetry.dropped_stages == 3
+
+
+def test_event_capacity_drops_and_counts():
+    telemetry = Telemetry(event_capacity=1)
+    telemetry.event("gate", "hit", 0.0)
+    telemetry.event("gate", "hit", 1.0)
+    assert len(telemetry.event_records) == 1
+    assert telemetry.dropped_events == 1
+
+
+def test_capacities_must_be_positive():
+    with pytest.raises(ValueError):
+        Telemetry(stage_capacity=0)
+    with pytest.raises(ValueError):
+        Telemetry(event_capacity=0)
+
+
+def test_sim_fingerprint_excludes_wall_clock():
+    first, second = Telemetry(), Telemetry()
+    for telemetry, wall in ((first, 1.0), (second, 999.0)):
+        telemetry.stage("client_send", _message(), 0.5, wall=wall)
+        telemetry.event("fault", "delay", 0.7, client_id="c")
+    assert first.sim_fingerprint() == second.sim_fingerprint()
+    assert first.stage_records[0].wall_time != second.stage_records[0].wall_time
+
+
+def test_metrics_shortcuts_hit_the_registry():
+    telemetry = Telemetry()
+    telemetry.count("c", 2)
+    telemetry.observe("h", 1.5)
+    telemetry.gauge("g", 3.0)
+    snapshot = telemetry.registry.snapshot()
+    assert snapshot["counters"] == {"c": 2}
+    assert snapshot["gauges"] == {"g": 3.0}
+    assert snapshot["histograms"]["h"]["count"] == 1
+
+
+def test_null_telemetry_is_inert():
+    null = NullTelemetry()
+    assert not null.enabled
+    assert null.registry is None
+    null.stage("client_send", _message(), 0.0)
+    null.event("fault", "x", 0.0)
+    null.count("c")
+    null.observe("h", 1.0)
+    null.gauge("g", 1.0)
+    null.attach("s", lambda: {})
+    assert null.sim_fingerprint() == ()
+
+
+def test_resolve_returns_singleton_for_none():
+    assert resolve(None) is NO_TELEMETRY
+    telemetry = Telemetry()
+    assert resolve(telemetry) is telemetry
+
+
+def test_lifecycle_stages_are_unique_and_ordered():
+    assert len(set(LIFECYCLE_STAGES)) == len(LIFECYCLE_STAGES) == 8
+    assert LIFECYCLE_STAGES[0] == "client_send"
+    assert LIFECYCLE_STAGES[-1] == "merge_commit"

@@ -1,5 +1,7 @@
 """Tests for the trace recorder."""
 
+import pytest
+
 from repro.simulation.trace import TraceRecorder
 
 
@@ -46,3 +48,39 @@ def test_iteration_yields_events_in_order():
     for t in (1.0, 2.0, 3.0):
         trace.record(t, "s", "k")
     assert [event.time for event in trace] == [1.0, 2.0, 3.0]
+
+
+def test_unbounded_by_default():
+    trace = TraceRecorder()
+    assert trace.capacity is None
+    for t in range(1000):
+        trace.record(float(t), "s", "k")
+    assert len(trace) == 1000
+    assert trace.dropped_events == 0
+
+
+def test_ring_buffer_keeps_newest_and_counts_dropped():
+    trace = TraceRecorder(capacity=3)
+    for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+        trace.record(t, "s", "k")
+    assert trace.capacity == 3
+    assert len(trace) == 3
+    assert [event.time for event in trace] == [3.0, 4.0, 5.0]
+    assert trace.dropped_events == 2
+
+
+def test_ring_buffer_clear_resets_dropped_counter():
+    trace = TraceRecorder(capacity=1)
+    trace.record(1.0, "s", "k")
+    trace.record(2.0, "s", "k")
+    assert trace.dropped_events == 1
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.dropped_events == 0
+    trace.record(3.0, "s", "k")
+    assert [event.time for event in trace] == [3.0]
+
+
+def test_ring_buffer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        TraceRecorder(capacity=0)
