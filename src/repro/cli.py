@@ -118,6 +118,8 @@ def _cluster_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
         client_counts=(args.num_clients,),
         seed=args.seed,
         streaming=not args.no_streaming_merge,
+        merge_topology=args.merge_topology,
+        merge_fanout=args.fanout,
     )
 
 
@@ -171,6 +173,8 @@ def _telemetry_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
         seed=args.seed,
         fault=fault,
         intensity=args.intensity,
+        merge_topology=args.merge_topology,
+        merge_fanout=args.fanout,
     )
     if args.trace_out:
         count = write_chrome_trace(run.telemetry, args.trace_out)
@@ -178,7 +182,25 @@ def _telemetry_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
     if args.metrics_out:
         write_metrics_json(run.telemetry, args.metrics_out)
         print(f"wrote {args.metrics_out}")
+    _print_merge_nodes(run.telemetry)
     return stage_latency_rows(run.telemetry)
+
+
+def _print_merge_nodes(telemetry) -> None:
+    """Print the per-merge-node pruning table alongside the latency rows."""
+    if telemetry.registry is None:
+        return
+    merge_report = telemetry.registry.snapshot().get("sources", {}).get("cluster.merge")
+    if not isinstance(merge_report, dict):
+        return
+    nodes = merge_report.get("nodes") or []
+    if not nodes:
+        return
+    title = (
+        f"MERGE NODES: topology={merge_report.get('topology')} "
+        f"fanout={merge_report.get('fanout')} depth={merge_report.get('depth')}"
+    )
+    print(format_table(list(nodes), title=title))
 
 
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], List[Dict[str, object]]]] = {
@@ -241,6 +263,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="cluster/chaos sweeps: disable the live streaming cross-shard merge "
         "(skips the streaming_ms / streaming_parity columns)",
+    )
+    parser.add_argument(
+        "--merge-topology",
+        choices=["flat", "binary", "region"],
+        default="flat",
+        help="cluster/telemetry: cross-shard merge topology — flat (one kernel), "
+        "binary (balanced fanout tree), or region (tree grouped by the router's "
+        "region map); parity-equal merged order (default flat)",
+    )
+    parser.add_argument(
+        "--fanout",
+        type=_positive_int,
+        default=2,
+        help="cluster/telemetry: merge-tree fanout for --merge-topology binary/region "
+        "(default 2)",
     )
     parser.add_argument(
         "--fault",

@@ -6,7 +6,10 @@ region-affine, or load-aware), a :class:`ShardedSequencer` runs one online
 sequencer per shard on a shared event loop with heartbeat-driven failover,
 and a :class:`CrossShardMerger` recovers one cluster-wide fair order by
 applying the paper's probabilistic machinery at batch granularity across
-shard boundaries.
+shard boundaries.  For wide clusters a :class:`MergeTopology` arranges the
+shards as leaves of a log-depth tree and :class:`HierarchicalMerger` prices
+every cross-shard pair at its lowest common ancestor — byte-identical
+output, band-local kernel work.
 """
 
 from repro.cluster.harness import ClusterTransport, replay_scenario
@@ -20,6 +23,7 @@ from repro.cluster.router import (
     stable_shard_hash,
 )
 from repro.cluster.sharded import FailoverEvent, RejoinEvent, ShardedSequencer, ShardState
+from repro.cluster.tree import HierarchicalMerger, MergeTopology, TreeNode
 
 __all__ = [
     "ShardingPolicy",
@@ -36,6 +40,9 @@ __all__ = [
     "ShardState",
     "FailoverEvent",
     "RejoinEvent",
+    "MergeTopology",
+    "TreeNode",
+    "HierarchicalMerger",
     "ClusterTransport",
     "replay_scenario",
 ]

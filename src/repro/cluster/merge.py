@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -58,6 +58,9 @@ from repro.distributions.base import OffsetDistribution
 from repro.network.message import SequencedBatch, TimestampedMessage
 from repro.obs.telemetry import NO_TELEMETRY, Telemetry, resolve
 from repro.sequencers.base import SequencingResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tree imports merge)
+    from repro.cluster.tree import HierarchicalMerger, MergeTopology
 
 #: A batch node: (shard index, position of the batch in that shard's stream).
 BatchNode = Tuple[int, int]
@@ -543,6 +546,21 @@ class CrossShardMerger:
         return self._threshold
 
     @property
+    def cycle_policy(self) -> str:
+        """Cycle-resolution policy of the linearisation stage."""
+        return self._cycle_policy
+
+    @property
+    def seed(self) -> int:
+        """RNG seed shared by every merge path built from this merger."""
+        return self._seed
+
+    @property
+    def observer(self) -> Telemetry:
+        """The resolved telemetry hub (``NO_TELEMETRY`` when disabled)."""
+        return self._obs
+
+    @property
     def model(self) -> PrecedenceModel:
         """The cluster-wide precedence model (all clients registered)."""
         return self._model
@@ -567,11 +585,17 @@ class CrossShardMerger:
         self._tables.invalidate_client(client_id)
         self._windows.invalidate_client(client_id)
 
-    def streaming_merger(self, num_shards: Optional[int] = None) -> "StreamingMerger":
+    def streaming_merger(
+        self, num_shards: Optional[int] = None, topology: Optional["MergeTopology"] = None
+    ) -> "StreamingMerger":
         """A :class:`StreamingMerger` sharing this merger's model and caches.
 
         Its :meth:`StreamingMerger.result` is byte-identical to the first
         :meth:`merge` of a fresh merger constructed with the same arguments.
+        ``topology`` (a :class:`~repro.cluster.tree.MergeTopology`) switches
+        the merger into its tree-aware incremental mode: new batches are
+        priced only along the owning leaf's ancestor path, with whole-subtree
+        window pruning at each level.
         """
         return StreamingMerger(
             self._model,
@@ -583,7 +607,19 @@ class CrossShardMerger:
             windows=self._windows,
             num_shards=num_shards,
             telemetry=self._telemetry,
+            topology=topology,
         )
+
+    def tree_merger(self, topology: "MergeTopology") -> "HierarchicalMerger":
+        """A :class:`~repro.cluster.tree.HierarchicalMerger` over this merger.
+
+        Shares the model, pair-table cache, certainty windows and engine
+        counters; its ``merge()`` is byte-identical to :meth:`merge` over the
+        same streams while evaluating only each tree node's unpruned band.
+        """
+        from repro.cluster.tree import HierarchicalMerger
+
+        return HierarchicalMerger(self, topology)
 
     # ---------------------------------------------------------- probabilities
     @property
@@ -719,6 +755,18 @@ class StreamingMerger:
     Pairs are priced at observation time; a mid-stream distribution refresh
     must be propagated with :meth:`refresh_client`, which reprices every
     maintained pair involving the client.
+
+    With a :class:`~repro.cluster.tree.MergeTopology` the merger runs in
+    *tree-aware* mode: a new batch is priced ancestor by ancestor along its
+    owning leaf's root path, and at each level a sibling subtree whose
+    aggregate certainty window cannot overlap the new batch resolves *all*
+    its pairs in one vectorized assignment — no per-member work at all.
+    Every pair is still classified by the exact per-batch window condition
+    the flat mode uses (the subtree check only short-circuits pairs it
+    implies), and kernel means go through the same segment reductions, so
+    tree-aware results stay byte-identical to flat streaming and to the
+    offline oracle; the per-interior-node pruned/kernel counters it
+    maintains feed :meth:`node_report`.
     """
 
     def __init__(
@@ -732,9 +780,18 @@ class StreamingMerger:
         windows: Optional[CertaintyWindows] = None,
         num_shards: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        topology: Optional["MergeTopology"] = None,
     ) -> None:
         if not 0.5 <= threshold < 1.0:
             raise ValueError(f"threshold must be in [0.5, 1), got {threshold!r}")
+        if topology is not None:
+            if num_shards is None:
+                num_shards = topology.num_shards
+            elif num_shards != topology.num_shards:
+                raise ValueError(
+                    f"num_shards={num_shards} does not match the "
+                    f"{topology.num_shards}-leaf topology"
+                )
         self._model = model
         self._threshold = float(threshold)
         self._cycle_policy = cycle_policy
@@ -765,6 +822,22 @@ class StreamingMerger:
         self._cross_pairs_evaluated = 0
         self._cross_pairs_pruned = 0
         self._refresh_pairs_skipped = 0
+        # tree-aware mode: per-subtree membership + aggregate certainty
+        # windows (for whole-subtree pruning) and per-interior-node counters
+        self._topology = topology
+        self._node_members: Dict[int, List[int]] = {}
+        self._subtree_earliest: Dict[int, float] = {}
+        self._subtree_latest: Dict[int, float] = {}
+        self._node_pruned_pairs: Dict[int, int] = {}
+        self._node_kernel_pairs: Dict[int, int] = {}
+        if topology is not None:
+            for tree_node in topology.nodes:
+                self._node_members[tree_node.node_id] = []
+                self._subtree_earliest[tree_node.node_id] = float("inf")
+                self._subtree_latest[tree_node.node_id] = -float("inf")
+                if not tree_node.is_leaf:
+                    self._node_pruned_pairs[tree_node.node_id] = 0
+                    self._node_kernel_pairs[tree_node.node_id] = 0
 
     # ------------------------------------------------------------- properties
     @property
@@ -787,6 +860,36 @@ class StreamingMerger:
         """Engine counters for the kernel work performed."""
         return self._stats
 
+    @property
+    def topology(self) -> Optional["MergeTopology"]:
+        """The merge topology (``None`` in flat mode)."""
+        return self._topology
+
+    def node_report(self) -> List[Dict[str, object]]:
+        """Per-merge-node pruned/kernel pair counts (one pseudo-node flat)."""
+        if self._topology is None:
+            return [
+                {
+                    "node": 0,
+                    "label": "flat",
+                    "level": 1,
+                    "shards": len(self._streams),
+                    "pruned_pairs": self._cross_pairs_pruned,
+                    "kernel_pairs": self._cross_pairs_evaluated,
+                }
+            ]
+        return [
+            {
+                "node": tree_node.node_id,
+                "label": tree_node.label,
+                "level": tree_node.level,
+                "shards": len(tree_node.shards),
+                "pruned_pairs": self._node_pruned_pairs[tree_node.node_id],
+                "kernel_pairs": self._node_kernel_pairs[tree_node.node_id],
+            }
+            for tree_node in self._topology.interior_nodes
+        ]
+
     def _grow(self, needed: int) -> None:
         if needed <= self._capacity:
             return
@@ -807,6 +910,10 @@ class StreamingMerger:
         """Append the next emitted batch of ``shard`` and price its pairs."""
         if shard < 0:
             raise ValueError(f"shard index must be non-negative, got {shard!r}")
+        if self._topology is not None and shard >= self._topology.num_shards:
+            raise ValueError(
+                f"shard {shard} outside the {self._topology.num_shards}-leaf topology"
+            )
         while len(self._streams) <= shard:
             self._streams.append([])
         node: BatchNode = (shard, len(self._streams[shard]))
@@ -814,35 +921,173 @@ class StreamingMerger:
         position = len(self._nodes)
         self._grow(position + 1)
         earliest, latest = self._windows.batch_window(batch)
-        # price the new node against every existing cross-shard node: pruned
-        # pairs resolve instantly, the rest go through two flattened kernel
-        # calls (existing-before-new and new-before-existing orientations)
+        if self._topology is not None:
+            self._price_tree(shard, position, batch, earliest, latest)
+        else:
+            self._price_flat(shard, position, batch, earliest, latest)
+
+        self._nodes.append(node)
+        self._node_position[node] = position
+        self._node_messages.append(tuple(batch.messages))
+        self._node_shard.append(shard)
+        self._earliest.append(earliest)
+        self._latest.append(latest)
+        if self._obs.enabled:
+            observed_at = batch.emitted_at if batch.emitted_at is not None else 0.0
+            for message in batch.messages:
+                self._obs.stage("merge_observe", message, observed_at, shard=shard)
+            self._obs.count("merge.batches_observed")
+        return node
+
+    def _price_flat(
+        self, shard: int, position: int, batch: SequencedBatch, earliest: float, latest: float
+    ) -> None:
+        """Price the new node against every existing cross-shard node.
+
+        Pruned pairs resolve instantly; the rest go through two flattened
+        kernel calls (existing-before-new and new-before-existing
+        orientations).
+        """
         lower_kernel: List[int] = []  # existing node positions, canonical a-side
         higher_kernel: List[int] = []  # existing node positions, canonical b-side
         for other in range(position):
             other_shard = self._node_shard[other]
             if other_shard == shard:
                 continue
-            if other_shard < shard:
-                a, b = other, position
-                a_earliest, a_latest = self._earliest[other], self._latest[other]
-                b_earliest, b_latest = earliest, latest
-            else:
-                a, b = position, other
-                a_earliest, a_latest = earliest, latest
-                b_earliest, b_latest = self._earliest[other], self._latest[other]
-            if b_earliest > a_latest:
-                forward = 1.0
-            elif a_earliest > b_latest:
-                forward = 0.0
-            else:
-                (lower_kernel if other_shard < shard else higher_kernel).append(other)
-                continue
-            self._matrix[a, b] = forward
-            self._matrix[b, a] = 1.0 - forward
-            self._pruned_pair[a, b] = self._pruned_pair[b, a] = True
-            self._cross_pairs_pruned += 1
-            self._stats.pruned_pairs += 1
+            self._classify_pair(
+                shard, position, other, earliest, latest, lower_kernel, higher_kernel
+            )
+        self._apply_kernel_rows(position, batch, lower_kernel, higher_kernel)
+        self._cross_pairs_evaluated += len(lower_kernel) + len(higher_kernel)
+
+    def _price_tree(
+        self, shard: int, position: int, batch: SequencedBatch, earliest: float, latest: float
+    ) -> None:
+        """Price the new node level by level along its leaf's ancestor path.
+
+        At each ancestor, sibling subtrees whose aggregate window cannot
+        overlap the new batch resolve wholesale (one vectorized assignment
+        per subtree); remaining members fall back to the exact per-pair
+        classification :meth:`_price_flat` uses, so every pair lands on the
+        same 0/1 or kernel mean either way.
+        """
+        topology = self._topology
+        assert topology is not None
+        path = topology.path(shard)
+        observed_at = batch.emitted_at if batch.emitted_at is not None else 0.0
+        child_on_path = path[0]
+        for ancestor_id in path[1:]:
+            ancestor = topology.nodes[ancestor_id]
+            node_pruned = 0
+            lower_kernel: List[int] = []
+            higher_kernel: List[int] = []
+            for child_id in ancestor.children:
+                if child_id == child_on_path:
+                    continue
+                members = self._node_members[child_id]
+                if not members:
+                    continue
+                if earliest > self._subtree_latest[child_id]:
+                    # every member's window closed before the new batch's
+                    # opened: the whole subtree precedes the new node
+                    idx = np.asarray(members, dtype=np.int64)
+                    self._matrix[idx, position] = 1.0
+                    self._matrix[position, idx] = 0.0
+                    self._pruned_pair[idx, position] = True
+                    self._pruned_pair[position, idx] = True
+                    node_pruned += idx.size
+                    self._cross_pairs_pruned += idx.size
+                    self._stats.pruned_pairs += idx.size
+                    continue
+                if latest < self._subtree_earliest[child_id]:
+                    idx = np.asarray(members, dtype=np.int64)
+                    self._matrix[position, idx] = 1.0
+                    self._matrix[idx, position] = 0.0
+                    self._pruned_pair[idx, position] = True
+                    self._pruned_pair[position, idx] = True
+                    node_pruned += idx.size
+                    self._cross_pairs_pruned += idx.size
+                    self._stats.pruned_pairs += idx.size
+                    continue
+                for other in members:
+                    before = len(lower_kernel) + len(higher_kernel)
+                    self._classify_pair(
+                        shard, position, other, earliest, latest, lower_kernel, higher_kernel
+                    )
+                    if len(lower_kernel) + len(higher_kernel) == before:
+                        node_pruned += 1
+            self._apply_kernel_rows(position, batch, lower_kernel, higher_kernel)
+            node_kernel = len(lower_kernel) + len(higher_kernel)
+            self._cross_pairs_evaluated += node_kernel
+            self._node_pruned_pairs[ancestor_id] += node_pruned
+            self._node_kernel_pairs[ancestor_id] += node_kernel
+            if self._obs.enabled and (node_pruned or node_kernel):
+                self._obs.event(
+                    "merge_tree",
+                    ancestor.label,
+                    observed_at,
+                    client_id=f"level-{ancestor.level}",
+                    shard=shard,
+                    node=ancestor_id,
+                    level=ancestor.level,
+                    pruned_pairs=node_pruned,
+                    kernel_pairs=node_kernel,
+                )
+                self._obs.count(f"merge.tree.level{ancestor.level}.pruned_pairs", node_pruned)
+                self._obs.count(f"merge.tree.level{ancestor.level}.kernel_pairs", node_kernel)
+            child_on_path = ancestor_id
+        for node_id in path:
+            self._node_members[node_id].append(position)
+            if earliest < self._subtree_earliest[node_id]:
+                self._subtree_earliest[node_id] = earliest
+            if latest > self._subtree_latest[node_id]:
+                self._subtree_latest[node_id] = latest
+
+    def _classify_pair(
+        self,
+        shard: int,
+        position: int,
+        other: int,
+        earliest: float,
+        latest: float,
+        lower_kernel: List[int],
+        higher_kernel: List[int],
+    ) -> None:
+        """Window-classify one (existing, new) pair in canonical orientation.
+
+        Pruned pairs get their exact 0/1 entries immediately; unpruned ones
+        are queued on the caller's kernel lists.
+        """
+        other_shard = self._node_shard[other]
+        if other_shard < shard:
+            a, b = other, position
+            a_earliest, a_latest = self._earliest[other], self._latest[other]
+            b_earliest, b_latest = earliest, latest
+        else:
+            a, b = position, other
+            a_earliest, a_latest = earliest, latest
+            b_earliest, b_latest = self._earliest[other], self._latest[other]
+        if b_earliest > a_latest:
+            forward = 1.0
+        elif a_earliest > b_latest:
+            forward = 0.0
+        else:
+            (lower_kernel if other_shard < shard else higher_kernel).append(other)
+            return
+        self._matrix[a, b] = forward
+        self._matrix[b, a] = 1.0 - forward
+        self._pruned_pair[a, b] = self._pruned_pair[b, a] = True
+        self._cross_pairs_pruned += 1
+        self._stats.pruned_pairs += 1
+
+    def _apply_kernel_rows(
+        self,
+        position: int,
+        batch: SequencedBatch,
+        lower_kernel: Sequence[int],
+        higher_kernel: Sequence[int],
+    ) -> None:
+        """Price queued kernel pairs (one flattened call per orientation)."""
         if lower_kernel:
             # canonical orientation: existing (lower-shard) messages precede
             forwards = self._kernel_row(
@@ -862,20 +1107,6 @@ class StreamingMerger:
             for other, forward in zip(higher_kernel, forwards):
                 self._matrix[position, other] = forward
                 self._matrix[other, position] = 1.0 - forward
-        self._cross_pairs_evaluated += len(lower_kernel) + len(higher_kernel)
-
-        self._nodes.append(node)
-        self._node_position[node] = position
-        self._node_messages.append(tuple(batch.messages))
-        self._node_shard.append(shard)
-        self._earliest.append(earliest)
-        self._latest.append(latest)
-        if self._obs.enabled:
-            observed_at = batch.emitted_at if batch.emitted_at is not None else 0.0
-            for message in batch.messages:
-                self._obs.stage("merge_observe", message, observed_at, shard=shard)
-            self._obs.count("merge.batches_observed")
-        return node
 
     def _kernel_row(
         self,
@@ -943,6 +1174,8 @@ class StreamingMerger:
         for position in affected:
             batch = self._streams[self._nodes[position][0]][self._nodes[position][1]]
             self._earliest[position], self._latest[position] = self._windows.batch_window(batch)
+        if self._topology is not None:
+            self._recompute_subtree_windows()
         repriced = 0
         affected_set = set(affected)
         for position in affected:
@@ -976,10 +1209,19 @@ class StreamingMerger:
                     continue
                 # replace, don't double-count: retract the pair's previous
                 # classification before repricing it
+                lca_id = (
+                    self._topology.lca(self._node_shard[a], self._node_shard[b])
+                    if self._topology is not None
+                    else None
+                )
                 if self._pruned_pair[a, b]:
                     self._cross_pairs_pruned -= 1
+                    if lca_id is not None:
+                        self._node_pruned_pairs[lca_id] -= 1
                 else:
                     self._cross_pairs_evaluated -= 1
+                    if lca_id is not None:
+                        self._node_kernel_pairs[lca_id] -= 1
                 if forward is None:
                     forward = _pair_block_forward(
                         self._node_messages[a],
@@ -991,13 +1233,27 @@ class StreamingMerger:
                 if now_pruned:
                     self._cross_pairs_pruned += 1
                     self._stats.pruned_pairs += 1
+                    if lca_id is not None:
+                        self._node_pruned_pairs[lca_id] += 1
                 else:
                     self._cross_pairs_evaluated += 1
+                    if lca_id is not None:
+                        self._node_kernel_pairs[lca_id] += 1
                 self._pruned_pair[a, b] = self._pruned_pair[b, a] = now_pruned
                 self._matrix[a, b] = forward
                 self._matrix[b, a] = 1.0 - forward
                 repriced += 1
         return repriced
+
+    def _recompute_subtree_windows(self) -> None:
+        """Rebuild subtree aggregate windows after a distribution refresh."""
+        for node_id, members in self._node_members.items():
+            if members:
+                self._subtree_earliest[node_id] = min(self._earliest[m] for m in members)
+                self._subtree_latest[node_id] = max(self._latest[m] for m in members)
+            else:
+                self._subtree_earliest[node_id] = float("inf")
+                self._subtree_latest[node_id] = -float("inf")
 
     # ---------------------------------------------------------------- results
     def result(self) -> MergeOutcome:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 import hashlib
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 def stable_shard_hash(token: str) -> int:
@@ -83,6 +83,18 @@ class RegionAffineSharding(ShardingPolicy):
             return stable_shard_hash(client_id) % num_shards
         return self._region_rank[region] % num_shards
 
+    def region_map(self, num_shards: int) -> Dict[int, Tuple[str, ...]]:
+        """The *actual* shard → regions assignment under round-robin dealing.
+
+        With more regions than shards several regions share a shard — a
+        consumer (e.g. the region-affine merge-tree builder) must not assume
+        region-pure shards.  Regions are listed per shard in rank order.
+        """
+        assignment: Dict[int, List[str]] = {}
+        for region in sorted(self._region_rank, key=self._region_rank.__getitem__):
+            assignment.setdefault(self._region_rank[region] % num_shards, []).append(region)
+        return {shard: tuple(regions) for shard, regions in assignment.items()}
+
 
 class LoadAwareSharding(ShardingPolicy):
     """Assign each new client to the least-loaded shard (ties: lowest index)."""
@@ -135,6 +147,20 @@ class ShardRouter:
     def client_ids(self) -> List[str]:
         """All routed client ids (sorted)."""
         return sorted(self._shard_of)
+
+    def region_map(self) -> Dict[int, Tuple[str, ...]]:
+        """Shard → regions served, as the policy actually deals them.
+
+        Delegates to the policy's ``region_map`` when it has one
+        (:class:`RegionAffineSharding`); policies without a region notion
+        yield every shard mapped to an empty tuple — consumers (the
+        region-affine merge-tree builder) then fall back to index order.
+        """
+        policy_map = getattr(self._policy, "region_map", None)
+        regions: Dict[int, Tuple[str, ...]] = dict.fromkeys(range(self._num_shards), ())
+        if callable(policy_map):
+            regions.update(policy_map(self._num_shards))
+        return regions
 
     # ----------------------------------------------------------------- routing
     def assign(self, client_id: str) -> int:

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.cluster.merge import CrossShardMerger, MergeOutcome, StreamingMerger
 from repro.cluster.router import ShardingPolicy, ShardRouter
+from repro.cluster.tree import HierarchicalMerger, MergeTopology
 from repro.core.config import TommyConfig
 from repro.core.engine import EngineStats
 from repro.core.online import EmittedBatch, OnlineTommySequencer
@@ -94,6 +95,8 @@ class ShardedSequencer(Entity):
         streaming_merge: bool = True,
         dedupe_intake: bool = False,
         telemetry: Optional[Telemetry] = None,
+        merge_topology: str = "flat",
+        merge_fanout: int = 2,
     ) -> None:
         super().__init__(loop, name)
         if heartbeat_interval is not None and heartbeat_interval <= 0:
@@ -144,13 +147,31 @@ class ShardedSequencer(Entity):
             seed=self._config.seed if self._config.seed is not None else 0,
             telemetry=telemetry,
         )
+        # hierarchical merge: "binary"/"region" arrange the shards as leaves
+        # of a bounded-fanout tree and price every cross-shard batch pair at
+        # its lowest common ancestor — same merged order (parity-tested),
+        # log-depth kernel work at wide shard counts
+        self._merge_topology_kind = merge_topology
+        self._merge_fanout = int(merge_fanout)
+        self._topology: Optional[MergeTopology] = None
+        self._tree_merger: Optional[HierarchicalMerger] = None
+        if merge_topology != "flat":
+            self._topology = MergeTopology.build(
+                merge_topology,
+                num_shards,
+                fanout=merge_fanout,
+                region_map=self._router.region_map(),
+            )
+            self._tree_merger = self._merger.tree_merger(self._topology)
         # live merged order: every shard emission streams into an incremental
         # merger, so draining the cluster is a linearisation of maintained
         # state instead of an O(everything) re-merge; merge() stays available
         # as the offline parity oracle
         self._streaming: Optional[StreamingMerger] = None
         if streaming_merge:
-            self._streaming = self._merger.streaming_merger(num_shards=num_shards)
+            self._streaming = self._merger.streaming_merger(
+                num_shards=num_shards, topology=self._topology
+            )
             for shard in self._shards:
                 shard.sequencer.subscribe_emissions(self._emission_observer(shard.index))
 
@@ -186,6 +207,7 @@ class ShardedSequencer(Entity):
             self._obs.attach("cluster.engine", self.engine_stats)
             self._obs.attach("cluster.learning", self.learning_stats)
             self._obs.attach("cluster.loop", loop)
+            self._obs.attach("cluster.merge", self.merge_report)
 
     # ------------------------------------------------------------- properties
     @property
@@ -212,6 +234,42 @@ class ShardedSequencer(Entity):
     def streaming_merger(self) -> Optional[StreamingMerger]:
         """The live incremental merger (``None`` when streaming is disabled)."""
         return self._streaming
+
+    @property
+    def merge_topology(self) -> Optional[MergeTopology]:
+        """The hierarchical merge tree (``None`` for the flat merge)."""
+        return self._topology
+
+    @property
+    def tree_merger(self) -> Optional[HierarchicalMerger]:
+        """The offline hierarchical merger (``None`` for the flat merge)."""
+        return self._tree_merger
+
+    def merge_report(self) -> Dict[str, object]:
+        """Merge-layer topology + per-node pruning/kernel accounting.
+
+        ``nodes`` carries one row per merge node — with streaming on, the
+        live incremental counters; otherwise the last offline tree merge's.
+        Attached to the metrics registry as ``cluster.merge``.
+        """
+        report: Dict[str, object] = {
+            "topology": self._merge_topology_kind,
+            "fanout": self._merge_fanout if self._topology is not None else self.num_shards,
+            "depth": self._topology.depth if self._topology is not None else 1,
+            "cross_pairs_evaluated": (
+                self._streaming.cross_pairs_evaluated if self._streaming is not None else 0
+            ),
+            "cross_pairs_pruned": (
+                self._streaming.cross_pairs_pruned if self._streaming is not None else 0
+            ),
+        }
+        if self._streaming is not None:
+            report["nodes"] = self._streaming.node_report()
+        elif self._tree_merger is not None:
+            report["nodes"] = self._tree_merger.node_report
+        else:
+            report["nodes"] = []
+        return report
 
     def _emission_observer(self, shard_index: int):
         def observe(emitted: EmittedBatch) -> None:
@@ -723,9 +781,13 @@ class ShardedSequencer(Entity):
         """Merge every shard's emitted batches into the cluster-wide order.
 
         The offline path: recomputes the whole merge from the emitted
-        streams.  With streaming enabled, :meth:`live_merge` linearises the
-        incrementally maintained state instead and is byte-identical.
+        streams — through the hierarchical merger when a tree topology is
+        configured (byte-identical to the flat merge, parity-tested).  With
+        streaming enabled, :meth:`live_merge` linearises the incrementally
+        maintained state instead and is byte-identical.
         """
+        if self._tree_merger is not None:
+            return self._tree_merger.merge(self.shard_batches())
         return self._merger.merge(self.shard_batches())
 
     def live_merge(self) -> MergeOutcome:
@@ -795,6 +857,7 @@ class ShardedSequencer(Entity):
             "engine": self.engine_stats().as_dict(),
             "learning": self.learning_stats(),
             "loop": self._loop.as_dict(),
+            "merge": self.merge_report(),
         }
         if self._obs.enabled and self._obs.registry is not None:
             report["telemetry"] = self._obs.registry.snapshot()

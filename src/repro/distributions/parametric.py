@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 from scipy import stats
+from scipy.special import ndtri
 
 from repro.distributions.base import DistributionError, OffsetDistribution
 
@@ -66,7 +67,10 @@ class GaussianDistribution(OffsetDistribution):
         if self._std == 0:
             return (self._mean - 1e-9, self._mean + 1e-9)
         tail = (1.0 - coverage) / 2.0
-        half = -stats.norm.ppf(max(tail, 1e-300)) * self._std
+        # ndtri == stats.norm.ppf for loc=0/scale=1 (same bits) without the
+        # generic distribution machinery — support() sits on the certainty-
+        # window hot path, priced once per client per merge
+        half = -float(ndtri(max(tail, 1e-300))) * self._std
         return (self._mean - half, self._mean + half)
 
 

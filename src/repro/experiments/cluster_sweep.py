@@ -45,6 +45,7 @@ class ClusterRunOutcome:
     streaming_parity: Optional[bool] = None
     #: Unified stats snapshot (:meth:`ShardedSequencer.observability_report`).
     observability: Optional[Dict[str, object]] = None
+    merge_topology: str = "flat"
 
     @property
     def per_shard_throughput(self) -> float:
@@ -66,6 +67,7 @@ class ClusterRunOutcome:
             "shards": self.num_shards,
             "clients": self.num_clients,
             "policy": self.policy_name,
+            "merge_topology": self.merge_topology,
             "ras": self.comparison.ras.score,
             "ras_normalized": round(self.comparison.ras.normalized_score, 4),
             "incorrect_pairs": self.comparison.ras.incorrect_pairs,
@@ -93,6 +95,8 @@ def run_cluster_scenario(
     policy: Optional[ShardingPolicy] = None,
     num_regions: int = 4,
     streaming: bool = True,
+    merge_topology: str = "flat",
+    merge_fanout: int = 2,
 ) -> ClusterRunOutcome:
     """Replay one multi-region scenario through an N-shard cluster.
 
@@ -102,6 +106,8 @@ def run_cluster_scenario(
     live incremental merge; the reported ``streaming_ms`` is the cost of
     linearising that maintained state at drain time and
     ``streaming_parity`` checks it against the offline re-merge.
+    ``merge_topology``/``merge_fanout`` select the hierarchical merge tree
+    (``"binary"`` or ``"region"``; parity-equal to ``"flat"``).
     """
     placement = build_cluster_scenario(num_clients, num_regions=num_regions, seed=seed)
     scenario = placement.scenario
@@ -117,6 +123,8 @@ def run_cluster_scenario(
         config=config,
         policy=policy,
         streaming_merge=streaming,
+        merge_topology=merge_topology,
+        merge_fanout=merge_fanout,
     )
     replay_scenario(loop, cluster, scenario)
 
@@ -150,6 +158,7 @@ def run_cluster_scenario(
         streaming_wall_seconds=streaming_wall,
         streaming_parity=streaming_parity,
         observability=observability,
+        merge_topology=merge_topology,
     )
 
 
@@ -159,6 +168,8 @@ def run_cluster_sweep(
     seed: int = 21,
     config: Optional[TommyConfig] = None,
     streaming: bool = True,
+    merge_topology: str = "flat",
+    merge_fanout: int = 2,
 ) -> List[Dict[str, object]]:
     """Sweep shard count × client count and return one row per combination."""
     rows: List[Dict[str, object]] = []
@@ -170,6 +181,8 @@ def run_cluster_sweep(
                 seed=seed,
                 config=config,
                 streaming=streaming,
+                merge_topology=merge_topology if num_shards > 1 else "flat",
+                merge_fanout=merge_fanout,
             )
             rows.append(outcome.as_row())
     return rows

@@ -102,8 +102,14 @@ def chrome_trace_events(telemetry: Telemetry) -> List[Dict[str, object]]:
             )
 
     for record in telemetry.event_records:
-        pid = _CONTROL_PID if record.shard is None else _SHARD_PID_BASE + record.shard
-        pid_name = "control" if record.shard is None else f"shard-{record.shard}"
+        if record.kind == "merge_tree":
+            # per-level tree-merge pricing events land on the merge process so
+            # the perfetto timeline shows one named row per tree level
+            pid, pid_name = _MERGE_PID, "merge"
+        elif record.shard is None:
+            pid, pid_name = _CONTROL_PID, "control"
+        else:
+            pid, pid_name = _SHARD_PID_BASE + record.shard, f"shard-{record.shard}"
         tid = tid_for(record.client_id)
         note_track(pid, pid_name, tid, record.client_id or record.kind)
         events.append(

@@ -39,6 +39,8 @@ def run_instrumented_workload(
     seed: int = 7,
     fault: str = "delay",
     intensity: float = 1.0,
+    merge_topology: str = "flat",
+    merge_fanout: int = 2,
 ) -> InstrumentedRun:
     """Run the named workload with a fresh :class:`Telemetry` hub injected."""
     if workload not in WORKLOAD_NAMES:
@@ -48,6 +50,8 @@ def run_instrumented_workload(
         num_shards=num_shards,
         messages_per_client=messages_per_client,
         seed=seed,
+        merge_topology=merge_topology,
+        merge_fanout=merge_fanout,
     )
     telemetry = Telemetry()
     if workload == "cluster":

@@ -135,6 +135,8 @@ class ChaosSettings:
     probes_per_client: int = 32
     heartbeat_interval: Optional[float] = None  # defaults to ``gap``
     seed: int = 7
+    merge_topology: str = "flat"
+    merge_fanout: int = 2
 
     def __post_init__(self) -> None:
         if self.num_clients < 2:
@@ -273,6 +275,8 @@ def run_chaos_scenario(
         streaming_merge=streaming,
         dedupe_intake=True,
         telemetry=telemetry,
+        merge_topology=settings.merge_topology,
+        merge_fanout=settings.merge_fanout,
     )
     transport = ClusterTransport(loop, cluster, source.stream, telemetry=telemetry)
     drifts: Dict[str, SteppedDrift] = {}

@@ -95,3 +95,32 @@ def test_router_rejects_bad_shard_indices():
         router.reassign("unrouted", 0)
     with pytest.raises(ValueError):
         ShardRouter(0)
+
+
+def test_region_map_reports_round_robin_region_sharing():
+    # 5 regions over 3 shards: round-robin dealing puts two regions each on
+    # shards 0 and 1 — consumers must not assume region-pure shards
+    region_of = {f"client-{i}": f"region-{i % 5}" for i in range(10)}
+    policy = RegionAffineSharding(region_of)
+    assert policy.region_map(3) == {
+        0: ("region-0", "region-3"),
+        1: ("region-1", "region-4"),
+        2: ("region-2",),
+    }
+    router = ShardRouter(3, policy)
+    assert router.region_map() == {
+        0: ("region-0", "region-3"),
+        1: ("region-1", "region-4"),
+        2: ("region-2",),
+    }
+
+
+def test_region_map_with_more_shards_than_regions_leaves_empty_shards():
+    policy = RegionAffineSharding({"a": "eu", "b": "us"})
+    router = ShardRouter(4, policy)
+    assert router.region_map() == {0: ("eu",), 1: ("us",), 2: (), 3: ()}
+
+
+def test_region_map_without_region_policy_is_empty_per_shard():
+    router = ShardRouter(3, HashSharding())
+    assert router.region_map() == {0: (), 1: (), 2: ()}

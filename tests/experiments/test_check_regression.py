@@ -110,6 +110,18 @@ def test_committed_baselines_accept_a_real_smoke_run(tmp_path):
             ],
             "wall_time": 1.0,
         },
+        {
+            "benchmark": "tree_merge",
+            "rows": [
+                {
+                    "parity": True,
+                    "counter_parity": True,
+                    "speedup": 3.6,
+                    "pruned_fraction": 0.75,
+                }
+            ],
+            "wall_time": 1.0,
+        },
     ]
     outcome = run_gate(tmp_path, records)  # default committed baselines.json
     assert outcome.returncode == 0, outcome.stderr + outcome.stdout

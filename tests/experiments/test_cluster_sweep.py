@@ -26,6 +26,7 @@ def test_sweep_rows_have_report_schema():
         "shards",
         "clients",
         "policy",
+        "merge_topology",
         "ras",
         "ras_normalized",
         "incorrect_pairs",
