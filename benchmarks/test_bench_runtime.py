@@ -1,0 +1,92 @@
+"""RUNTIME — real-process backend throughput vs the deterministic sim.
+
+Runs one frozen seeded cluster workload (timestamps generated once in a
+:class:`~repro.runtime.base.ClusterWorkload`) through three executions:
+
+* **sim** — the single-loop deterministic backend (the parity oracle);
+* **procs x1** — every shard in worker processes, but only one worker, so
+  all shard loops run serially (isolates the multiprocessing overhead);
+* **procs xN** — one worker per shard (N = ``RUNTIME_BENCH_SHARDS``), the
+  configuration that should scale with cores.
+
+Asserted:
+
+* **parity** — all three merged orders are bitwise equal (the PR's
+  acceptance criterion; always asserted, every environment);
+* **scaling** — messages/sec with N workers exceeds 1 worker.  Only
+  asserted on machines with >= 4 cores and outside CI: on the 1-core
+  runners this repo tests on, extra workers cannot beat serial execution
+  and the row simply records the observed ratio.
+
+``RUNTIME_BENCH_SHARDS`` / ``RUNTIME_BENCH_CLIENTS`` /
+``RUNTIME_BENCH_MESSAGES`` override the workload size (the CI smoke step
+runs 2 shards x 8 clients x 4 messages).
+"""
+
+import os
+
+from _bench_utils import BENCH_SEED, emit
+
+from repro.core.config import TommyConfig
+from repro.runtime.base import ClusterWorkload
+from repro.runtime.procs import ProcBackend
+from repro.runtime.sim import SimBackend
+from repro.workloads.cluster import build_cluster_scenario
+
+NUM_SHARDS = int(os.environ.get("RUNTIME_BENCH_SHARDS", "4"))
+NUM_CLIENTS = int(os.environ.get("RUNTIME_BENCH_CLIENTS", "16"))
+MESSAGES_PER_CLIENT = int(os.environ.get("RUNTIME_BENCH_MESSAGES", "12"))
+ASSERT_SCALING = (os.cpu_count() or 1) >= 4 and not os.environ.get("CI")
+
+
+def build_workload():
+    scenario = build_cluster_scenario(
+        NUM_CLIENTS, messages_per_client=MESSAGES_PER_CLIENT, seed=BENCH_SEED
+    )
+    return ClusterWorkload.from_scenario(
+        scenario, num_shards=NUM_SHARDS, config=TommyConfig(seed=BENCH_SEED)
+    )
+
+
+def run_once():
+    workload = build_workload()
+
+    sim = SimBackend().run(workload)
+    with ProcBackend(num_workers=1) as serial:
+        procs_serial = serial.run(workload)
+    with ProcBackend() as wide:
+        procs_wide = wide.run(workload)
+
+    scaling = procs_wide.messages_per_second / max(procs_serial.messages_per_second, 1e-9)
+    return {
+        "shards": NUM_SHARDS,
+        "clients": NUM_CLIENTS,
+        "messages": len(workload.messages),
+        "cores": os.cpu_count() or 1,
+        "parity_serial": sim.fingerprint() == procs_serial.fingerprint(),
+        "parity_wide": sim.fingerprint() == procs_wide.fingerprint(),
+        "sim_msgs_per_s": round(sim.messages_per_second, 1),
+        "procs_x1_msgs_per_s": round(procs_serial.messages_per_second, 1),
+        f"procs_x{procs_wide.num_workers}_msgs_per_s": round(
+            procs_wide.messages_per_second, 1
+        ),
+        "workers_wide": procs_wide.num_workers,
+        "scaling_1_to_n": round(scaling, 2),
+    }
+
+
+def test_procs_backend_matches_sim_and_scales(benchmark):
+    row = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    emit(
+        "Real-process backend vs deterministic sim (parity + scaling)",
+        [row],
+        benchmark="runtime_procs",
+        wall_time=None,
+    )
+    assert row["parity_serial"], "procs(1 worker) merged order diverged from sim"
+    assert row["parity_wide"], "procs(N workers) merged order diverged from sim"
+    assert row["messages"] == NUM_CLIENTS * MESSAGES_PER_CLIENT
+    if ASSERT_SCALING:
+        assert row["scaling_1_to_n"] > 1.0, (
+            f"1->{row['workers_wide']} workers gave {row['scaling_1_to_n']}x msgs/sec"
+        )

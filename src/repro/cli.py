@@ -10,6 +10,7 @@ Every paper artifact and ablation can be regenerated from the shell::
     python -m repro.cli learned
     python -m repro.cli scaling
     python -m repro.cli cluster --shards 4 --num-clients 64
+    python -m repro.cli cluster --shards 4 --runtime procs
     python -m repro.cli chaos --shards 4 --fault partition
     python -m repro.cli telemetry --workload cluster --trace-out trace.json
     python -m repro.cli all --csv-dir results/
@@ -40,6 +41,7 @@ from repro.experiments.reporting import format_table, rows_to_csv
 from repro.obs.export import write_chrome_trace, write_metrics_json
 from repro.obs.spans import stage_latency_rows
 from repro.obs.workload import WORKLOAD_NAMES, run_instrumented_workload
+from repro.runtime.base import RUNTIME_NAMES
 from repro.workloads.chaos import FAULT_NAMES
 
 
@@ -120,6 +122,8 @@ def _cluster_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
         streaming=not args.no_streaming_merge,
         merge_topology=args.merge_topology,
         merge_fanout=args.fanout,
+        runtime=args.runtime,
+        num_workers=args.workers,
     )
 
 
@@ -175,9 +179,14 @@ def _telemetry_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
         intensity=args.intensity,
         merge_topology=args.merge_topology,
         merge_fanout=args.fanout,
+        runtime=args.runtime,
+        num_workers=args.workers,
     )
     if args.trace_out:
-        count = write_chrome_trace(run.telemetry, args.trace_out)
+        # non-sim runtimes always get the wall-clock mirror tracks: showing
+        # the real process overlap next to the sim schedule is their point
+        wall_tracks = args.wall_tracks or args.runtime != "sim"
+        count = write_chrome_trace(run.telemetry, args.trace_out, wall_tracks=wall_tracks)
         print(f"wrote {args.trace_out} ({count} trace events; open in ui.perfetto.dev)")
     if args.metrics_out:
         write_metrics_json(run.telemetry, args.metrics_out)
@@ -280,6 +289,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 2)",
     )
     parser.add_argument(
+        "--runtime",
+        choices=list(RUNTIME_NAMES),
+        default="sim",
+        help="cluster/telemetry: execution backend — sim (deterministic event loop, "
+        "the parity oracle) or procs (one worker process per shard, coordinator-side "
+        "streaming merge); same seed yields a bitwise-identical merged order "
+        "(default sim)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="--runtime procs: cap the worker-process count (default: one per shard)",
+    )
+    parser.add_argument(
         "--fault",
         choices=sorted(FAULT_NAMES) + ["all"],
         default="all",
@@ -301,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         default=None,
         help="telemetry only: write a perfetto-loadable Chrome trace_event JSON here",
+    )
+    parser.add_argument(
+        "--wall-tracks",
+        action="store_true",
+        help="telemetry only: add wall-clock mirror tracks to --trace-out "
+        "(always on for --runtime procs)",
     )
     parser.add_argument(
         "--metrics-out",

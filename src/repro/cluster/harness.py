@@ -8,17 +8,21 @@ Two ways to drive a :class:`~repro.cluster.sharded.ShardedSequencer`:
   shard's transport, and each shard's sequencer endpoint fans arrivals into
   that shard via :meth:`ShardedSequencer.receive_at` (so failover rerouting
   still applies).
-* :func:`replay_scenario` — the evaluation path: schedule an offline
-  :class:`~repro.workloads.scenario.Scenario`'s messages as arrival events
-  at their ground-truth generation times.  The target only needs a
-  ``receive(item, arrival_time)`` method, so the same replay drives a bare
-  :class:`~repro.core.online.OnlineTommySequencer` and a cluster identically
-  — which is what makes the 1-shard equivalence property testable.
+* :func:`replay_scenario` / :func:`replay_messages` — the evaluation path:
+  schedule an offline :class:`~repro.workloads.scenario.Scenario`'s messages
+  as arrival events at their ground-truth generation times.  The target only
+  needs a ``receive(item, arrival_time)`` method, so the same replay drives a
+  bare :class:`~repro.core.online.OnlineTommySequencer` and a cluster
+  identically — which is what makes the 1-shard equivalence property testable,
+  and what lets the real-process backend replay a single shard's slice of a
+  workload bit-identically to the sim cluster (:mod:`repro.runtime.procs`
+  passes the *global* closing-heartbeat instant into ``heartbeat_time`` /
+  ``heartbeat_timestamp`` so every worker closes at the same horizon).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Protocol, Union
 
 import numpy as np
 
@@ -28,7 +32,7 @@ from repro.network.link import DelayModel
 from repro.network.message import Heartbeat, TimestampedMessage
 from repro.network.transport import ClientEndpoint, Transport
 from repro.obs.telemetry import Telemetry
-from repro.simulation.event_loop import EventLoop
+from repro.runtime.base import Scheduler, clock_of
 from repro.simulation.trace import TraceRecorder
 
 if TYPE_CHECKING:  # imported lazily: workloads.chaos drives this harness
@@ -48,7 +52,7 @@ class ClusterTransport:
 
     def __init__(
         self,
-        loop: EventLoop,
+        loop: Scheduler,
         cluster: ShardedSequencer,
         rng_factory: Callable[[str], np.random.Generator],
         trace: Optional[TraceRecorder] = None,
@@ -130,8 +134,48 @@ class ClusterTransport:
         return sum(transport.install_chaos(controller) for transport in self._transports)
 
 
+def replay_messages(
+    scheduler: Scheduler,
+    target: Receiver,
+    messages: List[TimestampedMessage],
+    client_ids: Iterable[str],
+    delay: float = 0.0,
+    heartbeat_time: Optional[float] = None,
+    heartbeat_timestamp: Optional[float] = None,
+) -> List[TimestampedMessage]:
+    """Schedule pre-sorted ``messages`` as arrivals on ``scheduler``.
+
+    Each message arrives at ``true_time + delay``.  When ``heartbeat_time``
+    and ``heartbeat_timestamp`` are given, every client in ``client_ids``
+    additionally sends one closing heartbeat at that instant with that
+    beacon timestamp, so the heartbeat completeness rule (Q2) lets the
+    sequencer emit everything it can before the caller's final flush.
+
+    This is the replay primitive both execution backends share: the sim
+    backend replays a whole scenario; the real-process backend replays one
+    shard's slice per worker while pinning the heartbeat instant/beacon to
+    the *global* values so the completeness horizon closes identically.
+
+    Returns the replayed messages in arrival order.
+    """
+    if delay < 0:
+        raise ValueError("delay must be non-negative")
+    clock = clock_of(scheduler)
+    for message in messages:
+        scheduler.schedule_at(
+            max(message.true_time + delay, clock.now()), target.receive, message
+        )
+    if heartbeat_time is not None and heartbeat_timestamp is not None:
+        for client_id in sorted(client_ids):
+            heartbeat = Heartbeat(
+                client_id=client_id, timestamp=heartbeat_timestamp, true_time=heartbeat_time
+            )
+            scheduler.schedule_at(heartbeat_time, target.receive, heartbeat)
+    return messages
+
+
 def replay_scenario(
-    loop: EventLoop,
+    loop: Scheduler,
     target: Receiver,
     scenario: Scenario,
     delay: float = 0.0,
@@ -140,23 +184,25 @@ def replay_scenario(
 ) -> List[TimestampedMessage]:
     """Schedule ``scenario``'s messages as arrivals on ``loop``.
 
-    Each message arrives at ``true_time + delay``.  When
-    ``final_heartbeats`` is set, every client additionally sends one closing
-    heartbeat timestamped past the latest reported timestamp, so the
-    heartbeat completeness rule (Q2) lets the sequencer emit everything it
-    can before the caller's final flush.
+    Convenience wrapper over :func:`replay_messages` that derives the
+    closing-heartbeat instant and beacon from the scenario itself.
 
     Returns the replayed messages in arrival order.
     """
-    if delay < 0:
-        raise ValueError("delay must be non-negative")
     messages = scenario.messages_by_true_time()
-    for message in messages:
-        loop.schedule_at(max(message.true_time + delay, loop.now), target.receive, message)
+    heartbeat_time: Optional[float] = None
+    heartbeat_timestamp: Optional[float] = None
     if final_heartbeats and messages:
-        end_time = max(message.true_time for message in messages) + delay + heartbeat_slack
-        beacon = max(message.timestamp for message in messages) + heartbeat_slack
-        for client_id in sorted(scenario.client_ids):
-            heartbeat = Heartbeat(client_id=client_id, timestamp=beacon, true_time=end_time)
-            loop.schedule_at(end_time, target.receive, heartbeat)
-    return messages
+        heartbeat_time = (
+            max(message.true_time for message in messages) + delay + heartbeat_slack
+        )
+        heartbeat_timestamp = max(message.timestamp for message in messages) + heartbeat_slack
+    return replay_messages(
+        loop,
+        target,
+        messages,
+        scenario.client_ids,
+        delay=delay,
+        heartbeat_time=heartbeat_time,
+        heartbeat_timestamp=heartbeat_timestamp,
+    )

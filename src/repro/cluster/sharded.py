@@ -32,9 +32,9 @@ from repro.core.probability import PrecedenceModel
 from repro.distributions.base import OffsetDistribution
 from repro.network.message import Heartbeat, SequencedBatch, TimestampedMessage
 from repro.obs.telemetry import Telemetry, resolve
+from repro.runtime.base import Scheduler
 from repro.sequencers.base import SequencingResult
 from repro.simulation.entity import Entity
-from repro.simulation.event_loop import EventLoop
 from repro.sync.estimator import OffsetEstimator
 from repro.sync.probe import SyncProbe
 from repro.sync.refresh import DistributionRefreshLoop
@@ -79,9 +79,16 @@ class ShardState:
 class ShardedSequencer(Entity):
     """A cluster of per-shard online Tommy sequencers with cross-shard merge."""
 
+    #: Seen-key count past which :meth:`observability_report` flags the
+    #: exactly-once gate's memory growth.  The set is unbounded by design
+    #: until the delivery-horizon pruning rule lands (ROADMAP durability
+    #: item); the warning makes long-running deployments notice before the
+    #: set becomes a memory problem.  Overridable per instance in tests.
+    DEDUPE_WARN_THRESHOLD = 1_000_000
+
     def __init__(
         self,
-        loop: EventLoop,
+        loop: Scheduler,
         client_distributions: Dict[str, OffsetDistribution],
         num_shards: int,
         config: Optional[TommyConfig] = None,
@@ -131,7 +138,7 @@ class ShardedSequencer(Entity):
                 shard_index=index,
             )
             self._shards.append(
-                ShardState(index=index, sequencer=sequencer, last_heartbeat=loop.now)
+                ShardState(index=index, sequencer=sequencer, last_heartbeat=self.now)
             )
 
         merge_model = PrecedenceModel(
@@ -426,6 +433,8 @@ class ShardedSequencer(Entity):
                 )
             return True
         self._seen_keys.add(item.key)
+        if self._obs.enabled:
+            self._obs.gauge("cluster.dedupe_seen_keys", len(self._seen_keys))
         return False
 
     def receive(
@@ -852,11 +861,21 @@ class ShardedSequencer(Entity):
                 "failovers": len(self._failover_events),
                 "rejoins": len(self._rejoin_events),
                 "duplicates_suppressed": self._duplicates_suppressed,
+                # exactly-once gate memory: the seen-key set grows with total
+                # unique message count and is never pruned (safe pruning needs
+                # the delivery-horizon rule tracked on the ROADMAP), so a
+                # long-running cluster should watch this and the warning flag
+                "dedupe_seen_keys": len(self._seen_keys),
+                "dedupe_growth_warning": (
+                    self._dedupe and len(self._seen_keys) > self.DEDUPE_WARN_THRESHOLD
+                ),
                 "emitted_counts": self.emitted_counts(),
             },
             "engine": self.engine_stats().as_dict(),
             "learning": self.learning_stats(),
-            "loop": self._loop.as_dict(),
+            # scheduler stats when the substrate exposes them (the sim loop
+            # does; a protocol-only scheduler may not)
+            "loop": self._loop.as_dict() if hasattr(self._loop, "as_dict") else {},
             "merge": self.merge_report(),
         }
         if self._obs.enabled and self._obs.registry is not None:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,7 +44,10 @@ from repro.network.message import Heartbeat, SequencedBatch, TimestampedMessage
 from repro.obs.telemetry import Telemetry, resolve
 from repro.sequencers.base import SequencingResult
 from repro.simulation.entity import Entity
-from repro.simulation.event_loop import Event, EventLoop
+from repro.simulation.event_loop import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Scheduler
 
 
 @dataclass(frozen=True)
@@ -79,7 +82,7 @@ class OnlineTommySequencer(Entity):
 
     def __init__(
         self,
-        loop: EventLoop,
+        loop: Scheduler,
         client_distributions: Dict[str, OffsetDistribution],
         config: Optional[TommyConfig] = None,
         known_clients: Optional[Sequence[str]] = None,

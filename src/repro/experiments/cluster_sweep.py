@@ -24,6 +24,7 @@ from repro.cluster.router import HashSharding, ShardingPolicy
 from repro.cluster.sharded import ShardedSequencer
 from repro.core.config import TommyConfig
 from repro.experiments.runner import SequencerComparison, evaluate_result
+from repro.runtime.base import ClusterWorkload, resolve_backend
 from repro.simulation.event_loop import EventLoop
 from repro.workloads.cluster import build_cluster_scenario, region_affine_policy
 
@@ -46,6 +47,10 @@ class ClusterRunOutcome:
     #: Unified stats snapshot (:meth:`ShardedSequencer.observability_report`).
     observability: Optional[Dict[str, object]] = None
     merge_topology: str = "flat"
+    #: Which execution backend ran the scenario (``"sim"`` or ``"procs"``).
+    runtime: str = "sim"
+    #: Worker-process count (1 on the sim backend).
+    num_workers: int = 1
 
     @property
     def per_shard_throughput(self) -> float:
@@ -67,6 +72,8 @@ class ClusterRunOutcome:
             "shards": self.num_shards,
             "clients": self.num_clients,
             "policy": self.policy_name,
+            "runtime": self.runtime,
+            "workers": self.num_workers,
             "merge_topology": self.merge_topology,
             "ras": self.comparison.ras.score,
             "ras_normalized": round(self.comparison.ras.normalized_score, 4),
@@ -97,6 +104,8 @@ def run_cluster_scenario(
     streaming: bool = True,
     merge_topology: str = "flat",
     merge_fanout: int = 2,
+    runtime: str = "sim",
+    num_workers: Optional[int] = None,
 ) -> ClusterRunOutcome:
     """Replay one multi-region scenario through an N-shard cluster.
 
@@ -108,12 +117,31 @@ def run_cluster_scenario(
     ``streaming_parity`` checks it against the offline re-merge.
     ``merge_topology``/``merge_fanout`` select the hierarchical merge tree
     (``"binary"`` or ``"region"``; parity-equal to ``"flat"``).
+
+    ``runtime`` selects the execution backend: ``"sim"`` (this function's
+    historical single-loop path, kept verbatim as the oracle) or ``"procs"``
+    (each shard sequences in its own worker process via
+    :class:`~repro.runtime.procs.ProcBackend`; ``num_workers`` caps the
+    process count).  Same seed ⇒ bitwise-identical merged order either way.
     """
     placement = build_cluster_scenario(num_clients, num_regions=num_regions, seed=seed)
     scenario = placement.scenario
     if policy is None:
         policy = region_affine_policy(placement) if num_shards > 1 else HashSharding()
     config = config if config is not None else TommyConfig()
+
+    if runtime != "sim":
+        return _run_backend_scenario(
+            runtime,
+            placement,
+            num_clients=num_clients,
+            num_shards=num_shards,
+            config=config,
+            policy=policy,
+            merge_topology=merge_topology,
+            merge_fanout=merge_fanout,
+            num_workers=num_workers,
+        )
 
     loop = EventLoop()
     cluster = ShardedSequencer(
@@ -162,6 +190,52 @@ def run_cluster_scenario(
     )
 
 
+def _run_backend_scenario(
+    runtime: str,
+    placement,
+    num_clients: int,
+    num_shards: int,
+    config: TommyConfig,
+    policy: ShardingPolicy,
+    merge_topology: str,
+    merge_fanout: int,
+    num_workers: Optional[int],
+) -> ClusterRunOutcome:
+    """Run one scenario through a non-sim execution backend."""
+    workload = ClusterWorkload.from_scenario(
+        placement,
+        num_shards=num_shards,
+        config=config,
+        policy=policy,
+        merge_topology=merge_topology,
+        merge_fanout=merge_fanout,
+    )
+    kwargs = {"num_workers": num_workers} if num_workers is not None else {}
+    with resolve_backend(runtime, **kwargs) as backend:
+        outcome = backend.run(workload)
+    messages = list(workload.messages)
+    comparison = evaluate_result(
+        f"cluster@{num_shards}-{runtime}", outcome.merge.result, messages
+    )
+    return ClusterRunOutcome(
+        comparison=comparison,
+        merge=outcome.merge,
+        num_shards=num_shards,
+        num_clients=num_clients,
+        policy_name=policy.name,
+        run_wall_seconds=outcome.wall_seconds,
+        message_count=outcome.message_count,
+        per_shard_emitted=[
+            sum(batch.size for batch in batches) for batches in outcome.shard_batches
+        ],
+        failovers=0,
+        observability={"runtime": outcome.details},
+        merge_topology=merge_topology,
+        runtime=runtime,
+        num_workers=outcome.num_workers,
+    )
+
+
 def run_cluster_sweep(
     shard_counts: Sequence[int] = (1, 2, 4),
     client_counts: Sequence[int] = (32, 64),
@@ -170,6 +244,8 @@ def run_cluster_sweep(
     streaming: bool = True,
     merge_topology: str = "flat",
     merge_fanout: int = 2,
+    runtime: str = "sim",
+    num_workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Sweep shard count × client count and return one row per combination."""
     rows: List[Dict[str, object]] = []
@@ -183,6 +259,8 @@ def run_cluster_sweep(
                 streaming=streaming,
                 merge_topology=merge_topology if num_shards > 1 else "flat",
                 merge_fanout=merge_fanout,
+                runtime=runtime,
+                num_workers=num_workers,
             )
             rows.append(outcome.as_row())
     return rows

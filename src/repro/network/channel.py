@@ -11,7 +11,7 @@ sound on ordered channels, which tests exercise explicitly.
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 import numpy as np
 
@@ -19,8 +19,10 @@ from repro.network.link import DelayModel
 from repro.network.message import TimestampedMessage
 from repro.obs.telemetry import Telemetry, resolve
 from repro.simulation.entity import Entity
-from repro.simulation.event_loop import EventLoop
 from repro.simulation.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Scheduler
 
 DeliveryCallback = Callable[[Any], None]
 
@@ -35,7 +37,7 @@ class Channel(Entity, abc.ABC):
 
     def __init__(
         self,
-        loop: EventLoop,
+        loop: Scheduler,
         name: str,
         delay_model: DelayModel,
         rng: np.random.Generator,

@@ -8,7 +8,7 @@ arrivals into a receiver callback (normally an online sequencer).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -18,8 +18,10 @@ from repro.network.link import ConstantDelay, DelayModel
 from repro.network.message import Heartbeat, TimestampedMessage
 from repro.obs.telemetry import Telemetry, resolve
 from repro.simulation.entity import Entity
-from repro.simulation.event_loop import EventLoop
 from repro.simulation.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Scheduler
 
 ArrivalCallback = Callable[[Union[TimestampedMessage, Heartbeat], float], None]
 BurstCallback = Callable[[List[Union[TimestampedMessage, Heartbeat]], float], None]
@@ -38,7 +40,7 @@ class SequencerEndpoint(Entity):
     """
 
     def __init__(
-        self, loop: EventLoop, name: str = "sequencer", coalesce_bursts: bool = False
+        self, loop: Scheduler, name: str = "sequencer", coalesce_bursts: bool = False
     ) -> None:
         super().__init__(loop, name)
         self._on_arrival: Optional[ArrivalCallback] = None
@@ -121,7 +123,7 @@ class ClientEndpoint(Entity):
 
     def __init__(
         self,
-        loop: EventLoop,
+        loop: Scheduler,
         client_id: str,
         clock: LocalClock,
         channel: Channel,
@@ -217,7 +219,7 @@ class Transport:
 
     def __init__(
         self,
-        loop: EventLoop,
+        loop: Scheduler,
         rng_factory: Callable[[str], np.random.Generator],
         trace: Optional[TraceRecorder] = None,
         coalesce_bursts: bool = False,

@@ -7,6 +7,13 @@ thread track per client, duration ("X") slices for each stage-to-stage hop
 of every message and instant ("i") events for faults, refreshes and
 dedupe-gate hits.  Timestamps are *simulated* microseconds, so the timeline
 matches the discrete-event schedule rather than host jitter.
+
+With ``wall_tracks=True`` the exporter emits a second family of process
+tracks (named ``wall:...``) whose timestamps come from the wall-clock
+stamps instead — on Linux ``time.perf_counter()`` is CLOCK_MONOTONIC and
+therefore comparable across worker processes, so a real-process backend run
+shows its genuine concurrency on the wall tracks right next to the shared
+sim-time tracks (the instrument for the sim-vs-procs runtime comparison).
 """
 
 from __future__ import annotations
@@ -22,6 +29,8 @@ _CLIENTS_PID = 1
 _MERGE_PID = 2
 _CONTROL_PID = 3
 _SHARD_PID_BASE = 10
+#: pid offset of the wall-clock mirror tracks (``wall_tracks=True``).
+_WALL_PID_OFFSET = 100
 
 #: Stages whose slice belongs on the client track rather than a shard track.
 _CLIENT_STAGES = frozenset({"client_send", "channel_deliver"})
@@ -42,17 +51,26 @@ def _pid_for(stage: str, shard: Optional[int]) -> int:
     return _CONTROL_PID
 
 
-def chrome_trace_events(telemetry: Telemetry) -> List[Dict[str, object]]:
+def chrome_trace_events(
+    telemetry: Telemetry, wall_tracks: bool = False
+) -> List[Dict[str, object]]:
     """Render the recorded telemetry as a list of ``trace_event`` dicts.
 
     Deterministic for a fixed seed: events are derived from the sim-time
     projection only (wall-clock stamps are carried in ``args`` for human
-    inspection but never drive ordering or timestamps).
+    inspection but never drive ordering or timestamps).  ``wall_tracks``
+    adds a mirror set of ``wall:...`` process tracks timed by the wall
+    stamps (rebased to the run's earliest stamp), which *are* host-timing
+    dependent by design — they exist to show the real overlap of a
+    multi-process run against the shared simulated schedule.
     """
     events: List[Dict[str, object]] = []
     pids_seen: Dict[int, str] = {}
     tids_seen: Dict[Tuple[int, int], str] = {}
     client_tids: Dict[str, int] = {}
+    wall_origin = min(
+        (record.wall_time for record in telemetry.stage_records), default=0.0
+    )
 
     def tid_for(client_id: Optional[str]) -> int:
         if client_id is None:
@@ -83,6 +101,12 @@ def chrome_trace_events(telemetry: Telemetry) -> List[Dict[str, object]]:
                 else f"shard-{pid - _SHARD_PID_BASE}"
             )
             note_track(pid, pid_name, tid, client_id)
+            args = {
+                "client": client_id,
+                "sequence": sequence,
+                "shard": shard,
+                "wall_ms": round((later.wall_time - earlier.wall_time) * 1e3, 6),
+            }
             events.append(
                 {
                     "name": later.stage,
@@ -92,14 +116,24 @@ def chrome_trace_events(telemetry: Telemetry) -> List[Dict[str, object]]:
                     "dur": _micros(later.sim_time - earlier.sim_time),
                     "pid": pid,
                     "tid": tid,
-                    "args": {
-                        "client": client_id,
-                        "sequence": sequence,
-                        "shard": shard,
-                        "wall_ms": round((later.wall_time - earlier.wall_time) * 1e3, 6),
-                    },
+                    "args": args,
                 }
             )
+            if wall_tracks:
+                wall_pid = pid + _WALL_PID_OFFSET
+                note_track(wall_pid, f"wall:{pid_name}", tid, client_id)
+                events.append(
+                    {
+                        "name": later.stage,
+                        "cat": "lifecycle-wall",
+                        "ph": "X",
+                        "ts": _micros(earlier.wall_time - wall_origin),
+                        "dur": _micros(max(later.wall_time - earlier.wall_time, 0.0)),
+                        "pid": wall_pid,
+                        "tid": tid,
+                        "args": args,
+                    }
+                )
 
     for record in telemetry.event_records:
         if record.kind == "merge_tree":
@@ -149,9 +183,9 @@ def chrome_trace_events(telemetry: Telemetry) -> List[Dict[str, object]]:
     return metadata + events
 
 
-def write_chrome_trace(telemetry: Telemetry, path: str) -> int:
+def write_chrome_trace(telemetry: Telemetry, path: str, wall_tracks: bool = False) -> int:
     """Write a perfetto-loadable ``trace_event`` JSON file; returns #events."""
-    events = chrome_trace_events(telemetry)
+    events = chrome_trace_events(telemetry, wall_tracks=wall_tracks)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
     return len(events)

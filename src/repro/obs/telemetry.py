@@ -204,6 +204,30 @@ class Telemetry:
         """Attach a snapshot source to the registry (see its docstring)."""
         self.registry.attach(name, source)
 
+    def absorb(
+        self,
+        stages: List[StageRecord] = (),
+        events: List[EventRecord] = (),
+    ) -> None:
+        """Fold externally recorded stage/event records into this hub.
+
+        The cross-process merge path: real-runtime workers collect records
+        into their own :class:`Telemetry` and ship the (picklable)
+        ``StageRecord``/``EventRecord`` lists back with their results; the
+        coordinator absorbs them here so exporters and ``sim_fingerprint()``
+        see one unified stream.  Capacity limits still apply.
+        """
+        for record in stages:
+            if self._stage_capacity is not None and len(self._stages) >= self._stage_capacity:
+                self._dropped_stages += 1
+                continue
+            self._stages.append(StageRecord(*record))
+        for record in events:
+            if self._event_capacity is not None and len(self._events) >= self._event_capacity:
+                self._dropped_events += 1
+                continue
+            self._events.append(EventRecord(*record))
+
     # ------------------------------------------------------------ determinism
     def sim_fingerprint(self) -> Tuple[Tuple[object, ...], ...]:
         """The full recorded stream with wall-clock fields stripped.
@@ -243,6 +267,9 @@ class NullTelemetry:
         """No-op."""
 
     def attach(self, *args: object, **kwargs: object) -> None:
+        """No-op."""
+
+    def absorb(self, *args: object, **kwargs: object) -> None:
         """No-op."""
 
     def sim_fingerprint(self) -> Tuple[Tuple[object, ...], ...]:

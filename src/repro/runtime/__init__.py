@@ -1,0 +1,65 @@
+"""Execution backends behind one runtime seam.
+
+:class:`RuntimeBackend` abstracts *how* a cluster workload executes — clock
+source, scheduling, channel delivery, endpoint lifecycle — so the same
+frozen :class:`ClusterWorkload` runs on
+
+* :class:`~repro.runtime.sim.SimBackend` — the deterministic event-loop
+  substrate (the parity/chaos oracle), and
+* :class:`~repro.runtime.procs.ProcBackend` — one worker process per shard
+  with a coordinator-side streaming merge (throughput scales with cores),
+
+with a bitwise-equal merged order (``RuntimeOutcome.fingerprint()``)
+asserted across backends in ``tests/runtime`` and
+``benchmarks/test_bench_runtime.py``.
+"""
+
+from repro.runtime.base import (
+    RUNTIME_NAMES,
+    ClockHandle,
+    ClusterWorkload,
+    RuntimeBackend,
+    RuntimeOutcome,
+    Scheduler,
+    SchedulerClock,
+    WallClock,
+    clock_of,
+    resolve_backend,
+)
+
+# The concrete backends import cluster/harness modules that themselves type
+# against repro.runtime.base, so they are re-exported lazily (PEP 562) to
+# keep the package importable from either direction.
+_LAZY = {
+    "SimBackend": ("repro.runtime.sim", "SimBackend"),
+    "ProcBackend": ("repro.runtime.procs", "ProcBackend"),
+    "WorkerCrashed": ("repro.runtime.procs", "WorkerCrashed"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+__all__ = [
+    "RUNTIME_NAMES",
+    "ClockHandle",
+    "Scheduler",
+    "SchedulerClock",
+    "WallClock",
+    "clock_of",
+    "ClusterWorkload",
+    "RuntimeBackend",
+    "RuntimeOutcome",
+    "resolve_backend",
+    "SimBackend",
+    "ProcBackend",
+    "WorkerCrashed",
+]

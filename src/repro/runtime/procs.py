@@ -1,0 +1,389 @@
+"""ProcBackend: real worker processes per shard, coordinator-side merge.
+
+The second execution backend: every shard's
+:class:`~repro.core.online.OnlineTommySequencer` runs in its own worker
+process (``multiprocessing`` + a result queue), replaying its slice of the
+workload on a private event loop, while the coordinator process feeds each
+emitted batch into the existing
+:class:`~repro.cluster.merge.StreamingMerger` as it streams back.
+Throughput now scales with cores; the merged order is still *bitwise equal*
+to :class:`~repro.runtime.sim.SimBackend` on the same workload because
+
+* the workload's message timestamps are generated **once** and frozen in
+  the :class:`~repro.runtime.base.ClusterWorkload` — both backends replay
+  identical inputs at identical virtual times through the shared
+  :func:`~repro.cluster.harness.replay_messages` primitive;
+* every worker receives the *global* closing-heartbeat instant/beacon, so
+  each shard closes its completeness horizon exactly where the sim cluster
+  does;
+* per-shard sequencer RNG streams depend only on ``config.seed``, and the
+  shard→client assignment comes from the same sorted
+  :class:`~repro.cluster.router.ShardRouter` construction;
+* the streaming merger's result is invariant to the order batches from
+  *different* shards are observed in (parity-tested since PR 4), so the
+  nondeterministic queue arrival interleaving cannot change the output.
+
+Workers ship their telemetry stage/event records back in their completion
+summary; the coordinator absorbs them into its own hub
+(:meth:`~repro.obs.telemetry.Telemetry.absorb`), so per-stage latency
+tables and perfetto timelines come out directly comparable with the sim
+backend — sim-time tracks line up, wall-time stamps show the real overlap.
+
+Failure model: a worker that dies (non-zero exit, killed, or an exception
+inside the shard loop) surfaces as :class:`WorkerCrashed` naming the
+unfinished shard ids; the coordinator's ``finally`` terminates and joins
+every child, so no orphaned processes outlive a failed run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from queue import Empty
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.harness import replay_messages
+from repro.cluster.merge import CrossShardMerger
+from repro.cluster.tree import MergeTopology
+from repro.core.online import OnlineTommySequencer
+from repro.core.probability import PrecedenceModel
+from repro.network.message import Heartbeat, TimestampedMessage
+from repro.obs.telemetry import Telemetry, resolve
+from repro.runtime.base import (
+    ClockHandle,
+    ClusterWorkload,
+    RuntimeBackend,
+    RuntimeOutcome,
+    WallClock,
+)
+from repro.simulation.event_loop import EventLoop
+
+
+class WorkerCrashed(RuntimeError):
+    """A shard worker died before finishing its shards."""
+
+    def __init__(self, shard_ids: Sequence[int], detail: str = "") -> None:
+        self.shard_ids: Tuple[int, ...] = tuple(sorted(shard_ids))
+        message = f"worker process crashed; unfinished shards: {list(self.shard_ids)}"
+        if detail:
+            message = f"{message}\n{detail}"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to run one shard (picklable)."""
+
+    shard_index: int
+    client_distributions: Dict[str, object]
+    known_clients: Tuple[str, ...]
+    messages: Tuple[TimestampedMessage, ...]
+    config: object
+    delay: float
+    heartbeat_time: Optional[float]
+    heartbeat_timestamp: Optional[float]
+    collect_telemetry: bool
+    name: str
+
+
+class _IntakeStage:
+    """Worker-side shard-intake shim: records the stage the cluster router
+    records on the sim path, then forwards into the shard sequencer — so the
+    per-stage tables stay comparable across backends."""
+
+    def __init__(
+        self,
+        sequencer: OnlineTommySequencer,
+        shard_index: int,
+        telemetry: Optional[Telemetry],
+    ) -> None:
+        self._sequencer = sequencer
+        self._shard_index = shard_index
+        self._obs = resolve(telemetry)
+
+    def receive(
+        self, item: Union[TimestampedMessage, Heartbeat], arrival_time: Optional[float] = None
+    ) -> None:
+        if self._obs.enabled and isinstance(item, TimestampedMessage):
+            self._obs.stage(
+                "shard_intake", item, self._sequencer.now, shard=self._shard_index
+            )
+        self._sequencer.receive(item, arrival_time)
+
+
+def _run_shard(task: ShardTask, queue) -> None:
+    """Replay one shard's slice on a private loop, streaming batches back."""
+    loop = EventLoop()
+    telemetry = Telemetry() if task.collect_telemetry else None
+    sequencer = OnlineTommySequencer(
+        loop,
+        dict(task.client_distributions),
+        config=task.config,
+        known_clients=list(task.known_clients),
+        name=task.name,
+        use_engine=True,
+        telemetry=telemetry,
+        shard_index=task.shard_index,
+    )
+    started = time.perf_counter()
+    sequencer.subscribe_emissions(
+        lambda emitted: queue.put(("batch", task.shard_index, emitted.batch))
+    )
+    replay_messages(
+        loop,
+        _IntakeStage(sequencer, task.shard_index, telemetry),
+        list(task.messages),
+        task.known_clients,
+        delay=task.delay,
+        heartbeat_time=task.heartbeat_time,
+        heartbeat_timestamp=task.heartbeat_timestamp,
+    )
+    loop.run()
+    sequencer.flush()
+    summary = {
+        "message_count": len(task.messages),
+        "batch_count": len(sequencer.emitted_batches),
+        "wall_seconds": time.perf_counter() - started,
+        "loop": loop.stats(),
+        "stages": telemetry.stage_records if telemetry is not None else [],
+        "events": telemetry.event_records if telemetry is not None else [],
+    }
+    queue.put(("done", task.shard_index, summary))
+
+
+def _worker_main(
+    worker_index: int,
+    tasks: Sequence[ShardTask],
+    queue,
+    inject_crash: Optional[int],
+    crash_mode: str,
+) -> None:
+    """Process entry point: run each assigned shard in turn."""
+    for task in tasks:
+        try:
+            if inject_crash is not None and task.shard_index == inject_crash:
+                if crash_mode == "exit":
+                    # hard death (simulates OOM-kill/segfault): no error
+                    # message escapes, the coordinator must notice the corpse
+                    os._exit(3)
+                raise RuntimeError(f"injected failure on shard {task.shard_index}")
+            _run_shard(task, queue)
+        except BaseException:
+            queue.put(("error", task.shard_index, traceback.format_exc()))
+            return
+
+
+class ProcBackend(RuntimeBackend):
+    """Run each shard in its own worker process, merging in the coordinator."""
+
+    name = "procs"
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+        mp_context: str = "fork",
+        poll_timeout: float = 0.1,
+        join_timeout: float = 5.0,
+        inject_crash: Optional[int] = None,
+        crash_mode: str = "exit",
+    ) -> None:
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("num_workers must be positive when given")
+        if crash_mode not in ("exit", "error"):
+            raise ValueError(f"unknown crash_mode {crash_mode!r}")
+        self._num_workers = num_workers
+        self._telemetry = telemetry
+        try:
+            self._ctx = multiprocessing.get_context(mp_context)
+        except ValueError:
+            self._ctx = multiprocessing.get_context()
+        self._poll_timeout = poll_timeout
+        self._join_timeout = join_timeout
+        self._inject_crash = inject_crash
+        self._crash_mode = crash_mode
+        self._clock = WallClock()
+        self._procs: List[multiprocessing.Process] = []
+
+    @property
+    def clock(self) -> ClockHandle:
+        """Wall-clock handle (real processes run in real time)."""
+        return self._clock
+
+    def workers_for(self, num_shards: int) -> int:
+        """Actual worker-process count used for an ``num_shards`` workload."""
+        if self._num_workers is None:
+            return num_shards
+        return min(self._num_workers, num_shards)
+
+    def run(self, workload: ClusterWorkload) -> RuntimeOutcome:
+        """Execute the workload across worker processes and merge live."""
+        num_shards = workload.num_shards
+        router = workload.build_router()
+        per_shard: List[List[TimestampedMessage]] = [[] for _ in range(num_shards)]
+        for message in workload.messages_by_true_time():
+            per_shard[router.shard_of(message.client_id)].append(message)
+        heartbeat = workload.closing_heartbeat()
+        heartbeat_time, heartbeat_timestamp = heartbeat if heartbeat is not None else (None, None)
+
+        tasks = [
+            ShardTask(
+                shard_index=shard,
+                client_distributions={
+                    client: workload.client_distributions[client]
+                    for client in router.clients_of(shard)
+                },
+                known_clients=tuple(router.clients_of(shard)),
+                messages=tuple(per_shard[shard]),
+                config=workload.config,
+                delay=workload.replay_delay,
+                heartbeat_time=heartbeat_time,
+                heartbeat_timestamp=heartbeat_timestamp,
+                collect_telemetry=self._telemetry is not None,
+                name=f"cluster-shard-{shard}",
+            )
+            for shard in range(num_shards)
+        ]
+
+        # the coordinator runs the exact merger recipe the sim cluster builds
+        merge_model = PrecedenceModel(
+            method=workload.config.probability_method,
+            convolution_points=workload.config.convolution_points,
+        )
+        for client_id, distribution in workload.client_distributions.items():
+            merge_model.register_client(client_id, distribution)
+        merger = CrossShardMerger(
+            merge_model,
+            threshold=workload.config.threshold,
+            cycle_policy=workload.config.cycle_policy,
+            seed=workload.config.seed if workload.config.seed is not None else 0,
+            telemetry=self._telemetry,
+        )
+        topology: Optional[MergeTopology] = None
+        if workload.merge_topology != "flat":
+            topology = MergeTopology.build(
+                workload.merge_topology,
+                num_shards,
+                fanout=workload.merge_fanout,
+                region_map=router.region_map(),
+            )
+        streaming = merger.streaming_merger(num_shards=num_shards, topology=topology)
+
+        num_workers = self.workers_for(num_shards)
+        queue = self._ctx.Queue()
+        shards_of: List[List[int]] = [
+            list(range(worker, num_shards, num_workers)) for worker in range(num_workers)
+        ]
+        self._procs = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker,
+                    [tasks[shard] for shard in shards_of[worker]],
+                    queue,
+                    self._inject_crash,
+                    self._crash_mode,
+                ),
+                name=f"repro-shard-worker-{worker}",
+                daemon=True,
+            )
+            for worker in range(num_workers)
+        ]
+        started = time.perf_counter()
+        shard_batches: List[List] = [[] for _ in range(num_shards)]
+        summaries: Dict[int, dict] = {}
+        done: set = set()
+        stalled_polls = 0
+        try:
+            for process in self._procs:
+                process.start()
+            while len(done) < num_shards:
+                try:
+                    kind, shard, payload = queue.get(timeout=self._poll_timeout)
+                except Empty:
+                    stalled_polls = self._check_workers(done, shards_of, stalled_polls)
+                    continue
+                stalled_polls = 0
+                if kind == "batch":
+                    shard_batches[shard].append(payload)
+                    streaming.observe_batch(shard, payload)
+                elif kind == "done":
+                    done.add(shard)
+                    summaries[shard] = payload
+                elif kind == "error":
+                    raise WorkerCrashed([shard], detail=payload)
+            for process in self._procs:
+                process.join(timeout=self._join_timeout)
+        finally:
+            for process in self._procs:
+                if process.is_alive():
+                    process.terminate()
+            for process in self._procs:
+                process.join(timeout=self._join_timeout)
+            self._procs = []
+
+        merge = streaming.result()
+        wall_seconds = time.perf_counter() - started
+        if self._telemetry is not None:
+            for shard in sorted(summaries):
+                self._telemetry.absorb(summaries[shard]["stages"], summaries[shard]["events"])
+        return RuntimeOutcome(
+            backend=self.name,
+            merge=merge,
+            shard_batches=shard_batches,
+            message_count=len(workload.messages),
+            wall_seconds=wall_seconds,
+            num_workers=num_workers,
+            telemetry=self._telemetry,
+            details={
+                "shards_per_worker": [len(shards) for shards in shards_of],
+                "per_shard": {
+                    shard: {
+                        key: summary[key]
+                        for key in ("message_count", "batch_count", "wall_seconds", "loop")
+                    }
+                    for shard, summary in sorted(summaries.items())
+                },
+            },
+        )
+
+    def _check_workers(
+        self, done: set, shards_of: List[List[int]], stalled_polls: int
+    ) -> int:
+        """Raise :class:`WorkerCrashed` when a dead worker left shards behind."""
+        for process, shards in zip(self._procs, shards_of):
+            unfinished = [shard for shard in shards if shard not in done]
+            if not unfinished:
+                continue
+            if not process.is_alive() and process.exitcode not in (0, None):
+                raise WorkerCrashed(
+                    unfinished, detail=f"{process.name} exited with code {process.exitcode}"
+                )
+        if all(not process.is_alive() for process in self._procs):
+            # every worker exited cleanly yet shards are missing: give the
+            # queue a few polls to drain buffered results, then give up
+            stalled_polls += 1
+            if stalled_polls >= 5:
+                unfinished = [
+                    shard
+                    for shards in shards_of
+                    for shard in shards
+                    if shard not in done
+                ]
+                raise WorkerCrashed(unfinished, detail="workers exited without results")
+        return stalled_polls
+
+    def close(self) -> None:
+        """Terminate any worker processes still alive (idempotent)."""
+        for process in self._procs:
+            if process.is_alive():
+                process.terminate()
+        for process in self._procs:
+            process.join(timeout=self._join_timeout)
+        self._procs = []
+
+
+__all__ = ["ProcBackend", "ShardTask", "WorkerCrashed"]

@@ -2,26 +2,32 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.simulation.event_loop import Event, EventLoop
+from repro.simulation.event_loop import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Scheduler
 
 
 class Entity:
-    """A named participant attached to an :class:`~repro.simulation.EventLoop`.
+    """A named participant attached to a scheduler.
 
-    Entities provide convenience wrappers over the loop's scheduling API so
+    Entities provide convenience wrappers over the scheduling API so
     concrete simulated components (clients, sequencers, network links) read
-    naturally: ``self.call_after(0.01, self.on_timeout)``.
+    naturally: ``self.call_after(0.01, self.on_timeout)``.  The attachment
+    point is the :class:`~repro.runtime.base.Scheduler` protocol, not the
+    concrete :class:`~repro.simulation.event_loop.EventLoop` — any backend
+    substrate satisfying the protocol can host an entity.
     """
 
-    def __init__(self, loop: EventLoop, name: str) -> None:
+    def __init__(self, loop: Scheduler, name: str) -> None:
         self._loop = loop
         self._name = str(name)
 
     @property
-    def loop(self) -> EventLoop:
-        """The event loop this entity is attached to."""
+    def loop(self) -> Scheduler:
+        """The scheduler this entity is attached to."""
         return self._loop
 
     @property

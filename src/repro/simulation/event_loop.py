@@ -41,6 +41,23 @@ class Event:
         self.cancelled = True
 
 
+class LoopClock:
+    """Read-only handle onto an :class:`EventLoop`'s simulated time.
+
+    Satisfies the :class:`repro.runtime.base.ClockHandle` protocol, so
+    harness/workload code can read time without holding the loop itself.
+    """
+
+    __slots__ = ("_loop",)
+
+    def __init__(self, loop: "EventLoop") -> None:
+        self._loop = loop
+
+    def now(self) -> float:
+        """Current simulated time of the underlying loop."""
+        return self._loop.now
+
+
 class EventLoop:
     """Priority-queue based discrete-event scheduler.
 
@@ -85,6 +102,14 @@ class EventLoop:
     def now(self) -> float:
         """Current simulation (true) time in seconds."""
         return self._now
+
+    @property
+    def clock(self) -> LoopClock:
+        """Read-only clock handle onto this loop's simulated time (cached)."""
+        handle = self.__dict__.get("_clock")
+        if handle is None:
+            handle = self.__dict__["_clock"] = LoopClock(self)
+        return handle
 
     @property
     def processed_events(self) -> int:

@@ -1,0 +1,77 @@
+"""Exactly-once intake gate: seen-key growth gauge and report warning.
+
+The dedupe set is unbounded by design (a key must be remembered forever to
+stay exactly-once); what the operator gets instead of eviction is
+visibility — a live ``cluster.dedupe_seen_keys`` gauge and a
+``dedupe_growth_warning`` flag in ``observability_report()`` once the set
+passes :attr:`ShardedSequencer.DEDUPE_WARN_THRESHOLD`.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.sharded import ShardedSequencer
+from repro.core.config import TommyConfig
+from repro.distributions.parametric import GaussianDistribution
+from repro.network.message import TimestampedMessage
+from repro.obs.telemetry import Telemetry
+from repro.simulation.event_loop import EventLoop
+
+
+def _cluster(telemetry=None, dedupe=True):
+    distributions = {f"c{i}": GaussianDistribution(0.0, 0.001) for i in range(4)}
+    return ShardedSequencer(
+        EventLoop(),
+        distributions,
+        num_shards=2,
+        config=TommyConfig(seed=3),
+        dedupe_intake=dedupe,
+        telemetry=telemetry,
+    )
+
+
+def _message(client, sequence, t):
+    return TimestampedMessage(
+        client_id=client, timestamp=t, true_time=t, sequence_number=sequence
+    )
+
+
+def test_seen_key_gauge_tracks_set_size():
+    telemetry = Telemetry()
+    cluster = _cluster(telemetry)
+    messages = [_message("c0", i, 0.001 * i) for i in range(5)]
+    for message in messages:
+        cluster.receive(message)
+    # a retransmission (same message key) must not move the gauge
+    cluster.receive(messages[2])
+    gauge = telemetry.registry.gauge("cluster.dedupe_seen_keys")
+    assert gauge.value == 5.0
+    assert cluster.duplicates_suppressed == 1
+
+
+def test_report_exposes_set_size_and_quiet_warning():
+    cluster = _cluster()
+    for i in range(3):
+        cluster.receive(_message("c1", i, 0.001 * i))
+    report = cluster.observability_report()["cluster"]
+    assert report["dedupe_seen_keys"] == 3
+    assert report["dedupe_growth_warning"] is False
+
+
+def test_warning_trips_past_threshold():
+    cluster = _cluster()
+    cluster.DEDUPE_WARN_THRESHOLD = 2  # instance override keeps the test fast
+    for i in range(4):
+        cluster.receive(_message("c2", i, 0.001 * i))
+    report = cluster.observability_report()["cluster"]
+    assert report["dedupe_seen_keys"] == 4
+    assert report["dedupe_growth_warning"] is True
+
+
+def test_no_warning_when_dedupe_disabled():
+    cluster = _cluster(dedupe=False)
+    cluster.DEDUPE_WARN_THRESHOLD = 0
+    for i in range(3):
+        cluster.receive(_message("c3", i, 0.001 * i))
+    report = cluster.observability_report()["cluster"]
+    assert report["dedupe_seen_keys"] == 0
+    assert report["dedupe_growth_warning"] is False

@@ -122,6 +122,18 @@ def test_committed_baselines_accept_a_real_smoke_run(tmp_path):
             ],
             "wall_time": 1.0,
         },
+        {
+            "benchmark": "runtime_procs",
+            "rows": [
+                {
+                    "parity_serial": True,
+                    "parity_wide": True,
+                    "scaling_1_to_n": 0.66,
+                    "procs_x1_msgs_per_s": 1500.0,
+                }
+            ],
+            "wall_time": 1.0,
+        },
     ]
     outcome = run_gate(tmp_path, records)  # default committed baselines.json
     assert outcome.returncode == 0, outcome.stderr + outcome.stdout

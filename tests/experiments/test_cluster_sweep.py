@@ -26,6 +26,8 @@ def test_sweep_rows_have_report_schema():
         "shards",
         "clients",
         "policy",
+        "runtime",
+        "workers",
         "merge_topology",
         "ras",
         "ras_normalized",

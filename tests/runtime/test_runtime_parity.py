@@ -1,0 +1,109 @@
+"""Cross-backend parity: sim and procs must produce one merged order.
+
+The contract this file pins is the PR's acceptance criterion: the same
+frozen workload (message timestamps generated once) run through the
+deterministic sim backend and through real worker processes yields a
+bitwise-equal merged order — per-shard batch streams included — for any
+worker count and merge topology.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.merge import merge_fingerprint
+from repro.core.config import TommyConfig
+from repro.obs.telemetry import Telemetry
+from repro.runtime.base import ClusterWorkload
+from repro.runtime.procs import ProcBackend
+from repro.runtime.sim import SimBackend
+from repro.workloads.cluster import build_cluster_scenario
+
+
+def _workload(num_shards=4, num_clients=8, messages_per_client=4, **kwargs):
+    scenario = build_cluster_scenario(
+        num_clients, messages_per_client=messages_per_client, seed=13
+    )
+    return ClusterWorkload.from_scenario(
+        scenario, num_shards=num_shards, config=TommyConfig(seed=13), **kwargs
+    )
+
+
+def _batch_stream_fingerprint(shard_batches):
+    return [
+        [(batch.rank, tuple(m.key for m in batch.messages)) for batch in stream]
+        for stream in shard_batches
+    ]
+
+
+def test_sim_vs_procs_merged_order_bitwise_equal():
+    workload = _workload(num_shards=4)
+    sim = SimBackend().run(workload)
+    with ProcBackend() as backend:
+        procs = backend.run(workload)
+    assert procs.num_workers == 4
+    assert sim.fingerprint() == procs.fingerprint()
+    # parity holds at per-shard stream granularity too, not just post-merge
+    assert _batch_stream_fingerprint(sim.shard_batches) == _batch_stream_fingerprint(
+        procs.shard_batches
+    )
+
+
+@pytest.mark.parametrize("num_workers", [1, 2, 4])
+def test_worker_count_never_changes_the_order(num_workers):
+    workload = _workload(num_shards=4)
+    sim = SimBackend().run(workload)
+    with ProcBackend(num_workers=num_workers) as backend:
+        procs = backend.run(workload)
+    assert procs.num_workers == num_workers
+    assert sim.fingerprint() == procs.fingerprint()
+
+
+def test_tree_topology_parity_across_backends():
+    workload = _workload(num_shards=4, merge_topology="binary", merge_fanout=2)
+    sim = SimBackend().run(workload)
+    with ProcBackend() as backend:
+        procs = backend.run(workload)
+    assert sim.fingerprint() == procs.fingerprint()
+
+
+def test_procs_matches_offline_oracle_merge():
+    """The streamed coordinator merge equals an offline re-merge of the
+    collected per-shard streams through the cluster's own merger."""
+    from repro.cluster.sharded import ShardedSequencer
+    from repro.simulation.event_loop import EventLoop
+
+    workload = _workload(num_shards=2, num_clients=6, messages_per_client=3)
+    with ProcBackend() as backend:
+        procs = backend.run(workload)
+    cluster = ShardedSequencer(
+        EventLoop(),
+        workload.client_distributions,
+        num_shards=workload.num_shards,
+        config=workload.config,
+        streaming_merge=False,
+    )
+    offline = cluster.merger.merge(procs.shard_batches)
+    assert merge_fingerprint(offline) == procs.fingerprint()
+
+
+def test_single_shard_degenerate_parity():
+    workload = _workload(num_shards=1, num_clients=4, messages_per_client=3)
+    sim = SimBackend().run(workload)
+    with ProcBackend() as backend:
+        procs = backend.run(workload)
+    assert sim.fingerprint() == procs.fingerprint()
+
+
+def test_telemetry_absorbed_from_workers_covers_pipeline_stages():
+    workload = _workload(num_shards=2, num_clients=6, messages_per_client=3)
+    telemetry = Telemetry()
+    with ProcBackend(telemetry=telemetry) as backend:
+        backend.run(workload)
+    stages = {record.stage for record in telemetry.stage_records}
+    # worker-side sequencing stages and coordinator-side merge stages all
+    # land in the one absorbed hub
+    assert {"shard_intake", "engine_append", "batch_emit"} <= stages
+    assert {"merge_observe", "merge_commit"} <= stages
+    shards = {record.shard for record in telemetry.stage_records if record.shard is not None}
+    assert shards == {0, 1}

@@ -1,0 +1,73 @@
+"""ProcBackend lifecycle: worker placement, crash surfacing, cleanup."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.core.config import TommyConfig
+from repro.runtime.base import ClusterWorkload
+from repro.runtime.procs import ProcBackend, WorkerCrashed
+from repro.workloads.cluster import build_cluster_scenario
+
+
+def _workload(num_shards=4, num_clients=8, messages_per_client=3):
+    scenario = build_cluster_scenario(
+        num_clients, messages_per_client=messages_per_client, seed=13
+    )
+    return ClusterWorkload.from_scenario(
+        scenario, num_shards=num_shards, config=TommyConfig(seed=13)
+    )
+
+
+def _no_orphans():
+    for child in mp.active_children():
+        child.join(timeout=2.0)
+    return not mp.active_children()
+
+
+def test_workers_capped_by_shard_count():
+    backend = ProcBackend(num_workers=8)
+    assert backend.workers_for(3) == 3
+    assert ProcBackend(num_workers=2).workers_for(5) == 2
+    assert ProcBackend().workers_for(4) == 4
+
+
+def test_shards_spread_round_robin_over_workers():
+    workload = _workload(num_shards=4)
+    with ProcBackend(num_workers=2) as backend:
+        outcome = backend.run(workload)
+    assert outcome.num_workers == 2
+    assert outcome.details["shards_per_worker"] == [2, 2]
+    assert _no_orphans()
+
+
+def test_worker_hard_exit_raises_with_shard_id():
+    workload = _workload()
+    backend = ProcBackend(inject_crash=2, crash_mode="exit")
+    with pytest.raises(WorkerCrashed) as excinfo:
+        backend.run(workload)
+    assert 2 in excinfo.value.shard_ids
+    assert _no_orphans()
+
+
+def test_worker_exception_raises_with_shard_id_and_traceback():
+    workload = _workload()
+    backend = ProcBackend(inject_crash=1, crash_mode="error")
+    with pytest.raises(WorkerCrashed) as excinfo:
+        backend.run(workload)
+    assert excinfo.value.shard_ids == (1,)
+    assert "injected failure" in str(excinfo.value)
+    assert _no_orphans()
+
+
+def test_per_shard_summaries_reported():
+    workload = _workload(num_shards=2, num_clients=6)
+    with ProcBackend() as backend:
+        outcome = backend.run(workload)
+    per_shard = outcome.details["per_shard"]
+    assert sorted(per_shard) == [0, 1]
+    total = sum(summary["message_count"] for summary in per_shard.values())
+    assert total == len(workload.messages)
+    assert _no_orphans()
