@@ -1,0 +1,99 @@
+"""RECOVERY — restart-with-replay overhead of the procs supervisor.
+
+Runs one frozen seeded cluster workload three ways:
+
+* **sim** — the deterministic oracle (parity reference);
+* **clean** — the procs backend with no fault injected;
+* **crashed** — the same procs run with one worker hard-killed at its first
+  streamed batch (``crash_point="mid"``), recovered by the supervisor's
+  restart-with-replay path.
+
+Asserted:
+
+* **parity** — both procs runs stay bitwise equal to sim, crash or not (the
+  PR's acceptance criterion; always asserted, every environment);
+* **recovery accounting** — the crashed run records exactly one worker
+  restart and recovers the killed shard;
+* **overhead** — ``recovery_efficiency`` (clean wall-clock / crashed
+  wall-clock) is recorded with a deliberately loose floor in
+  ``baselines.json``: the crashed run pays the drain grace, one backoff and
+  a full shard replay, so the ratio sits well below 1, but a collapse of an
+  order of magnitude would flag a supervisor regression (e.g. a stuck drain
+  loop re-entering the backoff path).
+
+``RECOVERY_BENCH_SHARDS`` / ``RECOVERY_BENCH_CLIENTS`` /
+``RECOVERY_BENCH_MESSAGES`` override the workload size (the CI smoke step
+runs 8 clients x 4 messages).
+"""
+
+import os
+
+from _bench_utils import BENCH_SEED, emit
+
+from repro.core.config import TommyConfig
+from repro.runtime.base import ClusterWorkload
+from repro.runtime.procs import ProcBackend, RestartPolicy
+from repro.runtime.sim import SimBackend
+from repro.workloads.cluster import build_cluster_scenario
+
+NUM_SHARDS = int(os.environ.get("RECOVERY_BENCH_SHARDS", "4"))
+NUM_CLIENTS = int(os.environ.get("RECOVERY_BENCH_CLIENTS", "16"))
+MESSAGES_PER_CLIENT = int(os.environ.get("RECOVERY_BENCH_MESSAGES", "12"))
+CRASH_SHARD = 2
+POLICY = RestartPolicy(max_restarts=2, backoff_base=0.01, backoff_cap=0.05)
+
+
+def build_workload():
+    scenario = build_cluster_scenario(
+        NUM_CLIENTS, messages_per_client=MESSAGES_PER_CLIENT, seed=BENCH_SEED
+    )
+    return ClusterWorkload.from_scenario(
+        scenario, num_shards=NUM_SHARDS, config=TommyConfig(seed=BENCH_SEED)
+    )
+
+
+def run_once():
+    workload = build_workload()
+
+    sim = SimBackend().run(workload)
+    with ProcBackend(num_workers=2, poll_timeout=0.05) as clean_backend:
+        clean = clean_backend.run(workload)
+    with ProcBackend(
+        num_workers=2,
+        poll_timeout=0.05,
+        inject_crash=CRASH_SHARD,
+        crash_mode="exit",
+        crash_point="mid",
+        restart_policy=POLICY,
+    ) as crashed_backend:
+        crashed = crashed_backend.run(workload)
+
+    efficiency = clean.wall_seconds / max(crashed.wall_seconds, 1e-9)
+    return {
+        "shards": NUM_SHARDS,
+        "clients": NUM_CLIENTS,
+        "messages": len(workload.messages),
+        "parity_clean": sim.fingerprint() == clean.fingerprint(),
+        "parity_recovered": sim.fingerprint() == crashed.fingerprint(),
+        "worker_restarts": crashed.details["worker_restarts"],
+        "shards_recovered": len(crashed.details["shards_recovered"]),
+        "lost_shards": len(crashed.lost_shards),
+        "clean_wall_s": round(clean.wall_seconds, 3),
+        "crashed_wall_s": round(crashed.wall_seconds, 3),
+        "recovery_efficiency": round(efficiency, 3),
+    }
+
+
+def test_recovery_overhead_and_parity(benchmark):
+    row = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    emit(
+        "Restart-with-replay recovery vs clean run (parity + overhead)",
+        [row],
+        benchmark="recovery",
+        wall_time=None,
+    )
+    assert row["parity_clean"], "clean procs merged order diverged from sim"
+    assert row["parity_recovered"], "recovered procs merged order diverged from sim"
+    assert row["worker_restarts"] == 1
+    assert row["shards_recovered"] >= 1
+    assert row["lost_shards"] == 0

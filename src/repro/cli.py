@@ -124,6 +124,8 @@ def _cluster_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
         merge_fanout=args.fanout,
         runtime=args.runtime,
         num_workers=args.workers,
+        max_restarts=args.max_restarts,
+        on_shard_loss=args.on_shard_loss,
     )
 
 
@@ -181,6 +183,8 @@ def _telemetry_rows(args: argparse.Namespace) -> List[Dict[str, object]]:
         merge_fanout=args.fanout,
         runtime=args.runtime,
         num_workers=args.workers,
+        max_restarts=args.max_restarts,
+        on_shard_loss=args.on_shard_loss,
     )
     if args.trace_out:
         # non-sim runtimes always get the wall-clock mirror tracks: showing
@@ -302,6 +306,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="--runtime procs: cap the worker-process count (default: one per shard)",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        help="--runtime procs: restart budget per worker slot before its shards "
+        "are handled by --on-shard-loss (default: supervisor default, 2; "
+        "0 fails fast on the first death)",
+    )
+    parser.add_argument(
+        "--on-shard-loss",
+        choices=["raise", "exclude"],
+        default="raise",
+        help="--runtime procs: once the restart budget is exhausted, either raise "
+        "WorkerCrashed (default) or finalize the merge over surviving shards and "
+        "record the loss in the run details",
     )
     parser.add_argument(
         "--fault",

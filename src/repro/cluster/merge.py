@@ -906,6 +906,23 @@ class StreamingMerger:
         self._capacity = capacity
 
     # ----------------------------------------------------------------- intake
+    def observation_cursor(self, shard: int) -> int:
+        """Number of batches observed from ``shard`` so far.
+
+        Per-shard emission ranks are consecutive from zero, so this cursor is
+        also the rank of the *next* batch the merger expects from the shard.
+        Recovery coordinators (:class:`~repro.runtime.procs.ProcBackend`) use
+        it as a bounded exactly-once gate: a restarted shard replays its
+        frozen slice from the start, and every re-streamed batch whose rank
+        is below the cursor was already observed and is dropped — one integer
+        per shard instead of a per-batch seen-set.
+        """
+        if shard < 0:
+            raise ValueError(f"shard index must be non-negative, got {shard!r}")
+        if shard < len(self._streams):
+            return len(self._streams[shard])
+        return 0
+
     def observe_batch(self, shard: int, batch: SequencedBatch) -> BatchNode:
         """Append the next emitted batch of ``shard`` and price its pairs."""
         if shard < 0:

@@ -80,10 +80,11 @@ class ShardedSequencer(Entity):
     """A cluster of per-shard online Tommy sequencers with cross-shard merge."""
 
     #: Seen-key count past which :meth:`observability_report` flags the
-    #: exactly-once gate's memory growth.  The set is unbounded by design
-    #: until the delivery-horizon pruning rule lands (ROADMAP durability
-    #: item); the warning makes long-running deployments notice before the
-    #: set becomes a memory problem.  Overridable per instance in tests.
+    #: exactly-once gate's memory growth.  With the delivery-horizon pruning
+    #: rule (the default) the retained set stays bounded by the per-client
+    #: in-flight window, so tripping this warning means pruning is disabled
+    #: (``dedupe_prune_horizon=False``) or traffic carries no usable
+    #: per-client sequence numbers.  Overridable per instance in tests.
     DEDUPE_WARN_THRESHOLD = 1_000_000
 
     def __init__(
@@ -101,6 +102,7 @@ class ShardedSequencer(Entity):
         use_engine: bool = True,
         streaming_merge: bool = True,
         dedupe_intake: bool = False,
+        dedupe_prune_horizon: bool = True,
         telemetry: Optional[Telemetry] = None,
         merge_topology: str = "flat",
         merge_fanout: int = 2,
@@ -189,12 +191,21 @@ class ShardedSequencer(Entity):
         self._distribution_refreshes = 0
         # exactly-once intake: with dedupe enabled, a (client, message) key
         # is accepted at the cluster boundary once; faulty networks that
-        # duplicate deliveries cannot double-sequence a message.  The seen
-        # set grows with the total message count — safe pruning needs a
-        # delivery-horizon bound (a duplicate can arrive after its original
-        # was emitted), which is a ROADMAP follow-up
+        # duplicate deliveries cannot double-sequence a message.  The
+        # delivery-horizon rule keeps the seen set bounded: on ordered
+        # (FIFO per-client) channels, once a delivery with sequence number s
+        # arrives every earlier send of that client has already been
+        # delivered (original and any duplicated copies alike), so keys
+        # below the per-client horizon can never recur and are pruned —
+        # arrivals in the pruned region are rejected as duplicates without
+        # any set memory.  ``dedupe_prune_horizon=False`` keeps the
+        # remember-forever behaviour for unordered transports.
         self._dedupe = bool(dedupe_intake)
+        self._dedupe_prune = bool(dedupe_prune_horizon)
         self._seen_keys: Set[Tuple[str, int]] = set()
+        self._dedupe_horizon: Dict[str, int] = {}
+        self._dedupe_retained: Dict[str, List[Tuple[int, Tuple[str, int]]]] = {}
+        self._dedupe_keys_pruned = 0
         self._duplicates_suppressed = 0
         self._heartbeat_interval = heartbeat_interval
         self._heartbeat_timeout = (
@@ -410,29 +421,83 @@ class ShardedSequencer(Entity):
         """Messages rejected by the exactly-once intake gate so far."""
         return self._duplicates_suppressed
 
+    @property
+    def dedupe_keys_pruned(self) -> int:
+        """Seen keys released by the delivery-horizon pruning rule so far."""
+        return self._dedupe_keys_pruned
+
+    def _note_duplicate(self, item: TimestampedMessage) -> None:
+        self._duplicates_suppressed += 1
+        if self._obs.enabled:
+            self._obs.count("cluster.duplicates_suppressed")
+            self._obs.event(
+                "gate",
+                "duplicate_suppressed",
+                self.now,
+                client_id=item.client_id,
+                sequence=int(item.sequence_number),
+            )
+
+    def _advance_dedupe_horizon(self, client_id: str, sequence: int) -> None:
+        """Raise ``client_id``'s delivery horizon and prune keys below it.
+
+        A key whose sequence number is strictly below the horizon can never
+        be delivered again on an ordered channel, so its set entry is
+        released; later re-deliveries in the pruned region are rejected by
+        the horizon comparison alone.
+        """
+        current = self._dedupe_horizon.get(client_id)
+        if current is not None and sequence <= current:
+            return
+        self._dedupe_horizon[client_id] = sequence
+        retained = self._dedupe_retained.get(client_id)
+        if not retained:
+            return
+        keep = [entry for entry in retained if entry[0] >= sequence]
+        pruned = len(retained) - len(keep)
+        if pruned:
+            for seq, key in retained:
+                if seq < sequence:
+                    self._seen_keys.discard(key)
+            self._dedupe_retained[client_id] = keep
+            self._dedupe_keys_pruned += pruned
+            if self._obs.enabled:
+                self._obs.count("cluster.dedupe_keys_pruned", pruned)
+                self._obs.gauge("cluster.dedupe_seen_keys", len(self._seen_keys))
+
     def _is_duplicate(self, item: Union[TimestampedMessage, Heartbeat]) -> bool:
         """Exactly-once gate at the cluster boundary (messages only).
 
-        Heartbeats are idempotent and pass through.  Internal routing and
+        Heartbeats are idempotent and pass through (but their sequence
+        numbers advance the delivery horizon — a heartbeat clearing sequence
+        s proves every earlier send was delivered).  Internal routing and
         failover replay bypass this gate (:meth:`_route` and friends): a
         replayed pending message was already admitted once and must reach
         its new owner.
         """
-        if not self._dedupe or not isinstance(item, TimestampedMessage):
+        if not self._dedupe:
             return False
+        if isinstance(item, Heartbeat):
+            if self._dedupe_prune and item.sequence_number:
+                self._advance_dedupe_horizon(item.client_id, int(item.sequence_number))
+            return False
+        if not isinstance(item, TimestampedMessage):
+            return False
+        sequence = int(item.sequence_number)
+        horizon = self._dedupe_horizon.get(item.client_id)
+        if self._dedupe_prune and horizon is not None and sequence < horizon:
+            # pruned region: every first delivery below the horizon already
+            # happened (FIFO), so this can only be a re-delivery
+            self._note_duplicate(item)
+            return True
         if item.key in self._seen_keys:
-            self._duplicates_suppressed += 1
-            if self._obs.enabled:
-                self._obs.count("cluster.duplicates_suppressed")
-                self._obs.event(
-                    "gate",
-                    "duplicate_suppressed",
-                    self.now,
-                    client_id=item.client_id,
-                    sequence=int(item.sequence_number),
-                )
+            self._note_duplicate(item)
             return True
         self._seen_keys.add(item.key)
+        if self._dedupe_prune:
+            self._dedupe_retained.setdefault(item.client_id, []).append((sequence, item.key))
+            if horizon is None or sequence > horizon:
+                self._advance_dedupe_horizon(item.client_id, sequence)
         if self._obs.enabled:
             self._obs.gauge("cluster.dedupe_seen_keys", len(self._seen_keys))
         return False
@@ -861,11 +926,15 @@ class ShardedSequencer(Entity):
                 "failovers": len(self._failover_events),
                 "rejoins": len(self._rejoin_events),
                 "duplicates_suppressed": self._duplicates_suppressed,
-                # exactly-once gate memory: the seen-key set grows with total
-                # unique message count and is never pruned (safe pruning needs
-                # the delivery-horizon rule tracked on the ROADMAP), so a
-                # long-running cluster should watch this and the warning flag
+                # exactly-once gate memory: with delivery-horizon pruning
+                # (the default) the retained set is bounded by the per-client
+                # in-flight window; keys below a client's delivered-sequence
+                # horizon are released and re-deliveries in the pruned region
+                # are rejected by the horizon comparison alone.  The warning
+                # flag now only trips when pruning is off or ineffective
+                # (no usable per-client sequence numbers)
                 "dedupe_seen_keys": len(self._seen_keys),
+                "dedupe_keys_pruned": self._dedupe_keys_pruned,
                 "dedupe_growth_warning": (
                     self._dedupe and len(self._seen_keys) > self.DEDUPE_WARN_THRESHOLD
                 ),

@@ -536,6 +536,63 @@ class OnlineTommySequencer(Entity):
         if self._on_emit is not None:
             self._on_emit(emitted)
 
+    # ------------------------------------------------------------- durability
+    def snapshot(self) -> Dict[str, object]:
+        """Picklable checkpoint of the sequencer's live ordering state.
+
+        Captures everything a replacement process needs to continue the
+        emission stream bitwise-identically: the pending set with its arrival
+        times, the per-client completeness horizon, the next emission rank and
+        the RNG state (cycle resolution draws must continue where they left
+        off).  Emitted batches are deliberately *not* captured — the durable
+        history lives downstream in the merged order — so the checkpoint size
+        is bounded by the pending set, not the stream length (ROADMAP
+        durability item).
+        """
+        return {
+            "pending": tuple(self._pending),
+            "arrival_times": dict(self._arrival_times),
+            "latest_client_timestamp": dict(self._latest_client_timestamp),
+            "known_clients": tuple(sorted(self._known_clients)),
+            "unheard_clients": tuple(sorted(self._unheard_clients)),
+            "next_rank": self._next_rank,
+            "extension_count": self._extension_count,
+            "forced_emissions": self._forced_emissions,
+            "distribution_refreshes": self._distribution_refreshes,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Rehydrate a :meth:`snapshot` into this (fresh) sequencer.
+
+        The sequencer must not have received any traffic yet: restore rebuilds
+        the pending set (re-appending it into the incremental engine), the
+        completeness horizon and the RNG stream, then re-arms the emission
+        check so batches continue from the checkpoint's next rank.  Feeding
+        the post-checkpoint arrival stream afterwards reproduces the original
+        run's remaining emissions bitwise (parity-tested in ``tests/core``).
+        """
+        if self._pending or self._emitted or self._latest_client_timestamp:
+            raise ValueError("restore() requires a fresh sequencer with no traffic received")
+        self._rng.bit_generator.state = state["rng_state"]
+        self._known_clients = set(state["known_clients"])
+        self._latest_client_timestamp = dict(state["latest_client_timestamp"])
+        self._unheard_clients = set(state["unheard_clients"])
+        self._floor_value = float("inf")
+        self._floor_client = None
+        self._floor_stale = bool(self._latest_client_timestamp)
+        pending = list(state["pending"])
+        self._pending = pending
+        self._arrival_times = dict(state["arrival_times"])
+        if self._engine is not None and pending:
+            self._engine.add_messages(pending)
+        self._next_rank = int(state["next_rank"])
+        self._extension_count = int(state["extension_count"])
+        self._forced_emissions = int(state["forced_emissions"])
+        self._distribution_refreshes = int(state["distribution_refreshes"])
+        if self._pending:
+            self._schedule_check()
+
     def halt(self) -> None:
         """Stop processing: cancel any scheduled emission check.
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.harness import replay_scenario
 from repro.cluster.merge import MergeOutcome, merge_fingerprint
@@ -51,6 +51,10 @@ class ClusterRunOutcome:
     runtime: str = "sim"
     #: Worker-process count (1 on the sim backend).
     num_workers: int = 1
+    #: Dead workers respawned by the procs supervisor (0 on sim).
+    worker_restarts: int = 0
+    #: Shards dropped after an exhausted restart budget (empty on sim).
+    lost_shards: Tuple[int, ...] = ()
 
     @property
     def per_shard_throughput(self) -> float:
@@ -88,6 +92,8 @@ class ClusterRunOutcome:
                 else None
             ),
             "streaming_parity": self.streaming_parity,
+            "restarts": self.worker_restarts,
+            "lost_shards": list(self.lost_shards),
             "shard_throughput": round(self.per_shard_throughput, 1),
             "total_throughput": round(self.total_throughput, 1),
             "wall_seconds": round(self.run_wall_seconds, 4),
@@ -106,6 +112,8 @@ def run_cluster_scenario(
     merge_fanout: int = 2,
     runtime: str = "sim",
     num_workers: Optional[int] = None,
+    max_restarts: Optional[int] = None,
+    on_shard_loss: str = "raise",
 ) -> ClusterRunOutcome:
     """Replay one multi-region scenario through an N-shard cluster.
 
@@ -123,6 +131,9 @@ def run_cluster_scenario(
     (each shard sequences in its own worker process via
     :class:`~repro.runtime.procs.ProcBackend`; ``num_workers`` caps the
     process count).  Same seed ⇒ bitwise-identical merged order either way.
+    ``max_restarts``/``on_shard_loss`` tune the procs supervisor's
+    :class:`~repro.runtime.procs.RestartPolicy` budget and its degraded mode
+    once that budget is exhausted (ignored on the sim backend).
     """
     placement = build_cluster_scenario(num_clients, num_regions=num_regions, seed=seed)
     scenario = placement.scenario
@@ -141,6 +152,8 @@ def run_cluster_scenario(
             merge_topology=merge_topology,
             merge_fanout=merge_fanout,
             num_workers=num_workers,
+            max_restarts=max_restarts,
+            on_shard_loss=on_shard_loss,
         )
 
     loop = EventLoop()
@@ -200,6 +213,8 @@ def _run_backend_scenario(
     merge_topology: str,
     merge_fanout: int,
     num_workers: Optional[int],
+    max_restarts: Optional[int] = None,
+    on_shard_loss: str = "raise",
 ) -> ClusterRunOutcome:
     """Run one scenario through a non-sim execution backend."""
     workload = ClusterWorkload.from_scenario(
@@ -210,7 +225,15 @@ def _run_backend_scenario(
         merge_topology=merge_topology,
         merge_fanout=merge_fanout,
     )
-    kwargs = {"num_workers": num_workers} if num_workers is not None else {}
+    kwargs: Dict[str, object] = {}
+    if num_workers is not None:
+        kwargs["num_workers"] = num_workers
+    if max_restarts is not None:
+        from repro.runtime.procs import RestartPolicy
+
+        kwargs["restart_policy"] = RestartPolicy(max_restarts=max_restarts)
+    if on_shard_loss != "raise":
+        kwargs["on_shard_loss"] = on_shard_loss
     with resolve_backend(runtime, **kwargs) as backend:
         outcome = backend.run(workload)
     messages = list(workload.messages)
@@ -233,6 +256,8 @@ def _run_backend_scenario(
         merge_topology=merge_topology,
         runtime=runtime,
         num_workers=outcome.num_workers,
+        worker_restarts=int(outcome.details.get("worker_restarts", 0) or 0),
+        lost_shards=outcome.lost_shards,
     )
 
 
@@ -246,6 +271,8 @@ def run_cluster_sweep(
     merge_fanout: int = 2,
     runtime: str = "sim",
     num_workers: Optional[int] = None,
+    max_restarts: Optional[int] = None,
+    on_shard_loss: str = "raise",
 ) -> List[Dict[str, object]]:
     """Sweep shard count × client count and return one row per combination."""
     rows: List[Dict[str, object]] = []
@@ -261,6 +288,8 @@ def run_cluster_sweep(
                 merge_fanout=merge_fanout,
                 runtime=runtime,
                 num_workers=num_workers,
+                max_restarts=max_restarts,
+                on_shard_loss=on_shard_loss,
             )
             rows.append(outcome.as_row())
     return rows

@@ -60,8 +60,18 @@ def run_instrumented_workload(
     merge_fanout: int = 2,
     runtime: str = "sim",
     num_workers: Optional[int] = None,
+    max_restarts: Optional[int] = None,
+    on_shard_loss: str = "raise",
+    inject_crash: Optional[int] = None,
 ) -> InstrumentedRun:
-    """Run the named workload with a fresh :class:`Telemetry` hub injected."""
+    """Run the named workload with a fresh :class:`Telemetry` hub injected.
+
+    ``max_restarts``/``on_shard_loss`` tune the procs supervisor
+    (:class:`~repro.runtime.procs.RestartPolicy` budget and the degraded
+    mode once it is exhausted); ``inject_crash`` kills the worker owning
+    that shard mid-stream so the recovery path shows up in the trace.  All
+    three are procs-only and ignored on the sim runtime.
+    """
     if workload not in WORKLOAD_NAMES:
         raise ValueError(f"unknown workload {workload!r}; expected one of {WORKLOAD_NAMES}")
     telemetry = Telemetry()
@@ -80,7 +90,18 @@ def run_instrumented_workload(
             merge_topology=merge_topology,
             merge_fanout=merge_fanout,
         )
-        kwargs = {"num_workers": num_workers} if num_workers is not None else {}
+        kwargs: dict = {}
+        if num_workers is not None:
+            kwargs["num_workers"] = num_workers
+        if max_restarts is not None:
+            from repro.runtime.procs import RestartPolicy
+
+            kwargs["restart_policy"] = RestartPolicy(max_restarts=max_restarts)
+        if on_shard_loss != "raise":
+            kwargs["on_shard_loss"] = on_shard_loss
+        if inject_crash is not None:
+            kwargs["inject_crash"] = inject_crash
+            kwargs["crash_point"] = "mid"
         with resolve_backend(runtime, telemetry=telemetry, **kwargs) as backend:
             outcome = backend.run(cluster_workload)
         return InstrumentedRun(

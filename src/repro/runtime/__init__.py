@@ -33,7 +33,9 @@ from repro.runtime.base import (
 _LAZY = {
     "SimBackend": ("repro.runtime.sim", "SimBackend"),
     "ProcBackend": ("repro.runtime.procs", "ProcBackend"),
+    "RestartPolicy": ("repro.runtime.procs", "RestartPolicy"),
     "WorkerCrashed": ("repro.runtime.procs", "WorkerCrashed"),
+    "WorkerSupervisor": ("repro.runtime.procs", "WorkerSupervisor"),
 }
 
 
@@ -61,5 +63,7 @@ __all__ = [
     "resolve_backend",
     "SimBackend",
     "ProcBackend",
+    "RestartPolicy",
     "WorkerCrashed",
+    "WorkerSupervisor",
 ]

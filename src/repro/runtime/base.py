@@ -269,6 +269,16 @@ class RuntimeOutcome:
             return 0.0
         return self.message_count / self.wall_seconds
 
+    @property
+    def lost_shards(self) -> Tuple[int, ...]:
+        """Shards excluded from the merge after an exhausted restart budget.
+
+        Empty for every backend/run that completed all shards; populated by
+        :class:`~repro.runtime.procs.ProcBackend` under
+        ``on_shard_loss="exclude"``.
+        """
+        return tuple(self.details.get("lost_shards", ()) or ())
+
 
 class RuntimeBackend:
     """Base class for execution backends.

@@ -23,16 +23,24 @@ to :class:`~repro.runtime.sim.SimBackend` on the same workload because
   *different* shards are observed in (parity-tested since PR 4), so the
   nondeterministic queue arrival interleaving cannot change the output.
 
-Workers ship their telemetry stage/event records back in their completion
-summary; the coordinator absorbs them into its own hub
-(:meth:`~repro.obs.telemetry.Telemetry.absorb`), so per-stage latency
-tables and perfetto timelines come out directly comparable with the sim
-backend — sim-time tracks line up, wall-time stamps show the real overlap.
-
-Failure model: a worker that dies (non-zero exit, killed, or an exception
-inside the shard loop) surfaces as :class:`WorkerCrashed` naming the
-unfinished shard ids; the coordinator's ``finally`` terminates and joins
-every child, so no orphaned processes outlive a failed run.
+Failure model (the supervision layer): a :class:`WorkerSupervisor` tracks
+per-worker liveness and per-shard progress.  Any worker that dies while its
+shards are unfinished — hard kill, exception, *or* a clean exit that left
+work behind — is respawned with the unfinished shards' frozen
+:class:`ShardTask`\\ s under a bounded-restart exponential-backoff
+:class:`RestartPolicy`.  Recovery preserves the parity oracle: the frozen
+task is deterministic, so the replacement re-emits the exact same batch
+stream, and the coordinator's per-shard ``(shard, batch_index)`` gate (the
+:meth:`~repro.cluster.merge.StreamingMerger.observation_cursor` high-water
+mark) drops the already-observed prefix so ``observe_batch`` sees every
+batch exactly once — the same bounded exactly-once discipline as
+:class:`~repro.cluster.sharded.ShardedSequencer`'s pruned intake gate.  An
+exhausted restart budget degrades per ``on_shard_loss``: ``"raise"``
+surfaces the historical :class:`WorkerCrashed`, ``"exclude"`` finalizes the
+merge over the surviving streams and records the loss in
+``RuntimeOutcome.details["lost_shards"]``.  Either way the coordinator's
+``finally`` terminates and joins every child and drains/closes the result
+queue, so no orphaned processes or stuck feeder threads outlive a run.
 """
 
 from __future__ import annotations
@@ -43,10 +51,10 @@ import time
 import traceback
 from dataclasses import dataclass
 from queue import Empty
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.cluster.harness import replay_messages
-from repro.cluster.merge import CrossShardMerger
+from repro.cluster.merge import CrossShardMerger, StreamingMerger
 from repro.cluster.tree import MergeTopology
 from repro.core.online import OnlineTommySequencer
 from repro.core.probability import PrecedenceModel
@@ -61,6 +69,20 @@ from repro.runtime.base import (
 )
 from repro.simulation.event_loop import EventLoop
 
+#: Crash-injection modes: ``exit`` (hard non-zero death, models OOM-kill /
+#: segfault), ``error`` (exception inside the shard loop, shipped back as a
+#: traceback), ``clean`` (exit code 0 with unfinished shards — the silent
+#: failure mode the supervisor's liveness rule exists for).
+CRASH_MODES: Tuple[str, ...] = ("exit", "error", "clean")
+
+#: Crash-injection points: ``start`` (before the shard replays anything),
+#: ``mid`` (right after the first batch streamed back — mid-recovery state),
+#: ``end`` (after the final flush, before the completion summary).
+CRASH_POINTS: Tuple[str, ...] = ("start", "mid", "end")
+
+#: Shard-loss modes once the restart budget is exhausted.
+SHARD_LOSS_MODES: Tuple[str, ...] = ("raise", "exclude")
+
 
 class WorkerCrashed(RuntimeError):
     """A shard worker died before finishing its shards."""
@@ -71,6 +93,34 @@ class WorkerCrashed(RuntimeError):
         if detail:
             message = f"{message}\n{detail}"
         super().__init__(message)
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Bounded-restart, exponential-backoff policy for dead workers.
+
+    A replacement for a dead worker is spawned after
+    ``min(backoff_base * 2**restarts_used, backoff_cap)`` seconds; after
+    ``max_restarts`` replacements of the same worker slot the slot's
+    unfinished shards are handled per the backend's ``on_shard_loss`` mode.
+    ``max_restarts=0`` restores the PR 8 fail-fast behaviour.
+    """
+
+    max_restarts: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be non-negative, got {self.max_restarts!r}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be non-negative")
+
+    def backoff_for(self, restarts_used: int) -> float:
+        """Backoff delay (seconds) before restart number ``restarts_used + 1``."""
+        if self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_base * (2.0 ** restarts_used), self.backoff_cap)
 
 
 @dataclass(frozen=True)
@@ -114,7 +164,25 @@ class _IntakeStage:
         self._sequencer.receive(item, arrival_time)
 
 
-def _run_shard(task: ShardTask, queue) -> None:
+#: Crash injection spec shipped to first-incarnation workers only:
+#: ``(shard_index, mode, point)``.  Replacements never receive one — a
+#: respawned worker must be able to finish the replayed shard.
+_CrashSpec = Optional[Tuple[int, str, str]]
+
+
+def _injected_crash(mode: str, shard: int) -> None:
+    if mode == "exit":
+        # hard death (simulates OOM-kill/segfault): no error message
+        # escapes, the coordinator must notice the corpse
+        os._exit(3)
+    if mode == "clean":
+        # exit code 0 with the shard unfinished: the silent failure the
+        # per-process exitcode check used to skip (coordinator hang)
+        os._exit(0)
+    raise RuntimeError(f"injected failure on shard {shard}")
+
+
+def _run_shard(task: ShardTask, queue, crash: _CrashSpec = None) -> None:
     """Replay one shard's slice on a private loop, streaming batches back."""
     loop = EventLoop()
     telemetry = Telemetry() if task.collect_telemetry else None
@@ -129,9 +197,16 @@ def _run_shard(task: ShardTask, queue) -> None:
         shard_index=task.shard_index,
     )
     started = time.perf_counter()
-    sequencer.subscribe_emissions(
-        lambda emitted: queue.put(("batch", task.shard_index, emitted.batch))
-    )
+    streamed = 0
+
+    def on_emit(emitted) -> None:
+        nonlocal streamed
+        queue.put(("batch", task.shard_index, emitted.batch))
+        streamed += 1
+        if crash is not None and crash[2] == "mid" and streamed == 1:
+            _injected_crash(crash[1], task.shard_index)
+
+    sequencer.subscribe_emissions(on_emit)
     replay_messages(
         loop,
         _IntakeStage(sequencer, task.shard_index, telemetry),
@@ -143,6 +218,8 @@ def _run_shard(task: ShardTask, queue) -> None:
     )
     loop.run()
     sequencer.flush()
+    if crash is not None and crash[2] == "end":
+        _injected_crash(crash[1], task.shard_index)
     summary = {
         "message_count": len(task.messages),
         "batch_count": len(sequencer.emitted_batches),
@@ -158,22 +235,231 @@ def _worker_main(
     worker_index: int,
     tasks: Sequence[ShardTask],
     queue,
-    inject_crash: Optional[int],
-    crash_mode: str,
+    crash_spec: _CrashSpec,
 ) -> None:
     """Process entry point: run each assigned shard in turn."""
     for task in tasks:
         try:
-            if inject_crash is not None and task.shard_index == inject_crash:
-                if crash_mode == "exit":
-                    # hard death (simulates OOM-kill/segfault): no error
-                    # message escapes, the coordinator must notice the corpse
-                    os._exit(3)
-                raise RuntimeError(f"injected failure on shard {task.shard_index}")
-            _run_shard(task, queue)
+            crash = (
+                crash_spec
+                if crash_spec is not None and crash_spec[0] == task.shard_index
+                else None
+            )
+            if crash is not None and crash[2] == "start":
+                _injected_crash(crash[1], task.shard_index)
+            _run_shard(task, queue, crash=crash)
         except BaseException:
             queue.put(("error", task.shard_index, traceback.format_exc()))
             return
+
+
+@dataclass
+class _WorkerSlot:
+    """Supervision state for one worker slot (stable across incarnations)."""
+
+    index: int
+    shards: List[int]
+    process: Optional[multiprocessing.process.BaseProcess] = None
+    incarnation: int = 0
+    restarts_used: int = 0
+    drain_polls: int = 0
+    #: monotonic deadline of a scheduled respawn (``None`` = not backing off)
+    respawn_at: Optional[float] = None
+    #: last incarnation whose death has already been handled
+    handled_incarnation: int = -1
+    lost: bool = False
+
+
+class WorkerSupervisor:
+    """Tracks per-worker liveness/progress and orchestrates restart-with-replay.
+
+    Owned by :meth:`ProcBackend.run` and ticked from the coordinator's poll
+    loop (single-threaded — no locks).  On worker death with unfinished
+    shards it schedules a backoff, respawns a replacement carrying only the
+    unfinished shards' frozen tasks (never the crash-injection spec), and —
+    once the :class:`RestartPolicy` budget is spent — either raises
+    :class:`WorkerCrashed` or excludes the shards from the run per
+    ``on_shard_loss``.  Death detection deliberately ignores the exit code:
+    any dead worker with unfinished shards is treated as crashed after a
+    short drain grace (``drain_grace`` consecutive empty polls, which also
+    guarantees the dead incarnation's buffered queue items were consumed
+    before the verdict).
+    """
+
+    def __init__(
+        self,
+        ctx,
+        queue,
+        tasks: Sequence[ShardTask],
+        shards_of: Sequence[Sequence[int]],
+        done: Set[int],
+        policy: RestartPolicy,
+        on_shard_loss: str,
+        crash_spec: _CrashSpec,
+        telemetry: Optional[Telemetry],
+        processes: List,
+        drain_grace: int = 3,
+    ) -> None:
+        self._ctx = ctx
+        self._queue = queue
+        self._tasks = tasks
+        self._done = done
+        self._policy = policy
+        self._on_shard_loss = on_shard_loss
+        self._crash_spec = crash_spec
+        self._obs = resolve(telemetry)
+        self._processes = processes
+        self._drain_grace = max(int(drain_grace), 1)
+        self._started_at = time.perf_counter()
+        self._slots = [
+            _WorkerSlot(index=index, shards=list(shards))
+            for index, shards in enumerate(shards_of)
+        ]
+        self._slot_of_shard: Dict[int, _WorkerSlot] = {
+            shard: slot for slot in self._slots for shard in slot.shards
+        }
+        self.worker_restarts = 0
+        self.lost_shards: Set[int] = set()
+        self.recovering_shards: Set[int] = set()
+        self.shards_recovered: Set[int] = set()
+
+    # --------------------------------------------------------------- telemetry
+    def _event(self, name: str, **details: object) -> None:
+        if self._obs.enabled:
+            self._obs.event(
+                "runtime", name, time.perf_counter() - self._started_at, **details
+            )
+
+    # ---------------------------------------------------------------- spawning
+    def start(self) -> None:
+        """Spawn every worker slot's first incarnation."""
+        for slot in self._slots:
+            self._spawn(slot, slot.shards, self._crash_spec)
+            self._event("worker_spawn", worker=slot.index, shards=list(slot.shards))
+
+    def _spawn(self, slot: _WorkerSlot, shard_ids: Sequence[int], crash_spec: _CrashSpec) -> None:
+        suffix = f"-r{slot.incarnation}" if slot.incarnation else ""
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                slot.index,
+                [self._tasks[shard] for shard in shard_ids],
+                self._queue,
+                crash_spec,
+            ),
+            name=f"repro-shard-worker-{slot.index}{suffix}",
+            daemon=True,
+        )
+        process.start()
+        self._processes.append(process)
+        slot.process = process
+        slot.drain_polls = 0
+        slot.respawn_at = None
+
+    # -------------------------------------------------------------- liveness
+    def _unfinished(self, slot: _WorkerSlot) -> List[int]:
+        return [shard for shard in slot.shards if shard not in self._done]
+
+    def note_queue_activity(self) -> None:
+        """A queue item arrived: restart every slot's drain-grace countdown.
+
+        The item could have come from a dead incarnation's buffer, so a
+        death verdict must wait for a fresh run of consecutive empty polls.
+        """
+        for slot in self._slots:
+            slot.drain_polls = 0
+
+    def note_shard_done(self, shard: int) -> None:
+        """Completion bookkeeping for a shard (first ``done`` only)."""
+        if shard in self.recovering_shards and shard not in self.shards_recovered:
+            self.shards_recovered.add(shard)
+            if self._obs.enabled:
+                self._obs.count("runtime.shards_recovered")
+
+    def on_error(self, shard: int, detail: str) -> None:
+        """A worker shipped a traceback for ``shard`` and is exiting."""
+        slot = self._slot_of_shard[shard]
+        self._handle_death(slot, detail)
+
+    def tick(self) -> None:
+        """Empty-poll heartbeat: detect corpses after the drain grace."""
+        for slot in self._slots:
+            if slot.lost or slot.respawn_at is not None:
+                continue
+            if slot.handled_incarnation >= slot.incarnation:
+                continue
+            process = slot.process
+            if process is None or process.is_alive():
+                slot.drain_polls = 0
+                continue
+            if not self._unfinished(slot):
+                continue
+            slot.drain_polls += 1
+            if slot.drain_polls >= self._drain_grace:
+                self._handle_death(
+                    slot, detail=f"{process.name} exited with code {process.exitcode}"
+                )
+
+    def pump(self) -> None:
+        """Spawn any replacement whose backoff deadline has passed."""
+        now = time.monotonic()
+        for slot in self._slots:
+            if slot.respawn_at is None or now < slot.respawn_at:
+                continue
+            unfinished = self._unfinished(slot)
+            if not unfinished:
+                # the missing results surfaced while we were backing off
+                slot.respawn_at = None
+                continue
+            slot.incarnation += 1
+            slot.restarts_used += 1
+            self.worker_restarts += 1
+            self.recovering_shards.update(unfinished)
+            self._spawn(slot, unfinished, crash_spec=None)
+            self._event(
+                "worker_restart",
+                worker=slot.index,
+                shards=unfinished,
+                incarnation=slot.incarnation,
+            )
+            if self._obs.enabled:
+                self._obs.count("runtime.worker_restarts")
+
+    def _handle_death(self, slot: _WorkerSlot, detail: str) -> None:
+        if slot.lost or slot.handled_incarnation >= slot.incarnation:
+            return
+        slot.handled_incarnation = slot.incarnation
+        unfinished = self._unfinished(slot)
+        if not unfinished:
+            return
+        exitcode = slot.process.exitcode if slot.process is not None else None
+        self._event(
+            "worker_death",
+            worker=slot.index,
+            shards=unfinished,
+            exitcode=exitcode,
+            incarnation=slot.incarnation,
+        )
+        if slot.restarts_used < self._policy.max_restarts:
+            delay = self._policy.backoff_for(slot.restarts_used)
+            slot.respawn_at = time.monotonic() + delay
+            self._event(
+                "worker_backoff",
+                worker=slot.index,
+                delay=delay,
+                restarts_used=slot.restarts_used,
+            )
+            return
+        if self._on_shard_loss == "raise":
+            raise WorkerCrashed(unfinished, detail=detail)
+        # exclude: the run degrades instead of aborting — the lost shards'
+        # already-observed batches stay in the merge (mirroring the sim
+        # cluster's failover semantics, where pre-crash emissions remain
+        # part of the history) and the loss is reported in the outcome
+        slot.lost = True
+        self.lost_shards.update(unfinished)
+        self._done.update(unfinished)
+        self._event("shard_loss", worker=slot.index, shards=unfinished)
 
 
 class ProcBackend(RuntimeBackend):
@@ -190,13 +476,25 @@ class ProcBackend(RuntimeBackend):
         join_timeout: float = 5.0,
         inject_crash: Optional[int] = None,
         crash_mode: str = "exit",
+        crash_point: str = "start",
+        restart_policy: Optional[RestartPolicy] = None,
+        on_shard_loss: str = "raise",
     ) -> None:
         if num_workers is not None and num_workers < 1:
             raise ValueError("num_workers must be positive when given")
-        if crash_mode not in ("exit", "error"):
-            raise ValueError(f"unknown crash_mode {crash_mode!r}")
+        if crash_mode not in CRASH_MODES:
+            raise ValueError(f"unknown crash_mode {crash_mode!r}; expected one of {CRASH_MODES}")
+        if crash_point not in CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash_point {crash_point!r}; expected one of {CRASH_POINTS}"
+            )
+        if on_shard_loss not in SHARD_LOSS_MODES:
+            raise ValueError(
+                f"unknown on_shard_loss {on_shard_loss!r}; expected one of {SHARD_LOSS_MODES}"
+            )
         self._num_workers = num_workers
         self._telemetry = telemetry
+        self._obs = resolve(telemetry)
         try:
             self._ctx = multiprocessing.get_context(mp_context)
         except ValueError:
@@ -205,13 +503,22 @@ class ProcBackend(RuntimeBackend):
         self._join_timeout = join_timeout
         self._inject_crash = inject_crash
         self._crash_mode = crash_mode
+        self._crash_point = crash_point
+        self._restart_policy = restart_policy if restart_policy is not None else RestartPolicy()
+        self._on_shard_loss = on_shard_loss
         self._clock = WallClock()
-        self._procs: List[multiprocessing.Process] = []
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._queue = None
 
     @property
     def clock(self) -> ClockHandle:
         """Wall-clock handle (real processes run in real time)."""
         return self._clock
+
+    @property
+    def restart_policy(self) -> RestartPolicy:
+        """The supervision policy applied to dead workers."""
+        return self._restart_policy
 
     def workers_for(self, num_shards: int) -> int:
         """Actual worker-process count used for an ``num_shards`` workload."""
@@ -219,17 +526,13 @@ class ProcBackend(RuntimeBackend):
             return num_shards
         return min(self._num_workers, num_shards)
 
-    def run(self, workload: ClusterWorkload) -> RuntimeOutcome:
-        """Execute the workload across worker processes and merge live."""
-        num_shards = workload.num_shards
-        router = workload.build_router()
-        per_shard: List[List[TimestampedMessage]] = [[] for _ in range(num_shards)]
+    def _build_tasks(self, workload: ClusterWorkload, router) -> List[ShardTask]:
+        per_shard: List[List[TimestampedMessage]] = [[] for _ in range(workload.num_shards)]
         for message in workload.messages_by_true_time():
             per_shard[router.shard_of(message.client_id)].append(message)
         heartbeat = workload.closing_heartbeat()
         heartbeat_time, heartbeat_timestamp = heartbeat if heartbeat is not None else (None, None)
-
-        tasks = [
+        return [
             ShardTask(
                 shard_index=shard,
                 client_distributions={
@@ -245,9 +548,10 @@ class ProcBackend(RuntimeBackend):
                 collect_telemetry=self._telemetry is not None,
                 name=f"cluster-shard-{shard}",
             )
-            for shard in range(num_shards)
+            for shard in range(workload.num_shards)
         ]
 
+    def _build_streaming(self, workload: ClusterWorkload, router) -> StreamingMerger:
         # the coordinator runs the exact merger recipe the sim cluster builds
         merge_model = PrecedenceModel(
             method=workload.config.probability_method,
@@ -266,64 +570,92 @@ class ProcBackend(RuntimeBackend):
         if workload.merge_topology != "flat":
             topology = MergeTopology.build(
                 workload.merge_topology,
-                num_shards,
+                workload.num_shards,
                 fanout=workload.merge_fanout,
                 region_map=router.region_map(),
             )
-        streaming = merger.streaming_merger(num_shards=num_shards, topology=topology)
+        return merger.streaming_merger(num_shards=workload.num_shards, topology=topology)
+
+    def run(self, workload: ClusterWorkload) -> RuntimeOutcome:
+        """Execute the workload across worker processes and merge live."""
+        num_shards = workload.num_shards
+        router = workload.build_router()
+        tasks = self._build_tasks(workload, router)
+        streaming = self._build_streaming(workload, router)
 
         num_workers = self.workers_for(num_shards)
         queue = self._ctx.Queue()
+        self._queue = queue
         shards_of: List[List[int]] = [
             list(range(worker, num_shards, num_workers)) for worker in range(num_workers)
         ]
-        self._procs = [
-            self._ctx.Process(
-                target=_worker_main,
-                args=(
-                    worker,
-                    [tasks[shard] for shard in shards_of[worker]],
-                    queue,
-                    self._inject_crash,
-                    self._crash_mode,
-                ),
-                name=f"repro-shard-worker-{worker}",
-                daemon=True,
-            )
-            for worker in range(num_workers)
-        ]
+        crash_spec: _CrashSpec = (
+            (self._inject_crash, self._crash_mode, self._crash_point)
+            if self._inject_crash is not None
+            else None
+        )
+        done: Set[int] = set()
+        supervisor = WorkerSupervisor(
+            self._ctx,
+            queue,
+            tasks,
+            shards_of,
+            done,
+            policy=self._restart_policy,
+            on_shard_loss=self._on_shard_loss,
+            crash_spec=crash_spec,
+            telemetry=self._telemetry,
+            processes=self._procs,
+        )
         started = time.perf_counter()
         shard_batches: List[List] = [[] for _ in range(num_shards)]
         summaries: Dict[int, dict] = {}
-        done: set = set()
-        stalled_polls = 0
+        replayed_deduped = 0
         try:
-            for process in self._procs:
-                process.start()
+            supervisor.start()
             while len(done) < num_shards:
+                supervisor.pump()
                 try:
                     kind, shard, payload = queue.get(timeout=self._poll_timeout)
                 except Empty:
-                    stalled_polls = self._check_workers(done, shards_of, stalled_polls)
+                    supervisor.tick()
                     continue
-                stalled_polls = 0
+                supervisor.note_queue_activity()
                 if kind == "batch":
+                    if shard in done:
+                        # late buffered emission of a finished or lost shard
+                        replayed_deduped += 1
+                        continue
+                    expected = streaming.observation_cursor(shard)
+                    if payload.rank < expected:
+                        # a restarted shard replaying its already-observed
+                        # prefix (or the dead incarnation's late buffer):
+                        # deterministic replay makes it byte-identical to
+                        # what the merger already holds — drop it
+                        replayed_deduped += 1
+                        continue
+                    if payload.rank > expected:
+                        raise WorkerCrashed(
+                            [shard],
+                            detail=(
+                                f"shard {shard} streamed batch rank {payload.rank} "
+                                f"but the merger expected rank {expected}"
+                            ),
+                        )
                     shard_batches[shard].append(payload)
                     streaming.observe_batch(shard, payload)
                 elif kind == "done":
+                    if shard in done:
+                        continue
                     done.add(shard)
                     summaries[shard] = payload
+                    supervisor.note_shard_done(shard)
                 elif kind == "error":
-                    raise WorkerCrashed([shard], detail=payload)
+                    supervisor.on_error(shard, payload)
             for process in self._procs:
                 process.join(timeout=self._join_timeout)
         finally:
-            for process in self._procs:
-                if process.is_alive():
-                    process.terminate()
-            for process in self._procs:
-                process.join(timeout=self._join_timeout)
-            self._procs = []
+            self._cleanup()
 
         merge = streaming.result()
         wall_seconds = time.perf_counter() - started
@@ -340,6 +672,10 @@ class ProcBackend(RuntimeBackend):
             telemetry=self._telemetry,
             details={
                 "shards_per_worker": [len(shards) for shards in shards_of],
+                "worker_restarts": supervisor.worker_restarts,
+                "shards_recovered": sorted(supervisor.shards_recovered),
+                "lost_shards": sorted(supervisor.lost_shards),
+                "replayed_batches_deduped": replayed_deduped,
                 "per_shard": {
                     shard: {
                         key: summary[key]
@@ -350,40 +686,48 @@ class ProcBackend(RuntimeBackend):
             },
         )
 
-    def _check_workers(
-        self, done: set, shards_of: List[List[int]], stalled_polls: int
-    ) -> int:
-        """Raise :class:`WorkerCrashed` when a dead worker left shards behind."""
-        for process, shards in zip(self._procs, shards_of):
-            unfinished = [shard for shard in shards if shard not in done]
-            if not unfinished:
-                continue
-            if not process.is_alive() and process.exitcode not in (0, None):
-                raise WorkerCrashed(
-                    unfinished, detail=f"{process.name} exited with code {process.exitcode}"
-                )
-        if all(not process.is_alive() for process in self._procs):
-            # every worker exited cleanly yet shards are missing: give the
-            # queue a few polls to drain buffered results, then give up
-            stalled_polls += 1
-            if stalled_polls >= 5:
-                unfinished = [
-                    shard
-                    for shards in shards_of
-                    for shard in shards
-                    if shard not in done
-                ]
-                raise WorkerCrashed(unfinished, detail="workers exited without results")
-        return stalled_polls
+    def _cleanup(self) -> None:
+        """Tear down workers and the result queue (idempotent).
 
-    def close(self) -> None:
-        """Terminate any worker processes still alive (idempotent)."""
+        Only processes that were actually started live in ``self._procs``,
+        so a partially started pool tears down safely.  The queue is drained
+        before the joins (a child blocked on a full pipe must be released)
+        and then closed with ``cancel_join_thread`` so a terminated run can
+        never deadlock on the queue's feeder thread.
+        """
         for process in self._procs:
             if process.is_alive():
                 process.terminate()
+        queue = self._queue
+        if queue is not None:
+            try:
+                while True:
+                    queue.get_nowait()
+            except (Empty, OSError, ValueError):
+                pass
         for process in self._procs:
             process.join(timeout=self._join_timeout)
         self._procs = []
+        if queue is not None:
+            self._queue = None
+            try:
+                queue.close()
+                queue.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
+
+    def close(self) -> None:
+        """Terminate any worker processes still alive (idempotent)."""
+        self._cleanup()
 
 
-__all__ = ["ProcBackend", "ShardTask", "WorkerCrashed"]
+__all__ = [
+    "CRASH_MODES",
+    "CRASH_POINTS",
+    "SHARD_LOSS_MODES",
+    "ProcBackend",
+    "RestartPolicy",
+    "ShardTask",
+    "WorkerCrashed",
+    "WorkerSupervisor",
+]

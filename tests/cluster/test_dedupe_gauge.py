@@ -1,23 +1,30 @@
-"""Exactly-once intake gate: seen-key growth gauge and report warning.
+"""Exactly-once intake gate: bounded seen keys via delivery-horizon pruning.
 
-The dedupe set is unbounded by design (a key must be remembered forever to
-stay exactly-once); what the operator gets instead of eviction is
-visibility — a live ``cluster.dedupe_seen_keys`` gauge and a
-``dedupe_growth_warning`` flag in ``observability_report()`` once the set
-passes :attr:`ShardedSequencer.DEDUPE_WARN_THRESHOLD`.
+Since PR 9 the dedupe set is no longer remember-forever: on ordered (FIFO
+per-client) channels, admitting sequence ``s`` from a client proves every
+earlier send — originals *and* duplicate copies — was already delivered, so
+keys strictly below that horizon are released and later re-deliveries in the
+pruned region are rejected by the horizon comparison alone.  The gauge and
+``observability_report()`` now expose both the live set size and the pruned
+count; the ``dedupe_growth_warning`` only trips when pruning is disabled or
+ineffective (all-zero sequence numbers degrade to the historical
+remember-forever behaviour).
 """
 
 from __future__ import annotations
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.cluster.sharded import ShardedSequencer
 from repro.core.config import TommyConfig
 from repro.distributions.parametric import GaussianDistribution
-from repro.network.message import TimestampedMessage
+from repro.network.message import Heartbeat, TimestampedMessage
 from repro.obs.telemetry import Telemetry
 from repro.simulation.event_loop import EventLoop
 
 
-def _cluster(telemetry=None, dedupe=True):
+def _cluster(telemetry=None, dedupe=True, prune=True):
     distributions = {f"c{i}": GaussianDistribution(0.0, 0.001) for i in range(4)}
     return ShardedSequencer(
         EventLoop(),
@@ -25,6 +32,7 @@ def _cluster(telemetry=None, dedupe=True):
         num_shards=2,
         config=TommyConfig(seed=3),
         dedupe_intake=dedupe,
+        dedupe_prune_horizon=prune,
         telemetry=telemetry,
     )
 
@@ -35,33 +43,83 @@ def _message(client, sequence, t):
     )
 
 
-def test_seen_key_gauge_tracks_set_size():
+def test_seen_key_gauge_stays_bounded_under_pruning():
     telemetry = Telemetry()
     cluster = _cluster(telemetry)
+    messages = [_message("c0", i + 1, 0.001 * i) for i in range(5)]
+    for message in messages:
+        cluster.receive(message)
+    # each admission raises the horizon and releases the strictly older keys
+    gauge = telemetry.registry.gauge("cluster.dedupe_seen_keys")
+    assert gauge.value == 1.0
+    assert cluster.dedupe_keys_pruned == 4
+    # a retransmission below the horizon is rejected without set memory
+    cluster.receive(messages[2])
+    assert cluster.duplicates_suppressed == 1
+    # ... and one at the horizon is rejected by the retained entry
+    cluster.receive(messages[4])
+    assert cluster.duplicates_suppressed == 2
+    assert gauge.value == 1.0
+
+
+def test_seen_key_gauge_tracks_set_size_without_pruning():
+    telemetry = Telemetry()
+    cluster = _cluster(telemetry, prune=False)
     messages = [_message("c0", i, 0.001 * i) for i in range(5)]
     for message in messages:
         cluster.receive(message)
-    # a retransmission (same message key) must not move the gauge
     cluster.receive(messages[2])
     gauge = telemetry.registry.gauge("cluster.dedupe_seen_keys")
     assert gauge.value == 5.0
     assert cluster.duplicates_suppressed == 1
+    assert cluster.dedupe_keys_pruned == 0
+
+
+def test_zero_sequence_numbers_degrade_to_remember_forever():
+    # default-constructed messages carry sequence_number=0: no horizon can
+    # advance, so the gate keeps every key (the pre-PR 9 behaviour)
+    cluster = _cluster()
+    messages = [_message("c1", 0, 0.001 * i) for i in range(4)]
+    for message in messages:
+        cluster.receive(message)
+    report = cluster.observability_report()["cluster"]
+    assert report["dedupe_seen_keys"] == 4
+    assert report["dedupe_keys_pruned"] == 0
+    cluster.receive(messages[1])
+    assert cluster.duplicates_suppressed == 1
+
+
+def test_heartbeat_sequence_advances_horizon():
+    cluster = _cluster()
+    messages = [_message("c2", i + 1, 0.001 * i) for i in range(3)]
+    for message in messages:
+        cluster.receive(message)
+    # the transport shares one per-client counter between messages and
+    # heartbeats, so a quiet client's heartbeats keep pruning its tail
+    cluster.receive(Heartbeat(client_id="c2", timestamp=1.0, sequence_number=9))
+    report = cluster.observability_report()["cluster"]
+    assert report["dedupe_seen_keys"] == 0
+    assert report["dedupe_keys_pruned"] == 3
+    for message in messages:
+        cluster.receive(message)
+    assert cluster.duplicates_suppressed == 3
 
 
 def test_report_exposes_set_size_and_quiet_warning():
     cluster = _cluster()
     for i in range(3):
-        cluster.receive(_message("c1", i, 0.001 * i))
+        cluster.receive(_message("c1", i + 1, 0.001 * i))
     report = cluster.observability_report()["cluster"]
-    assert report["dedupe_seen_keys"] == 3
+    assert report["dedupe_seen_keys"] == 1
+    assert report["dedupe_keys_pruned"] == 2
     assert report["dedupe_growth_warning"] is False
 
 
-def test_warning_trips_past_threshold():
-    cluster = _cluster()
+def test_warning_trips_past_threshold_when_pruning_disabled():
+    cluster = _cluster(prune=False)
     cluster.DEDUPE_WARN_THRESHOLD = 2  # instance override keeps the test fast
     for i in range(4):
-        cluster.receive(_message("c2", i, 0.001 * i))
+        cluster.receive(_message("c2", i + 1, 0.001 * i))
     report = cluster.observability_report()["cluster"]
     assert report["dedupe_seen_keys"] == 4
     assert report["dedupe_growth_warning"] is True
@@ -74,4 +132,69 @@ def test_no_warning_when_dedupe_disabled():
         cluster.receive(_message("c3", i, 0.001 * i))
     report = cluster.observability_report()["cluster"]
     assert report["dedupe_seen_keys"] == 0
+    assert report["dedupe_growth_warning"] is False
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=4),
+    data=st.data(),
+)
+def test_duplicates_past_the_horizon_are_always_rejected(counts, data):
+    """Property: after FIFO delivery of each client's originals, *any*
+    re-delivery — at or below the client's horizon — is suppressed, while the
+    retained state is one key per client rather than one per message."""
+    cluster = _cluster()
+    clients = [f"c{i}" for i in range(len(counts))]
+    originals = {
+        client: [_message(client, seq + 1, 0.001 * seq) for seq in range(count)]
+        for client, count in zip(clients, counts)
+    }
+    for client in clients:
+        for message in originals[client]:
+            cluster.receive(message)
+    duplicates = 0
+    for client, count in zip(clients, counts):
+        for seq in data.draw(
+            st.lists(st.integers(min_value=0, max_value=count - 1), max_size=10)
+        ):
+            cluster.receive(originals[client][seq])
+            duplicates += 1
+    assert cluster.duplicates_suppressed == duplicates
+    report = cluster.observability_report()["cluster"]
+    assert report["dedupe_seen_keys"] == len(counts)
+    assert report["dedupe_keys_pruned"] == sum(counts) - len(counts)
+
+
+def test_long_duplication_chaos_run_stays_bounded():
+    """A long FIFO stream with a duplication fault on every other message:
+    admission stays exactly-once while the seen-key set is pruned far below
+    the (instance-overridden) growth threshold."""
+    telemetry = Telemetry()
+    cluster = _cluster(telemetry)
+    cluster.DEDUPE_WARN_THRESHOLD = 50
+    clients = [f"c{i}" for i in range(4)]
+    per_client = 500
+    delivered = 0
+    duplicated = 0
+    window: dict = {client: [] for client in clients}
+    for seq in range(1, per_client + 1):
+        for index, client in enumerate(clients):
+            message = _message(client, seq, 0.001 * (seq * 4 + index))
+            cluster.receive(message)
+            delivered += 1
+            # the fault layer re-delivers a copy while FIFO still allows it:
+            # at or after the original, before the client's next original
+            window[client].append(message)
+            if seq % 2 == 0:
+                cluster.receive(window[client][-1])
+                duplicated += 1
+            if len(window[client]) > 2:
+                window[client].pop(0)
+    report = cluster.observability_report()["cluster"]
+    admitted = report["dedupe_seen_keys"] + report["dedupe_keys_pruned"]
+    assert admitted == delivered
+    assert cluster.duplicates_suppressed == duplicated
+    assert report["dedupe_seen_keys"] <= len(clients)
+    assert report["dedupe_seen_keys"] < cluster.DEDUPE_WARN_THRESHOLD
     assert report["dedupe_growth_warning"] is False

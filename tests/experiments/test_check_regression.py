@@ -134,6 +134,19 @@ def test_committed_baselines_accept_a_real_smoke_run(tmp_path):
             ],
             "wall_time": 1.0,
         },
+        {
+            "benchmark": "recovery",
+            "rows": [
+                {
+                    "parity_clean": True,
+                    "parity_recovered": True,
+                    "worker_restarts": 1,
+                    "lost_shards": 0,
+                    "recovery_efficiency": 0.3,
+                }
+            ],
+            "wall_time": 1.0,
+        },
     ]
     outcome = run_gate(tmp_path, records)  # default committed baselines.json
     assert outcome.returncode == 0, outcome.stderr + outcome.stdout

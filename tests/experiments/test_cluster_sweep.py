@@ -38,6 +38,8 @@ def test_sweep_rows_have_report_schema():
         "pruned_pairs",
         "streaming_ms",
         "streaming_parity",
+        "restarts",
+        "lost_shards",
         "shard_throughput",
         "total_throughput",
         "wall_seconds",

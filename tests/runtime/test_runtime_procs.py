@@ -8,7 +8,7 @@ import pytest
 
 from repro.core.config import TommyConfig
 from repro.runtime.base import ClusterWorkload
-from repro.runtime.procs import ProcBackend, WorkerCrashed
+from repro.runtime.procs import ProcBackend, RestartPolicy, WorkerCrashed
 from repro.workloads.cluster import build_cluster_scenario
 
 
@@ -44,8 +44,11 @@ def test_shards_spread_round_robin_over_workers():
 
 
 def test_worker_hard_exit_raises_with_shard_id():
+    # max_restarts=0 restores the fail-fast behaviour this test pins down
     workload = _workload()
-    backend = ProcBackend(inject_crash=2, crash_mode="exit")
+    backend = ProcBackend(
+        inject_crash=2, crash_mode="exit", restart_policy=RestartPolicy(max_restarts=0)
+    )
     with pytest.raises(WorkerCrashed) as excinfo:
         backend.run(workload)
     assert 2 in excinfo.value.shard_ids
@@ -54,7 +57,9 @@ def test_worker_hard_exit_raises_with_shard_id():
 
 def test_worker_exception_raises_with_shard_id_and_traceback():
     workload = _workload()
-    backend = ProcBackend(inject_crash=1, crash_mode="error")
+    backend = ProcBackend(
+        inject_crash=1, crash_mode="error", restart_policy=RestartPolicy(max_restarts=0)
+    )
     with pytest.raises(WorkerCrashed) as excinfo:
         backend.run(workload)
     assert excinfo.value.shard_ids == (1,)
