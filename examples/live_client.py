@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Drive ``repro serve`` end-to-end over loopback sockets.
+
+Spawns the live ingestion edge as a real subprocess (``python -m repro.cli
+serve``), builds the *same* frozen workload locally from the same seed,
+streams its messages through the framed socket protocol with the in-repo
+:class:`~repro.edge.client.EdgeClient`, and then checks the server's printed
+merge fingerprint against a local :class:`~repro.runtime.sim.SimBackend` run
+— the same bitwise-parity contract the test suite enforces.
+
+Run with:  PYTHONPATH=src python examples/live_client.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import re
+import subprocess
+import sys
+
+from repro.core.config import TommyConfig
+from repro.edge.client import replay_workload
+from repro.runtime.base import ClusterWorkload
+from repro.runtime.sim import SimBackend
+from repro.workloads.cluster import build_cluster_scenario
+
+NUM_CLIENTS = 12
+SHARDS = 3
+SEED = 13
+
+
+def build_workload() -> ClusterWorkload:
+    """The frozen workload both sides derive from the shared seed."""
+    scenario = build_cluster_scenario(num_clients=NUM_CLIENTS, seed=SEED)
+    return ClusterWorkload.from_scenario(scenario, num_shards=SHARDS, config=TommyConfig(seed=SEED))
+
+
+def start_server() -> tuple[subprocess.Popen, int]:
+    """Launch ``repro serve`` on a free port; return the process and port."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--num-clients",
+            str(NUM_CLIENTS),
+            "--shards",
+            str(SHARDS),
+            "--seed",
+            str(SEED),
+            "--max-inflight",
+            "16",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"listening on .*:(\d+)", line)
+    if not match:
+        process.terminate()
+        raise RuntimeError(f"server did not report its port: {line!r}")
+    return process, int(match.group(1))
+
+
+def main() -> int:
+    workload = build_workload()
+    expected = hashlib.sha256(
+        repr(SimBackend().run(workload).fingerprint()).encode()
+    ).hexdigest()[:16]
+
+    server, port = start_server()
+    print(f"serve is listening on port {port}; streaming {len(workload.messages)} messages")
+    admitted = asyncio.run(
+        replay_workload("127.0.0.1", port, workload, connections=3)
+    )
+    print(f"admitted {admitted}/{len(workload.messages)} messages over 3 connections")
+
+    summary = server.stdout.read()
+    server.wait(timeout=30)
+    print(summary)
+    if expected not in summary:
+        print(f"FAIL: server fingerprint differs from local SimBackend ({expected})")
+        return 1
+    print(f"OK: socket-fed merge fingerprint matches SimBackend bitwise ({expected})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Execute every fenced ``python`` code block in the docs.
+
+Stdlib-only CI gate: extracts fenced ```python blocks from ``README.md`` and
+``docs/*.md`` and runs each one as its own subprocess with ``PYTHONPATH=src``,
+so a renamed API or a stale example breaks the build instead of the reader.
+
+Blocks whose info string carries ``no-run`` (e.g. ```python no-run) are
+syntax-checked with :func:`compile` but not executed — for illustrative
+fragments that need external state.
+
+Usage: python scripts/check_docs.py [files...]   (defaults to README + docs/)
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SOURCES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+PER_BLOCK_TIMEOUT = 120.0
+
+
+def extract_blocks(path: Path):
+    """Yield ``(start_line, info_string, source)`` for each fenced python block."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_block = False
+    info = ""
+    start = 0
+    body: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_block:
+            if stripped.startswith("```"):
+                info = stripped[3:].strip().lower()
+                in_block = True
+                start = number + 1
+                body = []
+        elif stripped == "```":
+            in_block = False
+            if info.split()[:1] == ["python"]:
+                yield start, info, "\n".join(body) + "\n"
+        else:
+            body.append(line)
+    if in_block:
+        raise SystemExit(f"{path}: unterminated code fence opened before EOF")
+
+
+def run_block(path: Path, start: int, info: str, source: str) -> str | None:
+    """Run one block; return an error description or None on success."""
+    label = f"{path.relative_to(REPO_ROOT)}:{start}"
+    try:
+        compile(source, label, "exec")
+    except SyntaxError as error:
+        return f"{label}: syntax error: {error}"
+    if "no-run" in info.split():
+        return None
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    try:
+        result = subprocess.run(
+            [sys.executable, "-c", source],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=PER_BLOCK_TIMEOUT,
+        )
+    except subprocess.TimeoutExpired:
+        return f"{label}: timed out after {PER_BLOCK_TIMEOUT:.0f}s"
+    if result.returncode != 0:
+        tail = (result.stderr or result.stdout).strip().splitlines()[-12:]
+        return f"{label}: exit {result.returncode}\n    " + "\n    ".join(tail)
+    return None
+
+
+def main(argv: list[str]) -> int:
+    sources = [Path(arg).resolve() for arg in argv] or DEFAULT_SOURCES
+    checked = 0
+    failures: list[str] = []
+    for path in sources:
+        if not path.exists():
+            failures.append(f"{path}: no such file")
+            continue
+        for start, info, source in extract_blocks(path):
+            checked += 1
+            error = run_block(path, start, info, source)
+            status = "FAIL" if error else "ok"
+            print(f"[{status}] {path.relative_to(REPO_ROOT)}:{start}")
+            if error:
+                failures.append(error)
+    print(f"{checked} python block(s) checked, {len(failures)} failure(s)")
+    for failure in failures:
+        print(f"  {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -13,10 +13,14 @@ Every paper artifact and ablation can be regenerated from the shell::
     python -m repro.cli cluster --shards 4 --runtime procs
     python -m repro.cli chaos --shards 4 --fault partition
     python -m repro.cli telemetry --workload cluster --trace-out trace.json
+    python -m repro.cli serve --port 7341 --max-inflight 64 --runtime procs
     python -m repro.cli all --csv-dir results/
 
-Each subcommand prints the same rows the corresponding benchmark target
-regenerates; ``--csv-dir`` additionally writes one CSV per experiment.
+Each experiment subcommand prints the same rows the corresponding benchmark
+target regenerates; ``--csv-dir`` additionally writes one CSV per
+experiment.  ``serve`` is different: it binds the live ingestion edge
+(:mod:`repro.edge`) on a TCP port, sequences whatever framed clients send,
+and prints the run summary when traffic drains (see docs/operations.md).
 """
 
 from __future__ import annotations
@@ -216,6 +220,85 @@ def _print_merge_nodes(telemetry) -> None:
     print(format_table(list(nodes), title=title))
 
 
+def serve_spec(args: argparse.Namespace):
+    """The live cluster shape ``repro serve`` provisions.
+
+    Clients come from the same deterministic multi-region scenario generator
+    the experiments use (``--num-clients``/``--seed``), so a client process
+    built from the same seed knows exactly which client ids are provisioned
+    — and a loopback replay of the frozen workload must reproduce the
+    :class:`~repro.runtime.sim.SimBackend` fingerprint bitwise.
+    """
+    from repro.core.config import TommyConfig
+    from repro.runtime.live import LiveClusterSpec
+    from repro.workloads.cluster import build_cluster_scenario
+
+    scenario = build_cluster_scenario(num_clients=args.num_clients, seed=args.seed)
+    scenario = getattr(scenario, "scenario", scenario)
+    return LiveClusterSpec(
+        client_distributions=dict(scenario.client_distributions),
+        num_shards=args.shards,
+        config=TommyConfig(seed=args.seed),
+        merge_topology=args.merge_topology,
+        merge_fanout=args.fanout,
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the live ingestion edge until traffic drains; print the summary."""
+    import asyncio
+    import hashlib
+
+    from repro.edge.server import EdgeServer
+    from repro.obs import Telemetry
+    from repro.runtime.live import LiveDispatcher
+
+    telemetry = Telemetry()
+    dispatcher = LiveDispatcher(
+        serve_spec(args),
+        runtime=args.runtime,
+        num_workers=args.workers,
+        telemetry=telemetry,
+    )
+
+    async def _serve():
+        server = EdgeServer(
+            dispatcher,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            telemetry=telemetry,
+        )
+        await server.start()
+        print(f"listening on {args.host}:{server.port}", flush=True)
+        try:
+            outcome = await server.serve_until_idle(idle_grace=args.idle_grace)
+        finally:
+            await server.close()
+        return server, outcome
+
+    try:
+        server, outcome = asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        dispatcher.close()
+        return 130
+    digest = hashlib.sha256(repr(outcome.fingerprint()).encode()).hexdigest()[:16]
+    rows = [
+        {
+            "runtime": outcome.backend,
+            "messages": outcome.message_count,
+            "batches": len(outcome.merge.result.batches),
+            "duplicates": outcome.details.get("duplicates_rejected", 0),
+            "late": outcome.details.get("late_arrivals", 0),
+            "peak_depth": server.intake_depth_peak,
+            "max_inflight": server.max_inflight,
+            "fingerprint": digest,
+        }
+    ]
+    print(format_table(rows, title=SERVE_TITLE))
+    return 0
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], List[Dict[str, object]]]] = {
     "figure5": _figure5_rows,
     "thresholds": _threshold_rows,
@@ -241,6 +324,10 @@ TITLES = {
     "chaos": "CHAOS: fault injection on the live sharded cluster",
     "telemetry": "TELEMETRY: message-lifecycle stage latency on an instrumented run",
 }
+
+# ``serve`` is a service mode, not an experiment: it has a summary title but
+# no EXPERIMENTS entry (TITLES is pinned to exactly the experiment registry).
+SERVE_TITLE = "SERVE: live ingestion edge run summary"
 
 
 def _positive_int(value: str) -> int:
@@ -361,9 +448,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv-dir", default=None, help="also write one CSV per experiment into this directory"
     )
     parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve only: interface to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="serve only: TCP port to bind (default 0 = pick a free port; "
+        "the bound port is printed on startup)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=64,
+        help="serve only: bound of the global intake queue — when full, "
+        "handlers stop reading their sockets and TCP flow control pushes "
+        "back to clients (default 64)",
+    )
+    parser.add_argument(
+        "--idle-grace",
+        type=float,
+        default=0.2,
+        help="serve only: seconds of idleness (no connections, empty intake "
+        "queue, at least one connection served) before the edge drains and "
+        "prints the run summary (default 0.2)",
+    )
+    parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which experiment to regenerate ('all' runs every one)",
+        choices=sorted(EXPERIMENTS) + ["serve", "all"],
+        help="which experiment to regenerate ('all' runs every one), or "
+        "'serve' to run the live ingestion edge",
     )
     return parser
 
@@ -379,6 +495,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.experiment == "serve":
+        return _run_serve(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 
     if args.csv_dir:

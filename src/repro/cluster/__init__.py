@@ -13,6 +13,7 @@ output, band-local kernel work.
 """
 
 from repro.cluster.harness import ClusterTransport, replay_scenario
+from repro.cluster.intake import IntakeDedupeGate
 from repro.cluster.merge import CertaintyWindows, CrossShardMerger, MergeOutcome, StreamingMerger
 from repro.cluster.router import (
     HashSharding,
@@ -45,4 +46,5 @@ __all__ = [
     "HierarchicalMerger",
     "ClusterTransport",
     "replay_scenario",
+    "IntakeDedupeGate",
 ]

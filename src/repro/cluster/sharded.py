@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.cluster.intake import IntakeDedupeGate
 from repro.cluster.merge import CrossShardMerger, MergeOutcome, StreamingMerger
 from repro.cluster.router import ShardingPolicy, ShardRouter
 from repro.cluster.tree import HierarchicalMerger, MergeTopology
@@ -191,22 +192,16 @@ class ShardedSequencer(Entity):
         self._distribution_refreshes = 0
         # exactly-once intake: with dedupe enabled, a (client, message) key
         # is accepted at the cluster boundary once; faulty networks that
-        # duplicate deliveries cannot double-sequence a message.  The
-        # delivery-horizon rule keeps the seen set bounded: on ordered
-        # (FIFO per-client) channels, once a delivery with sequence number s
-        # arrives every earlier send of that client has already been
-        # delivered (original and any duplicated copies alike), so keys
-        # below the per-client horizon can never recur and are pruned —
-        # arrivals in the pruned region are rejected as duplicates without
-        # any set memory.  ``dedupe_prune_horizon=False`` keeps the
-        # remember-forever behaviour for unordered transports.
-        self._dedupe = bool(dedupe_intake)
-        self._dedupe_prune = bool(dedupe_prune_horizon)
-        self._seen_keys: Set[Tuple[str, int]] = set()
-        self._dedupe_horizon: Dict[str, int] = {}
-        self._dedupe_retained: Dict[str, List[Tuple[int, Tuple[str, int]]]] = {}
-        self._dedupe_keys_pruned = 0
-        self._duplicates_suppressed = 0
+        # duplicate deliveries cannot double-sequence a message.  The gate
+        # (delivery-horizon pruning rule included) lives in
+        # cluster.intake.IntakeDedupeGate so the live ingestion edge can
+        # share the exact same admission semantics at submit time.
+        self._gate = IntakeDedupeGate(
+            enabled=dedupe_intake,
+            prune_horizon=dedupe_prune_horizon,
+            telemetry=telemetry,
+            clock=lambda: self.now,
+        )
         self._heartbeat_interval = heartbeat_interval
         self._heartbeat_timeout = (
             heartbeat_timeout
@@ -419,88 +414,27 @@ class ShardedSequencer(Entity):
     @property
     def duplicates_suppressed(self) -> int:
         """Messages rejected by the exactly-once intake gate so far."""
-        return self._duplicates_suppressed
+        return self._gate.duplicates_suppressed
 
     @property
     def dedupe_keys_pruned(self) -> int:
         """Seen keys released by the delivery-horizon pruning rule so far."""
-        return self._dedupe_keys_pruned
+        return self._gate.keys_pruned
 
-    def _note_duplicate(self, item: TimestampedMessage) -> None:
-        self._duplicates_suppressed += 1
-        if self._obs.enabled:
-            self._obs.count("cluster.duplicates_suppressed")
-            self._obs.event(
-                "gate",
-                "duplicate_suppressed",
-                self.now,
-                client_id=item.client_id,
-                sequence=int(item.sequence_number),
-            )
-
-    def _advance_dedupe_horizon(self, client_id: str, sequence: int) -> None:
-        """Raise ``client_id``'s delivery horizon and prune keys below it.
-
-        A key whose sequence number is strictly below the horizon can never
-        be delivered again on an ordered channel, so its set entry is
-        released; later re-deliveries in the pruned region are rejected by
-        the horizon comparison alone.
-        """
-        current = self._dedupe_horizon.get(client_id)
-        if current is not None and sequence <= current:
-            return
-        self._dedupe_horizon[client_id] = sequence
-        retained = self._dedupe_retained.get(client_id)
-        if not retained:
-            return
-        keep = [entry for entry in retained if entry[0] >= sequence]
-        pruned = len(retained) - len(keep)
-        if pruned:
-            for seq, key in retained:
-                if seq < sequence:
-                    self._seen_keys.discard(key)
-            self._dedupe_retained[client_id] = keep
-            self._dedupe_keys_pruned += pruned
-            if self._obs.enabled:
-                self._obs.count("cluster.dedupe_keys_pruned", pruned)
-                self._obs.gauge("cluster.dedupe_seen_keys", len(self._seen_keys))
+    @property
+    def intake_gate(self) -> IntakeDedupeGate:
+        """The cluster-boundary exactly-once gate (shared with the live edge)."""
+        return self._gate
 
     def _is_duplicate(self, item: Union[TimestampedMessage, Heartbeat]) -> bool:
         """Exactly-once gate at the cluster boundary (messages only).
 
-        Heartbeats are idempotent and pass through (but their sequence
-        numbers advance the delivery horizon — a heartbeat clearing sequence
-        s proves every earlier send was delivered).  Internal routing and
-        failover replay bypass this gate (:meth:`_route` and friends): a
-        replayed pending message was already admitted once and must reach
-        its new owner.
+        Delegates to :class:`~repro.cluster.intake.IntakeDedupeGate`.
+        Internal routing and failover replay bypass this gate
+        (:meth:`_route` and friends): a replayed pending message was already
+        admitted once and must reach its new owner.
         """
-        if not self._dedupe:
-            return False
-        if isinstance(item, Heartbeat):
-            if self._dedupe_prune and item.sequence_number:
-                self._advance_dedupe_horizon(item.client_id, int(item.sequence_number))
-            return False
-        if not isinstance(item, TimestampedMessage):
-            return False
-        sequence = int(item.sequence_number)
-        horizon = self._dedupe_horizon.get(item.client_id)
-        if self._dedupe_prune and horizon is not None and sequence < horizon:
-            # pruned region: every first delivery below the horizon already
-            # happened (FIFO), so this can only be a re-delivery
-            self._note_duplicate(item)
-            return True
-        if item.key in self._seen_keys:
-            self._note_duplicate(item)
-            return True
-        self._seen_keys.add(item.key)
-        if self._dedupe_prune:
-            self._dedupe_retained.setdefault(item.client_id, []).append((sequence, item.key))
-            if horizon is None or sequence > horizon:
-                self._advance_dedupe_horizon(item.client_id, sequence)
-        if self._obs.enabled:
-            self._obs.gauge("cluster.dedupe_seen_keys", len(self._seen_keys))
-        return False
+        return self._gate.is_duplicate(item)
 
     def receive(
         self, item: Union[TimestampedMessage, Heartbeat], arrival_time: Optional[float] = None
@@ -886,7 +820,7 @@ class ShardedSequencer(Entity):
                 "policy": self._router.policy.name,
                 "failovers": len(self._failover_events),
                 "rejoins": len(self._rejoin_events),
-                "duplicates_suppressed": self._duplicates_suppressed,
+                "duplicates_suppressed": self._gate.duplicates_suppressed,
                 "engine": self.engine_stats().as_dict(),
                 "learning": self.learning_stats(),
             }
@@ -925,7 +859,7 @@ class ShardedSequencer(Entity):
                 "policy": self._router.policy.name,
                 "failovers": len(self._failover_events),
                 "rejoins": len(self._rejoin_events),
-                "duplicates_suppressed": self._duplicates_suppressed,
+                "duplicates_suppressed": self._gate.duplicates_suppressed,
                 # exactly-once gate memory: with delivery-horizon pruning
                 # (the default) the retained set is bounded by the per-client
                 # in-flight window; keys below a client's delivered-sequence
@@ -933,10 +867,11 @@ class ShardedSequencer(Entity):
                 # are rejected by the horizon comparison alone.  The warning
                 # flag now only trips when pruning is off or ineffective
                 # (no usable per-client sequence numbers)
-                "dedupe_seen_keys": len(self._seen_keys),
-                "dedupe_keys_pruned": self._dedupe_keys_pruned,
+                "dedupe_seen_keys": self._gate.seen_key_count,
+                "dedupe_keys_pruned": self._gate.keys_pruned,
                 "dedupe_growth_warning": (
-                    self._dedupe and len(self._seen_keys) > self.DEDUPE_WARN_THRESHOLD
+                    self._gate.enabled
+                    and self._gate.seen_key_count > self.DEDUPE_WARN_THRESHOLD
                 ),
                 "emitted_counts": self.emitted_counts(),
             },

@@ -1,10 +1,22 @@
 """repro.obs — the unified telemetry layer.
 
 Message-lifecycle tracing, a cluster-wide metrics registry, perfetto-ready
-trace export and an instrumented-workload runner.  Everything is opt-in:
+trace export and an instrumented-workload runner.
+
+Contract: every traced message passes through the eight lifecycle stages in
+:data:`LIFECYCLE_STAGES` — ``client_send → channel_deliver → shard_intake →
+engine_append → emission_check → batch_emit → merge_observe → merge_commit``
+— each recorded with both its simulated time and a wall-clock stamp; instant
+happenings (fault firings, distribution refreshes, dedupe-gate hits, runtime
+worker lifecycle, edge connections) land as :class:`EventRecord`\\ s.
+
+Parity guarantees, pinned by ``tests/obs/``: same seed ⇒ identical
+simulated-time trace (``Telemetry.sim_fingerprint()``; wall stamps are the
+only permitted rerun difference), and telemetry off is bitwise free —
 components default to the :data:`~repro.obs.telemetry.NO_TELEMETRY` no-op
-singleton, and the disabled path is parity-tested bitwise against
-uninstrumented runs.
+singleton, hot paths gate on one ``enabled`` attribute read, and an
+uninstrumented run produces the same merged order, counters and RNG
+consumption as an instrumented one.
 """
 
 from repro.obs.registry import (

@@ -12,6 +12,16 @@ frozen :class:`ClusterWorkload` runs on
 with a bitwise-equal merged order (``RuntimeOutcome.fingerprint()``)
 asserted across backends in ``tests/runtime`` and
 ``benchmarks/test_bench_runtime.py``.
+
+Workloads come in two shapes: the frozen :class:`ClusterWorkload`
+(messages generated once, replayed at their recorded virtual times — the
+parity oracle's input) and the live path
+(:class:`~repro.runtime.live.LiveDispatcher`), where traffic is submitted
+one message at a time by the socket edge (:mod:`repro.edge`) and sequenced
+incrementally under a per-source watermark discipline.  The parity
+guarantee extends to the live path: a frozen workload streamed through
+``submit()`` — or through real sockets — produces the same fingerprint as
+the one-shot replay, on either runtime.
 """
 
 from repro.runtime.base import (
@@ -36,6 +46,9 @@ _LAZY = {
     "RestartPolicy": ("repro.runtime.procs", "RestartPolicy"),
     "WorkerCrashed": ("repro.runtime.procs", "WorkerCrashed"),
     "WorkerSupervisor": ("repro.runtime.procs", "WorkerSupervisor"),
+    "LIVE_RUNTIMES": ("repro.runtime.live", "LIVE_RUNTIMES"),
+    "LiveClusterSpec": ("repro.runtime.live", "LiveClusterSpec"),
+    "LiveDispatcher": ("repro.runtime.live", "LiveDispatcher"),
 }
 
 
@@ -66,4 +79,7 @@ __all__ = [
     "RestartPolicy",
     "WorkerCrashed",
     "WorkerSupervisor",
+    "LIVE_RUNTIMES",
+    "LiveClusterSpec",
+    "LiveDispatcher",
 ]

@@ -1,0 +1,122 @@
+"""Frame-protocol edge cases: framing, truncation, versioning, payloads."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.edge import protocol
+from repro.edge.protocol import Frame, FrameDecoder, ProtocolError
+from repro.network.message import Heartbeat, TimestampedMessage
+
+
+def test_roundtrip_single_frame():
+    data = protocol.encode_frame(protocol.HELLO, {"version": 1, "source": "c0"})
+    frames = FrameDecoder().feed(data)
+    assert frames == [Frame(type=protocol.HELLO, payload={"version": 1, "source": "c0"})]
+
+
+def test_roundtrip_coalesced_frames():
+    data = protocol.encode_frame(protocol.HELLO, {"version": 1}) + protocol.encode_frame(
+        protocol.CLOSE
+    )
+    frames = FrameDecoder().feed(data)
+    assert [frame.type for frame in frames] == [protocol.HELLO, protocol.CLOSE]
+    assert frames[1].payload == {}
+
+
+def test_truncated_frame_waits_for_more_bytes():
+    data = protocol.encode_frame(protocol.MSG, {"client": "a"})
+    decoder = FrameDecoder()
+    # drip-feed every prefix: no frame until the last byte lands
+    for cut in range(1, len(data)):
+        assert decoder.feed(data[cut - 1 : cut]) == []
+        assert decoder.pending_bytes == cut
+    frames = decoder.feed(data[-1:])
+    assert len(frames) == 1
+    assert frames[0].payload == {"client": "a"}
+    assert decoder.pending_bytes == 0
+
+
+def test_oversized_length_prefix_is_typed_error():
+    decoder = FrameDecoder(max_frame_bytes=64)
+    with pytest.raises(ProtocolError) as excinfo:
+        decoder.feed(struct.pack(">I", 1 << 30) + b"x")
+    assert excinfo.value.code == protocol.ERR_OVERSIZED_FRAME
+    # poisoned: the stream cannot be resynchronised
+    with pytest.raises(ProtocolError):
+        decoder.feed(b"more")
+
+
+def test_zero_length_frame_is_malformed():
+    with pytest.raises(ProtocolError) as excinfo:
+        FrameDecoder().feed(struct.pack(">I", 0))
+    assert excinfo.value.code == protocol.ERR_MALFORMED_FRAME
+
+
+def test_bad_json_payload_is_malformed():
+    body = bytes([protocol.MSG]) + b"{not json"
+    with pytest.raises(ProtocolError) as excinfo:
+        FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+    assert excinfo.value.code == protocol.ERR_MALFORMED_FRAME
+
+
+def test_non_object_payload_is_malformed():
+    body = bytes([protocol.MSG]) + b"[1,2,3]"
+    with pytest.raises(ProtocolError) as excinfo:
+        FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+    assert excinfo.value.code == protocol.ERR_MALFORMED_FRAME
+
+
+def test_message_payload_roundtrip_preserves_identity():
+    message = TimestampedMessage(
+        client_id="client-3",
+        timestamp=10.5,
+        true_time=10.25,
+        payload={"order": 7},
+        message_id=4242,
+        sequence_number=9,
+    )
+    rebuilt, vtime = protocol.parse_message(protocol.message_payload(message))
+    # the wire id is the exactly-once token AND the fingerprint identity
+    assert rebuilt.key == message.key
+    assert rebuilt.message_id == 4242
+    assert rebuilt.timestamp == message.timestamp
+    assert rebuilt.true_time == message.true_time
+    assert rebuilt.sequence_number == 9
+    assert rebuilt.payload == {"order": 7}
+    assert vtime == 10.25
+
+
+def test_heartbeat_payload_roundtrip():
+    heartbeat = Heartbeat(client_id="c", timestamp=3.0, true_time=2.5, sequence_number=4)
+    rebuilt, vtime = protocol.parse_heartbeat(protocol.heartbeat_payload(heartbeat))
+    assert rebuilt == heartbeat
+    assert vtime == 2.5
+
+
+def test_missing_message_field_is_bad_payload():
+    payload = protocol.message_payload(
+        TimestampedMessage(client_id="c", timestamp=1.0, true_time=1.0)
+    )
+    del payload["vtime"]
+    with pytest.raises(ProtocolError) as excinfo:
+        protocol.parse_message(payload)
+    assert excinfo.value.code == protocol.ERR_BAD_PAYLOAD
+
+
+def test_unparseable_message_field_is_bad_payload():
+    payload = protocol.message_payload(
+        TimestampedMessage(client_id="c", timestamp=1.0, true_time=1.0)
+    )
+    payload["ts"] = "not-a-number"
+    with pytest.raises(ProtocolError) as excinfo:
+        protocol.parse_message(payload)
+    assert excinfo.value.code == protocol.ERR_BAD_PAYLOAD
+
+
+def test_encode_rejects_oversized_body():
+    with pytest.raises(ProtocolError) as excinfo:
+        protocol.encode_frame(protocol.MSG, {"data": "x" * protocol.MAX_FRAME_BYTES})
+    assert excinfo.value.code == protocol.ERR_OVERSIZED_FRAME
